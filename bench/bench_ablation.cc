@@ -1,0 +1,203 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//   1. Analyzer tolerance tau: sweep around the paper's fixed 1.42 and
+//      check verdicts and ratios are stable in [1.4, 1.5].
+//   2. Solver x linearization matrix, including the homegrown RLE and
+//      LZSS codecs, quantifying what the EUPA-selector chooses between.
+//   3. Preconditioning value per solver: standard solver vs ISOBAR+solver
+//      on one hard-to-compress dataset.
+#include "bench_common.h"
+
+#include "core/analyzer.h"
+#include "linearize/transpose.h"
+
+namespace isobar::bench {
+namespace {
+
+void TauSweep(const Args& args) {
+  std::printf("Ablation 1: analyzer tolerance tau "
+              "(improvable verdicts over 24 profiles + flash_gamc ratio)\n");
+  std::printf("%8s %12s %12s\n", "tau", "improvable", "gamc ratio");
+  PrintRule(34);
+
+  auto gamc_spec = FindDatasetSpec("flash_gamc");
+  const Dataset gamc = Generate(**gamc_spec, args);
+
+  for (double tau : {1.05, 1.2, 1.4, 1.42, 1.45, 1.5, 2.0, 4.0, 16.0}) {
+    const Analyzer analyzer(AnalyzerOptions{.tau = tau});
+    int improvable = 0;
+    for (const DatasetSpec& spec : AllDatasetSpecs()) {
+      const Dataset dataset = Generate(spec, args);
+      auto analysis = analyzer.Analyze(dataset.bytes(), dataset.width());
+      if (analysis.ok() && analysis->improvable()) ++improvable;
+    }
+    CompressOptions options = SpeedOptions();
+    options.analyzer.tau = tau;
+    options.eupa.forced_codec = CodecId::kZlib;
+    options.eupa.forced_linearization = Linearization::kRow;
+    const IsobarRun run = RunIsobar(options, gamc.bytes(), gamc.width());
+    std::printf("%8.2f %9d/24 %12.4f\n", tau, improvable, run.ratio());
+  }
+  std::printf("\nExpected: a plateau containing [1.4, 1.5] (the paper's "
+              "justification\nfor fixing tau = 1.42); extreme tau collapses "
+              "the verdicts.\n\n");
+}
+
+void SolverMatrix(const Args& args) {
+  std::printf("Ablation 2: solver x linearization on gts_phi_l "
+              "(ratio / compress MB/s)\n");
+  std::printf("%-8s %18s %18s\n", "solver", "row", "column");
+  PrintRule(46);
+
+  auto spec = FindDatasetSpec("gts_phi_l");
+  const Dataset dataset = Generate(**spec, args);
+  for (CodecId codec : {CodecId::kZlib, CodecId::kBzip2, CodecId::kRle,
+                        CodecId::kLzss, CodecId::kBwt}) {
+    std::printf("%-8s", std::string(CodecIdToString(codec)).c_str());
+    for (Linearization lin : {Linearization::kRow, Linearization::kColumn}) {
+      CompressOptions options = SpeedOptions();
+      options.eupa.forced_codec = codec;
+      options.eupa.forced_linearization = lin;
+      const IsobarRun run =
+          RunIsobar(options, dataset.bytes(), dataset.width());
+      std::printf("  %7.4f / %7.1f", run.ratio(), run.compress_mbps());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected: bzip2 best ratio, zlib best ratio-per-second;\n"
+              "the homegrown codecs trade ratio for simplicity, showing the\n"
+              "preconditioner is solver-agnostic.\n\n");
+}
+
+void PreconditioningValue(const Args& args) {
+  std::printf("Ablation 3: standard solver vs ISOBAR+solver on "
+              "gts_chkp_zion\n");
+  std::printf("%-8s %10s %12s %10s %12s\n", "solver", "std CR", "std MB/s",
+              "iso CR", "iso MB/s");
+  PrintRule(56);
+
+  auto spec = FindDatasetSpec("gts_chkp_zion");
+  const Dataset dataset = Generate(**spec, args);
+  for (CodecId codec : {CodecId::kZlib, CodecId::kBzip2, CodecId::kRle,
+                        CodecId::kLzss, CodecId::kBwt}) {
+    const SolverRun standard = RunSolver(codec, dataset.bytes());
+    CompressOptions options = SpeedOptions();
+    options.eupa.forced_codec = codec;
+    options.eupa.forced_linearization = Linearization::kRow;
+    const IsobarRun isobar =
+        RunIsobar(options, dataset.bytes(), dataset.width());
+    std::printf("%-8s %10.4f %12.2f %10.4f %12.2f\n",
+                std::string(CodecIdToString(codec)).c_str(), standard.ratio,
+                standard.compress_mbps, isobar.ratio(),
+                isobar.compress_mbps());
+  }
+  std::printf("\nExpected: for every real entropy/dictionary/block-sorting\n"
+              "solver, preconditioning improves both the ratio and the\n"
+              "throughput — the paper's core claim of solver independence.\n"
+              "(RLE is the degenerate case: it finds nothing in this data,\n"
+              "so the stored-raw fallback pins its ratio at 1.0 and its\n"
+              "throughput is memcpy-bound either way.)\n");
+}
+
+// Blanket byte-shuffle (Blosc/bitshuffle-style: transpose ALL byte
+// columns, then compress everything) against ISOBAR's selective
+// partition-and-store-noise. The shuffle helps the solver see each
+// column's statistics, but it still pays to compress the noise bytes;
+// ISOBAR's contribution is *not* compressing them at all.
+void ShuffleVsPartition(const Args& args) {
+  std::printf("Ablation 4: blanket byte-shuffle vs selective partitioning "
+              "(zlib solver)\n");
+  std::printf("%-15s %18s %18s %18s\n", "dataset", "plain zlib",
+              "shuffle+zlib", "ISOBAR+zlib");
+  std::printf("%-15s %18s %18s %18s\n", "", "CR / MB/s", "CR / MB/s",
+              "CR / MB/s");
+  PrintRule(73);
+
+  for (const char* name : {"gts_phi_l", "flash_gamc", "s3d_vmag",
+                           "num_comet"}) {
+    auto spec = FindDatasetSpec(name);
+    const Dataset dataset = Generate(**spec, args);
+    const SolverRun plain = RunSolver(CodecId::kZlib, dataset.bytes());
+
+    // Blanket shuffle = the undetermined path with column linearization
+    // and an always-compressible analyzer (tau -> 256 flags nothing, so
+    // force it via tau slightly above 1... instead emulate directly with
+    // a full-mask gather and plain zlib).
+    Bytes shuffled;
+    Status status = GatherColumns(
+        dataset.bytes(), dataset.width(),
+        dataset.width() >= 64 ? ~0ull : ((1ull << dataset.width()) - 1),
+        Linearization::kColumn, &shuffled);
+    if (!status.ok()) std::exit(1);
+    const SolverRun shuffle = RunSolver(CodecId::kZlib, shuffled);
+
+    CompressOptions options = SpeedOptions();
+    options.eupa.forced_codec = CodecId::kZlib;
+    options.eupa.forced_linearization = Linearization::kColumn;
+    const IsobarRun isobar =
+        RunIsobar(options, dataset.bytes(), dataset.width());
+
+    std::printf("%-15s %9.4f / %6.1f %9.4f / %6.1f %9.4f / %6.1f\n", name,
+                plain.ratio, plain.compress_mbps, shuffle.ratio,
+                shuffle.compress_mbps, isobar.ratio(),
+                isobar.compress_mbps());
+  }
+  std::printf("\nExpected: the blanket shuffle recovers most of the ratio\n"
+              "gain (columns become visible to the solver) but every noise\n"
+              "byte still crawls through the entropy coder; selective\n"
+              "partitioning reaches the same ratio several times faster by\n"
+              "not compressing the noise at all — and that gap widens\n"
+              "further on decompression.\n");
+}
+
+// How the gains scale with the amount of noise in the data: sweep the
+// injected hard-to-compress byte fraction from 0/8 to 7/8 and record the
+// ratio improvement plus compression/decompression speed-ups over zlib.
+void NoiseFractionSweep(const Args& args) {
+  std::printf("Ablation 5: gains vs hard-to-compress byte fraction "
+              "(zlib solver, doubles)\n");
+  std::printf("%8s %10s %10s %10s %10s %10s\n", "HTC b/8", "zlib CR",
+              "iso CR", "dCR(%)", "SpC", "SpD");
+  PrintRule(62);
+
+  const uint64_t elements =
+      static_cast<uint64_t>(args.mb * 1e6 / 8.0);
+  for (int noise = 0; noise <= 7; ++noise) {
+    GeneratorParams params;
+    params.noise_bytes = noise;
+    auto dataset = GenerateArray(ElementType::kFloat64, params, elements,
+                                 900 + noise);
+    if (!dataset.ok()) std::exit(1);
+
+    const SolverRun standard = RunSolver(CodecId::kZlib, dataset->bytes());
+    CompressOptions options = SpeedOptions();
+    options.eupa.forced_codec = CodecId::kZlib;
+    options.eupa.forced_linearization = Linearization::kRow;
+    const IsobarRun isobar = RunIsobar(options, dataset->bytes(), 8);
+
+    std::printf("%8d %10.4f %10.4f %10.2f %10.2f %10.2f\n", noise,
+                standard.ratio, isobar.ratio(),
+                (isobar.ratio() / standard.ratio - 1.0) * 100.0,
+                isobar.compress_mbps() / standard.compress_mbps,
+                isobar.decompress_mbps() / standard.decompress_mbps);
+  }
+  std::printf("\nExpected: with no noise the data is undetermined and gains\n"
+              "vanish; dCR is largest when a little noise poisons otherwise\n"
+              "highly compressible data, and the decompression speed-up\n"
+              "climbs monotonically with the noise fraction (ever less data\n"
+              "passes through the solver).\n\n");
+}
+
+int Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  TauSweep(args);
+  SolverMatrix(args);
+  PreconditioningValue(args);
+  ShuffleVsPartition(args);
+  NoiseFractionSweep(args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace isobar::bench
+
+int main(int argc, char** argv) { return isobar::bench::Run(argc, argv); }

@@ -1,0 +1,103 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/stopwatch.h"
+
+namespace isobar::bench {
+namespace {
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "benchmark failed: %s\n", message.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--mb=", 5) == 0) {
+      args.mb = std::atof(arg + 5);
+      if (args.mb <= 0.0) Die("--mb must be positive");
+    } else if (std::strncmp(arg, "--steps=", 8) == 0) {
+      args.steps = std::atoi(arg + 8);
+      if (args.steps <= 0) Die("--steps must be positive");
+    } else {
+      Die(std::string("unknown argument '") + arg +
+          "' (supported: --mb=<float>, --steps=<int>)");
+    }
+  }
+  return args;
+}
+
+SolverRun RunSolver(CodecId id, ByteSpan data) {
+  auto codec = GetCodec(id);
+  if (!codec.ok()) Die(codec.status().ToString());
+
+  SolverRun run;
+  Bytes compressed;
+  Stopwatch timer;
+  Status status = (*codec)->Compress(data, &compressed);
+  if (!status.ok()) Die(status.ToString());
+  run.compress_mbps = timer.ThroughputMBps(data.size());
+  run.ratio = static_cast<double>(data.size()) /
+              static_cast<double>(compressed.size());
+
+  Bytes restored;
+  timer.Reset();
+  status = (*codec)->Decompress(compressed, data.size(), &restored);
+  if (!status.ok()) Die(status.ToString());
+  run.decompress_mbps = timer.ThroughputMBps(data.size());
+  if (!std::equal(restored.begin(), restored.end(), data.begin())) {
+    Die("solver round trip produced different bytes");
+  }
+  return run;
+}
+
+IsobarRun RunIsobar(const CompressOptions& options, ByteSpan data,
+                    size_t width) {
+  const IsobarCompressor compressor(options);
+  IsobarRun run;
+  auto compressed = compressor.Compress(data, width, &run.stats);
+  if (!compressed.ok()) Die(compressed.status().ToString());
+  auto restored =
+      IsobarCompressor::Decompress(*compressed, DecompressOptions{}, &run.dstats);
+  if (!restored.ok()) Die(restored.status().ToString());
+  if (restored->size() != data.size() ||
+      !std::equal(restored->begin(), restored->end(), data.begin())) {
+    Die("ISOBAR round trip produced different bytes");
+  }
+  return run;
+}
+
+Dataset Generate(const DatasetSpec& spec, const Args& args) {
+  auto dataset = GenerateDatasetMB(spec, args.mb);
+  if (!dataset.ok()) Die(dataset.status().ToString());
+  return std::move(*dataset);
+}
+
+CompressOptions SpeedOptions() {
+  CompressOptions options;
+  options.eupa.preference = Preference::kSpeed;
+  return options;
+}
+
+CompressOptions RatioOptions() {
+  CompressOptions options;
+  options.eupa.preference = Preference::kRatio;
+  // Ratio decisions deserve a bigger training sample: bzip2's advantage
+  // only materializes once its BWT blocks fill, and sampling cost is
+  // irrelevant when the user asked for the best ratio.
+  options.eupa.sample_elements = 128 * 1024;
+  return options;
+}
+
+void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace isobar::bench

@@ -1,0 +1,93 @@
+// Reproduces §III.F: consistent improvement over an entire simulation.
+// Runs the GTS linear and nonlinear potential-fluctuation profiles over
+// consecutive time steps and reports mean and standard deviation of the
+// ratio improvement and speed-up, plus whether the EUPA choice and the
+// improvable verdict stayed constant.
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "datagen/time_series.h"
+#include "linearize/transpose.h"
+
+namespace isobar::bench {
+namespace {
+
+struct Series {
+  double mean = 0.0, stddev = 0.0;
+};
+
+Series Reduce(const std::vector<double>& values) {
+  Series s;
+  for (double v : values) s.mean += v;
+  s.mean /= static_cast<double>(values.size());
+  for (double v : values) s.stddev += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(s.stddev / static_cast<double>(values.size()));
+  return s;
+}
+
+int Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  const uint64_t elements_per_step =
+      static_cast<uint64_t>(args.mb * 1e6 / 8.0);
+
+  std::printf("Section III.F: consistency over %d simulation time steps "
+              "(%.1f MB per step)\n\n", args.steps, args.mb);
+  std::printf("Paper: linear dCR 14.4%% +/- 1.8%%, Sp 5.952 +/- 0.065;\n");
+  std::printf("       nonlinear dCR 13.4%% +/- 2.7%%, Sp 3.749 +/- 0.053;\n");
+  std::printf("       identical EUPA choice and improvable verdict at every "
+              "step.\n\n");
+
+  for (const char* name : {"gts_phi_l", "gts_phi_nl"}) {
+    auto spec = FindDatasetSpec(name);
+    if (!spec.ok()) return 1;
+    TimeSeriesGenerator series(**spec, elements_per_step);
+
+    std::vector<double> dcr, sp;
+    int improvable_steps = 0;
+    bool same_choice = true;
+    CodecId first_codec{};
+    Linearization first_lin{};
+
+    for (int t = 0; t < args.steps; ++t) {
+      auto step = series.Step(static_cast<uint64_t>(t));
+      if (!step.ok()) return 1;
+      const SolverRun zlib = RunSolver(CodecId::kZlib, step->bytes());
+      const SolverRun bzip2 = RunSolver(CodecId::kBzip2, step->bytes());
+      const IsobarRun isobar =
+          RunIsobar(SpeedOptions(), step->bytes(), step->width());
+
+      const SolverRun& fastest =
+          zlib.compress_mbps >= bzip2.compress_mbps ? zlib : bzip2;
+      dcr.push_back((isobar.ratio() / fastest.ratio - 1.0) * 100.0);
+      sp.push_back(isobar.compress_mbps() / fastest.compress_mbps);
+      if (isobar.stats.improvable) ++improvable_steps;
+      if (t == 0) {
+        first_codec = isobar.stats.decision.codec;
+        first_lin = isobar.stats.decision.linearization;
+      } else if (isobar.stats.decision.codec != first_codec ||
+                 isobar.stats.decision.linearization != first_lin) {
+        same_choice = false;
+      }
+    }
+
+    const Series dcr_stats = Reduce(dcr);
+    const Series sp_stats = Reduce(sp);
+    std::printf("%-12s dCR %6.2f%% +/- %.2f%%   Sp %6.3f +/- %.3f   "
+                "improvable %d/%d   EUPA stable: %s (%s/%s)\n",
+                name, dcr_stats.mean, dcr_stats.stddev, sp_stats.mean,
+                sp_stats.stddev, improvable_steps, args.steps,
+                YesNo(same_choice),
+                std::string(CodecIdToString(first_codec)).c_str(),
+                std::string(LinearizationToString(first_lin)).c_str());
+  }
+  std::printf(
+      "\nShape check: low relative deviation of dCR and Sp across steps,\n"
+      "every step improvable, one EUPA choice for the whole run.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace isobar::bench
+
+int main(int argc, char** argv) { return isobar::bench::Run(argc, argv); }

@@ -1,0 +1,85 @@
+// Reproduces Fig. 1: per-bit-position probability of the more common bit
+// value for four representative datasets. Hard-to-compress datasets show
+// long stretches of ~0.5 (coin-flip) positions in the mantissa; easy ones
+// are predictable nearly everywhere.
+//
+// Output: a CSV block (bit position vs probability per dataset) suitable
+// for plotting, followed by an ASCII sparkline per dataset. Bit positions
+// follow the paper's convention: 1 = sign bit, then exponent, then
+// mantissa (most significant first).
+#include "bench_common.h"
+
+#include "stats/bit_frequency.h"
+
+namespace isobar::bench {
+namespace {
+
+// Reverses memory-order byte groups so position 1 is the sign bit of a
+// little-endian IEEE value.
+std::vector<double> PaperOrder(const BitFrequencyProfile& profile,
+                               size_t width) {
+  std::vector<double> out;
+  out.reserve(profile.probability.size());
+  for (size_t byte = width; byte-- > 0;) {
+    for (size_t bit = 0; bit < 8; ++bit) {
+      out.push_back(profile.probability[byte * 8 + bit]);
+    }
+  }
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  const char* names[] = {"xgc_igid", "gts_chkp_zeon", "flash_gamc",
+                         "msg_sppm"};
+
+  std::vector<std::vector<double>> profiles;
+  size_t max_bits = 0;
+  for (const char* name : names) {
+    auto spec = FindDatasetSpec(name);
+    if (!spec.ok()) return 1;
+    const Dataset dataset = Generate(**spec, args);
+    auto profile = ComputeBitFrequency(dataset.bytes(), dataset.width());
+    if (!profile.ok()) return 1;
+    profiles.push_back(PaperOrder(*profile, dataset.width()));
+    max_bits = std::max(max_bits, profiles.back().size());
+  }
+
+  std::printf("Fig. 1: bit-position probability profiles "
+              "(%.1f MB per dataset)\n\n", args.mb);
+  std::printf("bit,%s,%s,%s,%s\n", names[0], names[1], names[2], names[3]);
+  for (size_t k = 0; k < max_bits; ++k) {
+    std::printf("%zu", k + 1);
+    for (const auto& profile : profiles) {
+      if (k < profile.size()) {
+        std::printf(",%.4f", profile[k]);
+      } else {
+        std::printf(",");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nSparklines (one char per bit; '#'=certain 1.0 ... '.'=0.5):\n");
+  const char* ramp = ".:-=+*%#";
+  for (size_t d = 0; d < profiles.size(); ++d) {
+    std::printf("%-14s ", names[d]);
+    for (double p : profiles[d]) {
+      int level = static_cast<int>((p - 0.5) / 0.5 * 7.999);
+      if (level < 0) level = 0;
+      if (level > 7) level = 7;
+      std::putchar(ramp[level]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape: xgc_igid / gts_chkp_zeon / flash_gamc end in long\n"
+      "runs of 0.5-probability mantissa bits (hard to compress), while\n"
+      "msg_sppm stays predictable across nearly all 64 positions.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace isobar::bench
+
+int main(int argc, char** argv) { return isobar::bench::Run(argc, argv); }

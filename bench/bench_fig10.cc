@@ -1,0 +1,66 @@
+// Reproduces Fig. 10: compression speed-up (Sp, Eq. 2, vs standard zlib)
+// under the original, Hilbert-linearized, and random element orders —
+// companion to Fig. 9, showing throughput is as order-robust as ratio.
+#include "bench_common.h"
+
+#include "linearize/hilbert.h"
+#include "linearize/permutation.h"
+
+namespace isobar::bench {
+namespace {
+
+constexpr const char* kDatasets[] = {"gts_phi_l",  "gts_chkp_zeon",
+                                     "flash_velx", "flash_gamc",
+                                     "msg_lu",     "num_brain"};
+
+double SpeedUp(ByteSpan data, size_t width) {
+  CompressOptions options = SpeedOptions();
+  options.eupa.forced_codec = CodecId::kZlib;
+  const IsobarRun isobar = RunIsobar(options, data, width);
+  const SolverRun standard = RunSolver(CodecId::kZlib, data);
+  return isobar.compress_mbps() / standard.compress_mbps;
+}
+
+int Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  std::printf("Fig. 10: compression speed-up vs zlib under different data "
+              "linearizations (%.1f MB per dataset)\n\n", args.mb);
+  std::printf("%-15s %10s %10s %10s\n", "Dataset", "original", "hilbert",
+              "random");
+  PrintRule(48);
+
+  for (const char* name : kDatasets) {
+    auto spec = FindDatasetSpec(name);
+    if (!spec.ok()) return 1;
+    const Dataset dataset = Generate(**spec, args);
+
+    const uint64_t n = dataset.element_count();
+    uint32_t side = 1;
+    while (static_cast<uint64_t>(side * 2) * (side * 2) <= n) side *= 2;
+    const uint32_t dims[] = {side, side};
+    Bytes hilbert;
+    ByteSpan trimmed(dataset.data.data(),
+                     static_cast<uint64_t>(side) * side * dataset.width());
+    if (!HilbertReorder(trimmed, dataset.width(), dims, &hilbert).ok()) return 1;
+    Bytes random;
+    if (!ApplyPermutation(dataset.bytes(), dataset.width(),
+                          RandomPermutation(n, 0xF16B), &random).ok()) {
+      return 1;
+    }
+
+    std::printf("%-15s %10.2f %10.2f %10.2f\n", name,
+                SpeedUp(dataset.bytes(), dataset.width()),
+                SpeedUp(hilbert, dataset.width()),
+                SpeedUp(random, dataset.width()));
+  }
+  std::printf(
+      "\nPaper shape: the speed-up over standard zlib is essentially\n"
+      "constant across orderings — partitioning cost and solver input size\n"
+      "do not depend on element order.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace isobar::bench
+
+int main(int argc, char** argv) { return isobar::bench::Run(argc, argv); }

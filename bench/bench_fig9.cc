@@ -1,0 +1,80 @@
+// Reproduces Fig. 9: compression-ratio improvement (dCR%, Eq. 3, vs
+// standard zlib) under three element orderings — the original simulation
+// order, a Hilbert space-filling-curve order, and a fully random
+// permutation. The paper's claim (§III.G): the improvement barely moves.
+#include "bench_common.h"
+
+#include "linearize/hilbert.h"
+#include "linearize/permutation.h"
+
+namespace isobar::bench {
+namespace {
+
+constexpr const char* kDatasets[] = {"gts_phi_l",  "gts_chkp_zeon",
+                                     "flash_velx", "flash_gamc",
+                                     "msg_lu",     "num_brain"};
+
+struct OrderedVariants {
+  Bytes original;
+  Bytes hilbert;
+  Bytes random;
+};
+
+OrderedVariants MakeVariants(const Dataset& dataset) {
+  OrderedVariants v;
+  v.original.assign(dataset.data.begin(), dataset.data.end());
+
+  // Square 2-D grid for the Hilbert walk (truncate to a full square).
+  const uint64_t n = dataset.element_count();
+  uint32_t side = 1;
+  while (static_cast<uint64_t>(side * 2) * (side * 2) <= n) side *= 2;
+  const uint64_t square = static_cast<uint64_t>(side) * side;
+  const uint32_t dims[] = {side, side};
+  ByteSpan trimmed(dataset.data.data(), square * dataset.width());
+  Status status = HilbertReorder(trimmed, dataset.width(), dims, &v.hilbert);
+  if (!status.ok()) std::exit(1);
+
+  status = ApplyPermutation(dataset.bytes(), dataset.width(),
+                            RandomPermutation(n, 0xF16A), &v.random);
+  if (!status.ok()) std::exit(1);
+  return v;
+}
+
+double DeltaCr(ByteSpan data, size_t width) {
+  CompressOptions options = SpeedOptions();
+  options.eupa.forced_codec = CodecId::kZlib;
+  const IsobarRun isobar = RunIsobar(options, data, width);
+  const SolverRun standard = RunSolver(CodecId::kZlib, data);
+  return (isobar.ratio() / standard.ratio - 1.0) * 100.0;
+}
+
+int Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  std::printf("Fig. 9: dCR(%%) vs zlib under different data linearizations "
+              "(%.1f MB per dataset)\n\n", args.mb);
+  std::printf("%-15s %10s %10s %10s\n", "Dataset", "original", "hilbert",
+              "random");
+  PrintRule(48);
+
+  for (const char* name : kDatasets) {
+    auto spec = FindDatasetSpec(name);
+    if (!spec.ok()) return 1;
+    const Dataset dataset = Generate(**spec, args);
+    const OrderedVariants variants = MakeVariants(dataset);
+    std::printf("%-15s %10.2f %10.2f %10.2f\n", name,
+                DeltaCr(variants.original, dataset.width()),
+                DeltaCr(variants.hilbert, dataset.width()),
+                DeltaCr(variants.random, dataset.width()));
+  }
+  std::printf(
+      "\nPaper shape: dCR stays positive and nearly constant across\n"
+      "orderings; even the fully random order retains roughly a 10%%+\n"
+      "improvement, because the analyzer's byte-column statistics are\n"
+      "order-invariant.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace isobar::bench
+
+int main(int argc, char** argv) { return isobar::bench::Run(argc, argv); }

@@ -1,0 +1,79 @@
+// In-situ write-out study: the paper's motivating scenario (§I: "an
+// increasing imbalance between the FLOPS of the machine and the file
+// system bandwidth") quantified. For a sweep of storage-link bandwidths,
+// compare the end-to-end checkpoint throughput of writing raw data,
+// standard zlib/bzip2, and ISOBAR-compress, under both a serial
+// (compress-then-ship) and an overlapped (compress chunk i+1 while chunk
+// i is on the wire) execution model.
+//
+// Expected crossovers: on slow links every compressor beats raw and the
+// best ratio wins; as bandwidth grows, compression throughput becomes the
+// ceiling, ISOBAR overtakes the standard solvers, and on effectively
+// infinite links raw wins.
+#include "bench_common.h"
+
+#include "io/in_situ.h"
+
+namespace isobar::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  auto spec = FindDatasetSpec("gts_chkp_zion");
+  if (!spec.ok()) return 1;
+  const Dataset dataset = Generate(**spec, args);
+
+  CompressOptions options = SpeedOptions();
+
+  std::printf("In-situ checkpoint write-out on a simulated storage link "
+              "(%.1f MB GTS checkpoint)\n", args.mb);
+  std::printf("Effective end-to-end throughput in raw MB/s; higher is "
+              "better.\n\n");
+  std::printf("%-10s | %28s | %28s\n", "", "serial (compress, then ship)",
+              "overlapped (pipelined)");
+  std::printf("%-10s | %6s %6s %6s %6s | %6s %6s %6s %6s\n",
+              "link MB/s", "raw", "zlib", "bzip2", "isobar", "raw", "zlib",
+              "bzip2", "isobar");
+  PrintRule(73);
+
+  const double bandwidths[] = {10, 25, 50, 100, 200, 400, 800, 1600, 1e8};
+  const WriteStrategy strategies[] = {WriteStrategy::kRaw,
+                                      WriteStrategy::kZlib,
+                                      WriteStrategy::kBzip2,
+                                      WriteStrategy::kIsobar};
+  for (double bw : bandwidths) {
+    double serial[4], overlapped[4];
+    for (int s = 0; s < 4; ++s) {
+      auto report = SimulateInSituWrite(strategies[s], options,
+                                        dataset.bytes(), dataset.width(), bw);
+      if (!report.ok()) {
+        std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+        return 1;
+      }
+      serial[s] = report->serial_mbps();
+      overlapped[s] = report->overlapped_mbps();
+    }
+    if (bw >= 1e8) {
+      std::printf("%-10s |", "infinite");
+    } else {
+      std::printf("%-10.0f |", bw);
+    }
+    for (int s = 0; s < 4; ++s) std::printf(" %6.1f", serial[s]);
+    std::printf(" |");
+    for (int s = 0; s < 4; ++s) std::printf(" %6.1f", overlapped[s]);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nShape check: below the crossover bandwidth ISOBAR delivers the\n"
+      "highest end-to-end throughput of all strategies (it ships ~25%%\n"
+      "fewer bytes at a compression speed far above zlib's); overlap\n"
+      "hides compression cost until the link is faster than the\n"
+      "compressor itself; with an infinite link raw wins.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace isobar::bench
+
+int main(int argc, char** argv) { return isobar::bench::Run(argc, argv); }

@@ -1,0 +1,197 @@
+// Component microbenchmarks (google-benchmark): the per-stage throughputs
+// behind the end-to-end numbers of Tables II/V/IX — analyzer, transposes,
+// CRC, solvers, and the FPC/fpzip baselines.
+#include <benchmark/benchmark.h>
+
+#include "compressors/registry.h"
+#include "core/analyzer.h"
+#include "core/isobar.h"
+#include "datagen/registry.h"
+#include "fpc/fpc_codec.h"
+#include "fpzip/fpzip_codec.h"
+#include "pfor/pfor_codec.h"
+#include "linearize/transpose.h"
+#include "util/crc32c.h"
+
+namespace isobar {
+namespace {
+
+Dataset HardDataset(size_t elements) {
+  auto spec = FindDatasetSpec("gts_phi_l");
+  auto dataset = GenerateDataset(**spec, elements);
+  return std::move(*dataset);
+}
+
+void BM_AnalyzerThroughput(benchmark::State& state) {
+  const Dataset dataset = HardDataset(375000);
+  const Analyzer analyzer;
+  for (auto _ : state) {
+    auto result = analyzer.Analyze(dataset.bytes(), 8);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+}
+BENCHMARK(BM_AnalyzerThroughput);
+
+void BM_GatherColumns(benchmark::State& state) {
+  const Dataset dataset = HardDataset(375000);
+  const Linearization lin = static_cast<Linearization>(state.range(0));
+  Bytes packed;
+  for (auto _ : state) {
+    Status status = GatherColumns(dataset.bytes(), 8, 0xC0, lin, &packed);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+}
+BENCHMARK(BM_GatherColumns)->Arg(0)->Arg(1);
+
+void BM_ScatterColumns(benchmark::State& state) {
+  const Dataset dataset = HardDataset(375000);
+  Bytes packed;
+  (void)GatherColumns(dataset.bytes(), 8, 0xC0, Linearization::kColumn,
+                      &packed);
+  Bytes dest(dataset.data.size());
+  for (auto _ : state) {
+    Status status = ScatterColumns(packed, 8, 0xC0, Linearization::kColumn,
+                                   MutableByteSpan(dest));
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dest.size()));
+}
+BENCHMARK(BM_ScatterColumns);
+
+void BM_Crc32c(benchmark::State& state) {
+  const Dataset dataset = HardDataset(375000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(dataset.bytes()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+}
+BENCHMARK(BM_Crc32c);
+
+void BM_SolverCompress(benchmark::State& state) {
+  const Dataset dataset = HardDataset(131072);
+  auto codec = GetCodec(static_cast<CodecId>(state.range(0)));
+  Bytes out;
+  for (auto _ : state) {
+    Status status = (*codec)->Compress(dataset.bytes(), &out);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+  state.SetLabel(std::string(CodecIdToString((*codec)->id())));
+}
+BENCHMARK(BM_SolverCompress)
+    ->Arg(static_cast<int>(CodecId::kZlib))
+    ->Arg(static_cast<int>(CodecId::kBzip2))
+    ->Arg(static_cast<int>(CodecId::kRle))
+    ->Arg(static_cast<int>(CodecId::kLzss))
+    ->Arg(static_cast<int>(CodecId::kHuffman));
+
+void BM_SolverDecompress(benchmark::State& state) {
+  const Dataset dataset = HardDataset(131072);
+  auto codec = GetCodec(static_cast<CodecId>(state.range(0)));
+  Bytes compressed, out;
+  (void)(*codec)->Compress(dataset.bytes(), &compressed);
+  for (auto _ : state) {
+    Status status =
+        (*codec)->Decompress(compressed, dataset.data.size(), &out);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+  state.SetLabel(std::string(CodecIdToString((*codec)->id())));
+}
+BENCHMARK(BM_SolverDecompress)
+    ->Arg(static_cast<int>(CodecId::kZlib))
+    ->Arg(static_cast<int>(CodecId::kBzip2))
+    ->Arg(static_cast<int>(CodecId::kHuffman));
+
+void BM_PforCompress(benchmark::State& state) {
+  const Dataset dataset = HardDataset(375000);
+  const PforCodec codec(static_cast<PforMode>(state.range(0)));
+  Bytes out;
+  for (auto _ : state) {
+    Status status = codec.Compress(dataset.bytes(), &out);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+  state.SetLabel(state.range(0) == 0 ? "for" : "delta");
+}
+BENCHMARK(BM_PforCompress)->Arg(0)->Arg(1);
+
+void BM_IsobarCompress(benchmark::State& state) {
+  const Dataset dataset = HardDataset(375000);
+  CompressOptions options;
+  options.eupa.preference = Preference::kSpeed;
+  const IsobarCompressor compressor(options);
+  for (auto _ : state) {
+    auto out = compressor.Compress(dataset.bytes(), 8);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+}
+BENCHMARK(BM_IsobarCompress);
+
+void BM_IsobarDecompress(benchmark::State& state) {
+  const Dataset dataset = HardDataset(375000);
+  CompressOptions options;
+  options.eupa.preference = Preference::kSpeed;
+  const IsobarCompressor compressor(options);
+  auto compressed = compressor.Compress(dataset.bytes(), 8);
+  for (auto _ : state) {
+    auto out = IsobarCompressor::Decompress(*compressed);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+}
+BENCHMARK(BM_IsobarDecompress);
+
+void BM_FpcCompress(benchmark::State& state) {
+  const Dataset dataset = HardDataset(375000);
+  const FpcCodec codec(static_cast<int>(state.range(0)));
+  Bytes out;
+  for (auto _ : state) {
+    Status status = codec.Compress(dataset.bytes(), &out);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+}
+BENCHMARK(BM_FpcCompress)->Arg(16)->Arg(20);
+
+void BM_FpzipCompress(benchmark::State& state) {
+  const Dataset dataset = HardDataset(375000);
+  const FpzipCodec codec(8);
+  Bytes out;
+  for (auto _ : state) {
+    Status status = codec.Compress(dataset.bytes(), &out);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+}
+BENCHMARK(BM_FpzipCompress);
+
+void BM_HistogramUpdate(benchmark::State& state) {
+  const Dataset dataset = HardDataset(375000);
+  ColumnHistogramSet set(8);
+  for (auto _ : state) {
+    set.Reset();
+    Status status = set.Update(dataset.bytes());
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+}
+BENCHMARK(BM_HistogramUpdate);
+
+}  // namespace
+}  // namespace isobar

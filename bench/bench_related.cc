@@ -1,0 +1,91 @@
+// Reproduces the Related Work comparison (§IV): PFOR / PFOR-DELTA
+// (Zukowski et al., ICDE 2006) against the standard solvers and
+// ISOBAR-compress. The paper's claims to check:
+//   - "PFOR performs approximately 4 times faster than zlib and bzlib2
+//      for most data sets tested";
+//   - "its compression ratios hardly beat those obtained with zlib and
+//      bzlib2 (in some cases, the ratio is even 3 times worse)";
+//   - ISOBAR improves both ratio and throughput over the standard
+//     solvers, so it dominates the standalone tools on improvable data.
+#include "bench_common.h"
+
+#include "pfor/pfor_codec.h"
+#include "util/stopwatch.h"
+
+namespace isobar::bench {
+namespace {
+
+struct PforRun {
+  double ratio = 0.0, compress_mbps = 0.0, decompress_mbps = 0.0;
+};
+
+PforRun RunPfor(PforMode mode, ByteSpan data) {
+  const PforCodec codec(mode);
+  PforRun run;
+  Bytes compressed, restored;
+  Stopwatch timer;
+  Status status = codec.Compress(data, &compressed);
+  if (!status.ok()) std::exit(1);
+  run.compress_mbps = timer.ThroughputMBps(data.size());
+  run.ratio = static_cast<double>(data.size()) /
+              static_cast<double>(compressed.size());
+  timer.Reset();
+  status = codec.Decompress(compressed, data.size(), &restored);
+  if (!status.ok() ||
+      !std::equal(restored.begin(), restored.end(), data.begin())) {
+    std::fprintf(stderr, "pfor round trip failed\n");
+    std::exit(1);
+  }
+  run.decompress_mbps = timer.ThroughputMBps(data.size());
+  return run;
+}
+
+int Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  std::printf("Related work (Sec. IV): PFOR family vs standard solvers vs "
+              "ISOBAR (%.1f MB per dataset)\n", args.mb);
+  std::printf("%-13s | %6s %7s | %6s %7s | %6s %7s | %6s %7s | %6s %7s\n",
+              "", "CR", "TPc", "CR", "TPc", "CR", "TPc", "CR", "TPc", "CR",
+              "TPc");
+  std::printf("%-13s | %14s | %14s | %14s | %14s | %14s\n", "Dataset",
+              "zlib", "bzip2", "PFOR", "PFOR-DELTA", "ISOBAR-Sp");
+  PrintRule(95);
+
+  // 64-bit integer data (PFOR's home turf) plus hard doubles.
+  const char* names[] = {"xgc_igid", "gts_chkp_zion", "msg_lu",
+                         "flash_gamc", "num_plasma"};
+  for (const char* name : names) {
+    auto spec = FindDatasetSpec(name);
+    if (!spec.ok()) return 1;
+    const Dataset dataset = Generate(**spec, args);
+
+    const SolverRun zlib = RunSolver(CodecId::kZlib, dataset.bytes());
+    const SolverRun bzip2 = RunSolver(CodecId::kBzip2, dataset.bytes());
+    const PforRun pfor = RunPfor(PforMode::kFor, dataset.bytes());
+    const PforRun pfor_delta = RunPfor(PforMode::kDelta, dataset.bytes());
+    const IsobarRun isobar =
+        RunIsobar(SpeedOptions(), dataset.bytes(), dataset.width());
+
+    std::printf(
+        "%-13s | %6.3f %7.1f | %6.3f %7.1f | %6.3f %7.1f | %6.3f %7.1f | "
+        "%6.3f %7.1f\n",
+        name, zlib.ratio, zlib.compress_mbps, bzip2.ratio,
+        bzip2.compress_mbps, pfor.ratio, pfor.compress_mbps,
+        pfor_delta.ratio, pfor_delta.compress_mbps,
+        isobar.stats.improvable ? isobar.ratio() : zlib.ratio,
+        isobar.stats.improvable ? isobar.compress_mbps()
+                                : zlib.compress_mbps);
+  }
+  std::printf(
+      "\nPaper shape: PFOR is several times faster than zlib/bzip2 but its\n"
+      "ratio only wins on narrow integers (xgc_igid); on doubles it can be\n"
+      "far worse. ISOBAR improves ratio AND throughput simultaneously on\n"
+      "every improvable dataset (num_plasma is non-improvable and falls\n"
+      "back to the standard solver).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace isobar::bench
+
+int main(int argc, char** argv) { return isobar::bench::Run(argc, argv); }

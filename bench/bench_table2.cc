@@ -1,0 +1,65 @@
+// Reproduces Table II: ISOBAR-compress performance summary on one
+// representative dataset per application (speed preference), reporting
+// compression-ratio improvement and compression/decompression speed-ups
+// over the faster standard solver.
+#include "bench_common.h"
+
+namespace isobar::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  // The paper's Table II rows trace to gts_chkp_zion (Table VI/IX),
+  // xgc_iphase, s3d_vmag, and flash_velx.
+  const struct {
+    const char* app;
+    const char* dataset;
+    double paper_dcr, paper_tpc, paper_spc, paper_tpd, paper_spd;
+  } rows[] = {
+      {"GTS", "gts_chkp_zion", 10.15, 111.7, 8.05, 551.90, 5.01},
+      {"XGC", "xgc_iphase", 14.09, 76.83, 21.17, 388.87, 51.92},
+      {"S3D", "s3d_vmag", 32.56, 104.73, 31.45, 424.79, 63.12},
+      {"FLASH", "flash_velx", 17.52, 455.83, 35.89, 1617.02, 14.19},
+  };
+
+  std::printf("Table II: ISOBAR-compress performance summary "
+              "(speed preference, %.1f MB per dataset)\n", args.mb);
+  std::printf("%-7s | %8s %8s %7s %9s %7s | %8s %8s %7s %9s %7s\n", "",
+              "dCR(%)", "TPc", "SpC", "TPd", "SpD",
+              "dCR(%)", "TPc", "SpC", "TPd", "SpD");
+  std::printf("%-7s | %44s | %44s\n", "Dataset", "measured", "paper");
+  PrintRule(103);
+
+  for (const auto& row : rows) {
+    auto spec = FindDatasetSpec(row.dataset);
+    if (!spec.ok()) return 1;
+    const Dataset dataset = Generate(**spec, args);
+
+    const SolverRun zlib = RunSolver(CodecId::kZlib, dataset.bytes());
+    const SolverRun bzip2 = RunSolver(CodecId::kBzip2, dataset.bytes());
+    const IsobarRun isobar =
+        RunIsobar(SpeedOptions(), dataset.bytes(), dataset.width());
+
+    // Eq. 3 vs the best standard alternative; Eq. 2 vs the faster one.
+    const double best_cr = std::max(zlib.ratio, bzip2.ratio);
+    const double fast_tpc = std::max(zlib.compress_mbps, bzip2.compress_mbps);
+    const double fast_tpd =
+        std::max(zlib.decompress_mbps, bzip2.decompress_mbps);
+    const double dcr = (isobar.ratio() / best_cr - 1.0) * 100.0;
+    std::printf(
+        "%-7s | %8.2f %8.2f %7.2f %9.2f %7.2f | %8.2f %8.2f %7.2f %9.2f %7.2f\n",
+        row.app, dcr, isobar.compress_mbps(),
+        isobar.compress_mbps() / fast_tpc, isobar.decompress_mbps(),
+        isobar.decompress_mbps() / fast_tpd, row.paper_dcr, row.paper_tpc,
+        row.paper_spc, row.paper_tpd, row.paper_spd);
+  }
+  std::printf(
+      "\nShape check: positive dCR on all four applications, multi-fold\n"
+      "compression and decompression speed-ups over the standard solvers.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace isobar::bench
+
+int main(int argc, char** argv) { return isobar::bench::Run(argc, argv); }

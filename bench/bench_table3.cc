@@ -1,0 +1,51 @@
+// Reproduces Table III: statistical information about the 24 test
+// datasets — unique-value percentage (Eq. 4), Shannon entropy (Eq. 5) and
+// randomness (Eq. 6) — for the synthetic profiles, next to the paper's
+// values for the original data.
+#include "bench_common.h"
+
+#include "stats/summary.h"
+
+namespace isobar::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  std::printf("Table III: statistical information about test datasets "
+              "(%.1f MB per dataset)\n", args.mb);
+  std::printf("%-15s %-8s | %9s %8s %7s | %9s %8s %7s\n", "", "",
+              "unique%%", "H", "rand%%", "unique%%", "H", "rand%%");
+  std::printf("%-15s %-8s | %26s | %26s\n", "Dataset", "Type", "measured",
+              "paper");
+  PrintRule(82);
+
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    const Dataset dataset = Generate(spec, args);
+    auto summary = Summarize(dataset.bytes(), dataset.width());
+    if (!summary.ok()) {
+      std::fprintf(stderr, "%s: %s\n", dataset.name.c_str(),
+                   summary.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-15s %-8s | %8.1f %8.2f %7.1f | %8.1f %8.2f %7.1f\n",
+                dataset.name.c_str(),
+                std::string(ElementTypeToString(spec.type)).c_str(),
+                summary->unique_value_percent, summary->shannon_entropy,
+                summary->randomness_percent, spec.paper_stats.unique_percent,
+                spec.paper_stats.shannon_entropy,
+                spec.paper_stats.randomness_percent);
+  }
+  std::printf(
+      "\nNote: Shannon entropy depends on the element count, so measured\n"
+      "values at %.1f MB differ from the paper's full-size datasets by\n"
+      "roughly log2(N_paper/N_here); unique%% and randomness%% are\n"
+      "size-invariant shape targets (xgc_iphase is generated with a lower\n"
+      "duplicate rate than the paper's 92.3%% — see EXPERIMENTS.md).\n",
+      args.mb);
+  return 0;
+}
+
+}  // namespace
+}  // namespace isobar::bench
+
+int main(int argc, char** argv) { return isobar::bench::Run(argc, argv); }

@@ -1,0 +1,51 @@
+// Reproduces Table IV: the ISOBAR-analyzer's predictions per dataset —
+// hard-to-compress or not, the fraction of hard-to-compress bytes, and
+// whether the dataset is improvable by partitioning.
+#include "bench_common.h"
+
+#include "core/analyzer.h"
+
+namespace isobar::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  std::printf("Table IV: ISOBAR-analyzer predictions (tau = 1.42, "
+              "%.1f MB per dataset)\n", args.mb);
+  std::printf("%-15s | %5s %10s %12s | %5s %10s %12s\n", "", "HTC?",
+              "HTC bytes", "Improvable?", "HTC?", "HTC bytes", "Improvable?");
+  std::printf("%-15s | %29s | %29s\n", "Dataset", "measured", "paper");
+  PrintRule(79);
+
+  const Analyzer analyzer;
+  int matches = 0;
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    const Dataset dataset = Generate(spec, args);
+    auto analysis = analyzer.Analyze(dataset.bytes(), dataset.width());
+    if (!analysis.ok()) {
+      std::fprintf(stderr, "%s: %s\n", dataset.name.c_str(),
+                   analysis.status().ToString().c_str());
+      return 1;
+    }
+    // A dataset is "hard to compress" when the analyzer finds noise
+    // byte-columns in it (HTC bytes > 0).
+    const bool htc = analysis->htc_byte_fraction() > 0.0 &&
+                     analysis->improvable();
+    const bool improvable = analysis->improvable();
+    if (improvable == spec.paper_verdict.improvable) ++matches;
+    std::printf("%-15s | %5s %9.1f%% %12s | %5s %9.1f%% %12s\n",
+                dataset.name.c_str(), YesNo(htc),
+                improvable ? analysis->htc_byte_fraction() * 100.0 : 0.0,
+                YesNo(improvable), YesNo(spec.paper_verdict.hard_to_compress),
+                spec.paper_verdict.htc_bytes_percent,
+                YesNo(spec.paper_verdict.improvable));
+  }
+  std::printf("\nVerdict agreement with the paper: %d / 24 datasets\n",
+              matches);
+  return 0;
+}
+
+}  // namespace
+}  // namespace isobar::bench
+
+int main(int argc, char** argv) { return isobar::bench::Run(argc, argv); }

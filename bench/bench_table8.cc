@@ -1,0 +1,72 @@
+// Reproduces Table VIII: ISOBAR-compress on the two single-precision
+// (4-byte float) S3D datasets under both preferences, demonstrating the
+// method is not tied to double-precision elements.
+#include "bench_common.h"
+
+#include "linearize/transpose.h"
+
+namespace isobar::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  std::printf("Table VIII: performance on single-precision datasets "
+              "(%.1f MB per dataset)\n", args.mb);
+  std::printf("%-10s %-10s | %-6s %8s %8s | %-6s %8s %8s\n", "", "", "LS",
+              "dCR(%)", "Sp", "LS", "dCR(%)", "Sp");
+  std::printf("%-10s %-10s | %24s | %24s\n", "Preference", "Dataset",
+              "measured", "paper");
+  PrintRule(74);
+
+  const struct {
+    Preference preference;
+    const char* name;
+    const char* paper_ls;
+    double paper_dcr, paper_sp;
+  } rows[] = {
+      {Preference::kRatio, "s3d_temp", "Column", 42.08, 2.758},
+      {Preference::kRatio, "s3d_vmag", "Row", 46.67, 2.552},
+      {Preference::kSpeed, "s3d_temp", "Column", 37.05, 7.329},
+      {Preference::kSpeed, "s3d_vmag", "Row", 34.79, 9.418},
+  };
+
+  for (const auto& row : rows) {
+    auto spec = FindDatasetSpec(row.name);
+    if (!spec.ok()) return 1;
+    const Dataset dataset = Generate(**spec, args);
+    const SolverRun zlib = RunSolver(CodecId::kZlib, dataset.bytes());
+    const SolverRun bzip2 = RunSolver(CodecId::kBzip2, dataset.bytes());
+
+    CompressOptions options = row.preference == Preference::kRatio
+                                  ? RatioOptions()
+                                  : SpeedOptions();
+    const IsobarRun isobar =
+        RunIsobar(options, dataset.bytes(), dataset.width());
+
+    // CR preference compares against the better-ratio standard, speed
+    // preference against the faster one (§III.E).
+    const SolverRun& reference =
+        row.preference == Preference::kRatio
+            ? (zlib.ratio >= bzip2.ratio ? zlib : bzip2)
+            : (zlib.compress_mbps >= bzip2.compress_mbps ? zlib : bzip2);
+    const double dcr = (isobar.ratio() / reference.ratio - 1.0) * 100.0;
+    const double sp = isobar.compress_mbps() / reference.compress_mbps;
+    std::printf("%-10s %-10s | %-6s %8.2f %8.3f | %-6s %8.2f %8.3f\n",
+                row.preference == Preference::kRatio ? "ISOBAR-CR"
+                                                     : "ISOBAR-Sp",
+                row.name,
+                std::string(LinearizationToString(
+                                isobar.stats.decision.linearization))
+                    .c_str(),
+                dcr, sp, row.paper_ls, row.paper_dcr, row.paper_sp);
+  }
+  std::printf(
+      "\nPaper shape: both float datasets are identified as improvable and\n"
+      "gain substantially in both ratio and throughput.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace isobar::bench
+
+int main(int argc, char** argv) { return isobar::bench::Run(argc, argv); }

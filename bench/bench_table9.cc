@@ -1,0 +1,70 @@
+// Reproduces Table IX: decompression throughput of standard zlib and
+// bzip2 versus ISOBAR-compress (speed preference), with the speed-up over
+// the faster standard decompressor.
+#include "bench_common.h"
+
+namespace isobar::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  std::printf("Table IX: decompression throughput comparison "
+              "(%.1f MB per dataset, MB/s)\n", args.mb);
+  std::printf("%-15s | %9s %9s %9s %6s | %9s %9s %9s %6s\n", "", "zlib",
+              "bzip2", "ISOBAR", "Sp", "zlib", "bzip2", "ISOBAR", "Sp");
+  std::printf("%-15s | %36s | %36s\n", "Dataset", "measured", "paper");
+  PrintRule(95);
+
+  const struct {
+    const char* name;
+    double paper_zlib, paper_bzip2, paper_isobar, paper_sp;
+  } rows[] = {
+      {"gts_chkp_zeon", 115.22, 10.48, 517.89, 4.5},
+      {"gts_chkp_zion", 110.38, 10.57, 551.90, 5.0},
+      {"gts_phi_l", 114.41, 10.00, 366.25, 3.2},
+      {"gts_phi_nl", 117.97, 9.90, 358.21, 3.0},
+      {"xgc_igid", 177.69, 21.08, 341.50, 1.9},
+      {"xgc_iphase", 138.99, 7.49, 388.87, 2.8},
+      {"s3d_temp", 113.80, 6.26, 250.46, 2.2},
+      {"s3d_vmag", 103.69, 6.73, 424.79, 4.1},
+      {"flash_velx", 113.95, 10.51, 1617.02, 14.2},
+      {"flash_vely", 112.03, 10.53, 1538.98, 13.7},
+      {"flash_gamc", 113.41, 12.02, 940.91, 8.3},
+      {"msg_lu", 112.51, 10.51, 866.21, 7.7},
+      {"msg_sp", 106.77, 10.68, 527.18, 4.9},
+      {"msg_sweep3d", 114.43, 6.89, 446.49, 3.9},
+      {"num_brain", 114.47, 6.55, 908.65, 7.9},
+      {"num_comet", 123.08, 7.69, 145.73, 1.2},
+      {"num_control", 122.13, 7.28, 373.63, 3.1},
+      {"obs_info", 118.61, 7.27, 910.12, 7.7},
+      {"obs_temp", 114.10, 6.59, 511.98, 4.5},
+  };
+
+  for (const auto& row : rows) {
+    auto spec = FindDatasetSpec(row.name);
+    if (!spec.ok()) return 1;
+    const Dataset dataset = Generate(**spec, args);
+    const SolverRun zlib = RunSolver(CodecId::kZlib, dataset.bytes());
+    const SolverRun bzip2 = RunSolver(CodecId::kBzip2, dataset.bytes());
+    const IsobarRun isobar =
+        RunIsobar(SpeedOptions(), dataset.bytes(), dataset.width());
+
+    const double fast_standard =
+        std::max(zlib.decompress_mbps, bzip2.decompress_mbps);
+    std::printf("%-15s | %9.2f %9.2f %9.2f %6.1f | %9.2f %9.2f %9.2f %6.1f\n",
+                row.name, zlib.decompress_mbps, bzip2.decompress_mbps,
+                isobar.decompress_mbps(),
+                isobar.decompress_mbps() / fast_standard, row.paper_zlib,
+                row.paper_bzip2, row.paper_isobar, row.paper_sp);
+  }
+  std::printf(
+      "\nPaper shape: ISOBAR decompression is a multiple of the faster\n"
+      "standard decompressor on every improvable dataset, because only the\n"
+      "compressible fraction of the bytes passes through the solver.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace isobar::bench
+
+int main(int argc, char** argv) { return isobar::bench::Run(argc, argv); }

@@ -1,0 +1,94 @@
+// In-situ capacity planner: given a dataset profile (or raw file), the
+// per-node storage bandwidth, and a checkpoint cadence, report which
+// write strategy (raw / zlib / bzip2 / ISOBAR) meets the deadline and
+// what it costs in storage — the planning question the paper's
+// introduction poses for exascale checkpoint/restart.
+//
+//   ./insitu_planner [--profile=gts_chkp_zion] [--mb=64]
+//                    [--bandwidth=100] [--interval=30]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "datagen/registry.h"
+#include "io/in_situ.h"
+
+int main(int argc, char** argv) {
+  using namespace isobar;
+
+  std::string profile = "gts_chkp_zion";
+  double mb = 64.0;
+  double bandwidth = 100.0;  // MB/s to the parallel file system
+  double interval = 30.0;    // seconds between checkpoints
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--profile=", 10) == 0) {
+      profile = arg + 10;
+    } else if (std::strncmp(arg, "--mb=", 5) == 0) {
+      mb = std::atof(arg + 5);
+    } else if (std::strncmp(arg, "--bandwidth=", 12) == 0) {
+      bandwidth = std::atof(arg + 12);
+    } else if (std::strncmp(arg, "--interval=", 11) == 0) {
+      interval = std::atof(arg + 11);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--profile=<name>] [--mb=<size>] "
+                   "[--bandwidth=<MB/s>] [--interval=<s>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (mb <= 0 || bandwidth <= 0 || interval <= 0) {
+    std::fprintf(stderr, "sizes, bandwidth and interval must be positive\n");
+    return 2;
+  }
+
+  auto spec = FindDatasetSpec(profile);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  auto dataset = GenerateDatasetMB(**spec, mb);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("checkpoint: %s, %.1f MB every %.0f s; link %.0f MB/s\n\n",
+              profile.c_str(), mb, interval, bandwidth);
+  std::printf("%-8s %10s %10s %12s %12s  %s\n", "strategy", "stored MB",
+              "ratio", "serial s", "pipelined s", "verdict");
+
+  CompressOptions options;  // paper defaults, speed preference
+  const WriteStrategy strategies[] = {WriteStrategy::kRaw,
+                                      WriteStrategy::kZlib,
+                                      WriteStrategy::kBzip2,
+                                      WriteStrategy::kIsobar};
+  double best_time = 1e300;
+  const char* best = "none";
+  for (WriteStrategy strategy : strategies) {
+    auto report = SimulateInSituWrite(strategy, options, dataset->bytes(),
+                                      dataset->width(), bandwidth);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    const double ratio = static_cast<double>(report->raw_bytes) /
+                         static_cast<double>(report->stored_bytes);
+    const bool fits = report->overlapped_seconds <= interval;
+    std::printf("%-8s %10.2f %10.3f %12.3f %12.3f  %s\n",
+                std::string(WriteStrategyToString(strategy)).c_str(),
+                report->stored_bytes / 1e6, ratio, report->serial_seconds(),
+                report->overlapped_seconds,
+                fits ? "meets deadline" : "MISSES deadline");
+    if (report->overlapped_seconds < best_time) {
+      best_time = report->overlapped_seconds;
+      best = WriteStrategyToString(strategy).data();
+    }
+  }
+  std::printf("\nfastest end-to-end strategy at this bandwidth: %s "
+              "(%.3f s per checkpoint)\n", best, best_time);
+  return 0;
+}

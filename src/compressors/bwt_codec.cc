@@ -1,0 +1,247 @@
+#include "compressors/bwt_codec.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <vector>
+
+#include "compressors/huffman_codec.h"
+
+namespace isobar {
+namespace {
+
+constexpr size_t kBlockSize = 256 * 1024;
+constexpr size_t kMaxZeroRun = 256;
+
+// --- Burrows–Wheeler transform of one block (cyclic rotations), via
+// prefix doubling on rotation ranks: O(n log^2 n), no sentinel needed.
+// Returns the index of the original rotation ("primary index").
+uint32_t BwtForward(ByteSpan block, Bytes* last_column) {
+  const size_t n = block.size();
+  std::vector<uint32_t> sa(n), rank(n), next_rank(n);
+  std::iota(sa.begin(), sa.end(), 0);
+  for (size_t i = 0; i < n; ++i) rank[i] = block[i];
+
+  for (size_t k = 1; k < n; k *= 2) {
+    auto key = [&](uint32_t i) {
+      return std::pair<uint32_t, uint32_t>(rank[i],
+                                           rank[(i + k) % n]);
+    };
+    std::sort(sa.begin(), sa.end(),
+              [&](uint32_t a, uint32_t b) { return key(a) < key(b); });
+    next_rank[sa[0]] = 0;
+    bool all_distinct = true;
+    for (size_t j = 1; j < n; ++j) {
+      const bool equal = key(sa[j]) == key(sa[j - 1]);
+      next_rank[sa[j]] = next_rank[sa[j - 1]] + (equal ? 0 : 1);
+      all_distinct &= !equal;
+    }
+    rank.swap(next_rank);
+    if (all_distinct) break;
+  }
+  // Ties can remain for periodic blocks (e.g. all-equal bytes): identical
+  // rotations are interchangeable, so any stable order decodes correctly.
+
+  uint32_t primary = 0;
+  last_column->resize(n);
+  for (size_t j = 0; j < n; ++j) {
+    if (sa[j] == 0) primary = static_cast<uint32_t>(j);
+    (*last_column)[j] = block[(sa[j] + n - 1) % n];
+  }
+  return primary;
+}
+
+// Inverse BWT via LF-mapping, reconstructing the block back to front.
+Status BwtInverse(ByteSpan last_column, uint32_t primary,
+                  MutableByteSpan block) {
+  const size_t n = last_column.size();
+  if (primary >= n) return Status::Corruption("bwt: primary index out of range");
+
+  std::array<uint32_t, 256> count{};
+  for (uint8_t c : last_column) ++count[c];
+  std::array<uint32_t, 256> base{};
+  uint32_t total = 0;
+  for (int c = 0; c < 256; ++c) {
+    base[c] = total;
+    total += count[c];
+  }
+  std::vector<uint32_t> lf(n);
+  std::array<uint32_t, 256> seen{};
+  for (size_t j = 0; j < n; ++j) {
+    lf[j] = base[last_column[j]] + seen[last_column[j]]++;
+  }
+  uint32_t row = primary;
+  for (size_t i = n; i-- > 0;) {
+    block[i] = last_column[row];
+    row = lf[row];
+  }
+  return Status::OK();
+}
+
+// --- Move-to-front transform (in place over a buffer).
+void MtfForward(MutableByteSpan data) {
+  std::array<uint8_t, 256> order;
+  std::iota(order.begin(), order.end(), 0);
+  for (auto& byte : data) {
+    const uint8_t value = byte;
+    uint8_t position = 0;
+    while (order[position] != value) ++position;
+    byte = position;
+    // Move to front.
+    std::copy_backward(order.begin(), order.begin() + position,
+                       order.begin() + position + 1);
+    order[0] = value;
+  }
+}
+
+void MtfInverse(MutableByteSpan data) {
+  std::array<uint8_t, 256> order;
+  std::iota(order.begin(), order.end(), 0);
+  for (auto& byte : data) {
+    const uint8_t position = byte;
+    const uint8_t value = order[position];
+    byte = value;
+    std::copy_backward(order.begin(), order.begin() + position,
+                       order.begin() + position + 1);
+    order[0] = value;
+  }
+}
+
+// --- Zero-run-length coding: MTF output is dominated by zeros. A zero
+// byte is always followed by one byte holding (run length - 1), so runs
+// of 1..256 zeros cost two bytes; nonzero bytes pass through.
+void ZeroRleEncode(ByteSpan data, Bytes* out) {
+  size_t i = 0;
+  while (i < data.size()) {
+    if (data[i] != 0) {
+      out->push_back(data[i++]);
+      continue;
+    }
+    size_t run = 0;
+    while (i + run < data.size() && data[i + run] == 0 &&
+           run < kMaxZeroRun) {
+      ++run;
+    }
+    out->push_back(0);
+    out->push_back(static_cast<uint8_t>(run - 1));
+    i += run;
+  }
+}
+
+Status ZeroRleDecode(ByteSpan data, size_t expected_size, Bytes* out) {
+  size_t i = 0;
+  while (i < data.size()) {
+    if (data[i] != 0) {
+      out->push_back(data[i++]);
+    } else {
+      if (i + 1 >= data.size()) {
+        return Status::Corruption("bwt: truncated zero run");
+      }
+      out->insert(out->end(), static_cast<size_t>(data[i + 1]) + 1, 0);
+      i += 2;
+    }
+    if (out->size() > expected_size) {
+      return Status::Corruption("bwt: run coding decodes past block");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BwtCodec::Compress(ByteSpan input, Bytes* out) const {
+  out->clear();
+  const size_t block_count = (input.size() + kBlockSize - 1) / kBlockSize;
+  AppendLE32(*out, static_cast<uint32_t>(kBlockSize));
+  AppendLE32(*out, static_cast<uint32_t>(block_count));
+
+  Bytes transformed;
+  transformed.reserve(input.size() + input.size() / 16 + 16);
+  std::vector<std::pair<uint32_t, uint32_t>> block_meta;  // primary, rle size
+  Bytes last_column;
+  for (size_t start = 0; start < input.size(); start += kBlockSize) {
+    const size_t len = std::min(kBlockSize, input.size() - start);
+    const uint32_t primary =
+        BwtForward(input.subspan(start, len), &last_column);
+    MtfForward(MutableByteSpan(last_column));
+    const size_t before = transformed.size();
+    ZeroRleEncode(last_column, &transformed);
+    block_meta.emplace_back(primary,
+                            static_cast<uint32_t>(transformed.size() - before));
+  }
+  for (const auto& [primary, rle_size] : block_meta) {
+    AppendLE32(*out, primary);
+    AppendLE32(*out, rle_size);
+  }
+
+  Bytes entropy_coded;
+  ISOBAR_RETURN_NOT_OK(HuffmanCodec().Compress(transformed, &entropy_coded));
+  out->insert(out->end(), entropy_coded.begin(), entropy_coded.end());
+  return Status::OK();
+}
+
+Status BwtCodec::Decompress(ByteSpan input, size_t original_size,
+                            Bytes* out) const {
+  out->clear();
+  if (input.size() < 8) return Status::Corruption("bwt: truncated header");
+  const uint32_t block_size = LoadLE32(input.data());
+  const uint32_t block_count = LoadLE32(input.data() + 4);
+  if (block_size == 0) return Status::Corruption("bwt: zero block size");
+  const size_t expected_blocks =
+      (original_size + block_size - 1) / block_size;
+  if (block_count != expected_blocks) {
+    return Status::Corruption("bwt: block count does not match output size");
+  }
+  size_t pos = 8;
+  if (input.size() - pos < static_cast<size_t>(block_count) * 8) {
+    return Status::Corruption("bwt: truncated block table");
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> block_meta(block_count);
+  uint64_t transformed_size = 0;
+  for (auto& [primary, rle_size] : block_meta) {
+    primary = LoadLE32(input.data() + pos);
+    rle_size = LoadLE32(input.data() + pos + 4);
+    pos += 8;
+    transformed_size += rle_size;
+  }
+  // Worst legitimate case: every zero isolated, costing two bytes each.
+  if (transformed_size > 2 * original_size + 2 * block_count) {
+    return Status::Corruption("bwt: implausible transformed size");
+  }
+
+  Bytes transformed;
+  ISOBAR_RETURN_NOT_OK(HuffmanCodec().Decompress(
+      input.subspan(pos), transformed_size, &transformed));
+
+  out->reserve(original_size);
+  Bytes block;
+  size_t offset = 0;
+  size_t remaining = original_size;
+  for (const auto& [primary, rle_size] : block_meta) {
+    if (offset + rle_size > transformed.size()) {
+      return Status::Corruption("bwt: block table exceeds payload");
+    }
+    const size_t block_len =
+        std::min(static_cast<size_t>(block_size), remaining);
+    block.clear();
+    ISOBAR_RETURN_NOT_OK(ZeroRleDecode(
+        ByteSpan(transformed).subspan(offset, rle_size), block_len, &block));
+    if (block.size() != block_len) {
+      return Status::Corruption("bwt: block decodes to wrong size");
+    }
+    MtfInverse(MutableByteSpan(block));
+    const size_t out_base = out->size();
+    out->resize(out_base + block_len);
+    ISOBAR_RETURN_NOT_OK(
+        BwtInverse(block, primary,
+                   MutableByteSpan(out->data() + out_base, block_len)));
+    offset += rle_size;
+    remaining -= block_len;
+  }
+  if (remaining != 0 || offset != transformed.size()) {
+    return Status::Corruption("bwt: stream does not cover output");
+  }
+  return Status::OK();
+}
+
+}  // namespace isobar

@@ -1,0 +1,50 @@
+#include "compressors/bzip2_codec.h"
+
+#include <bzlib.h>
+
+#include <algorithm>
+
+namespace isobar {
+
+Bzip2Codec::Bzip2Codec(int block_size_100k)
+    : block_size_100k_(std::clamp(block_size_100k, 1, 9)) {}
+
+Status Bzip2Codec::Compress(ByteSpan input, Bytes* out) const {
+  // libbzip2's documented worst case: input + 1% + 600 bytes.
+  unsigned dest_len =
+      static_cast<unsigned>(input.size() + input.size() / 100 + 600);
+  out->resize(dest_len);
+  int rc = BZ2_bzBuffToBuffCompress(
+      reinterpret_cast<char*>(out->data()), &dest_len,
+      const_cast<char*>(reinterpret_cast<const char*>(input.data())),
+      static_cast<unsigned>(input.size()), block_size_100k_,
+      /*verbosity=*/0, /*workFactor=*/0);
+  if (rc != BZ_OK) {
+    return Status::IOError("bzip2 compress failed with code " +
+                           std::to_string(rc));
+  }
+  out->resize(dest_len);
+  return Status::OK();
+}
+
+Status Bzip2Codec::Decompress(ByteSpan input, size_t original_size,
+                              Bytes* out) const {
+  out->resize(original_size);
+  unsigned dest_len = static_cast<unsigned>(original_size);
+  int rc = BZ2_bzBuffToBuffDecompress(
+      reinterpret_cast<char*>(out->data()), &dest_len,
+      const_cast<char*>(reinterpret_cast<const char*>(input.data())),
+      static_cast<unsigned>(input.size()), /*small=*/0, /*verbosity=*/0);
+  if (rc != BZ_OK) {
+    return Status::Corruption("bzip2 decompress failed with code " +
+                              std::to_string(rc));
+  }
+  if (dest_len != original_size) {
+    return Status::Corruption("bzip2 stream decoded to " +
+                              std::to_string(dest_len) + " bytes, expected " +
+                              std::to_string(original_size));
+  }
+  return Status::OK();
+}
+
+}  // namespace isobar

@@ -1,0 +1,39 @@
+#include "compressors/codec.h"
+
+namespace isobar {
+
+std::string_view CodecIdToString(CodecId id) {
+  switch (id) {
+    case CodecId::kStored:
+      return "stored";
+    case CodecId::kZlib:
+      return "zlib";
+    case CodecId::kBzip2:
+      return "bzip2";
+    case CodecId::kRle:
+      return "rle";
+    case CodecId::kLzss:
+      return "lzss";
+    case CodecId::kHuffman:
+      return "huffman";
+    case CodecId::kBwt:
+      return "bwt";
+  }
+  return "unknown";
+}
+
+Status StoredCodec::Compress(ByteSpan input, Bytes* out) const {
+  out->assign(input.begin(), input.end());
+  return Status::OK();
+}
+
+Status StoredCodec::Decompress(ByteSpan input, size_t original_size,
+                               Bytes* out) const {
+  if (input.size() != original_size) {
+    return Status::Corruption("stored codec: size mismatch");
+  }
+  out->assign(input.begin(), input.end());
+  return Status::OK();
+}
+
+}  // namespace isobar

@@ -1,0 +1,66 @@
+#ifndef ISOBAR_COMPRESSORS_CODEC_H_
+#define ISOBAR_COMPRESSORS_CODEC_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Stable on-disk identifier of a general-purpose lossless codec ("solver"
+/// in the paper's preconditioner/solver terminology). Values are persisted
+/// in the ISOBAR container format and must never be renumbered.
+enum class CodecId : uint8_t {
+  kStored = 0,  ///< Identity codec: bytes copied verbatim.
+  kZlib = 1,    ///< DEFLATE via system zlib (paper's primary solver).
+  kBzip2 = 2,   ///< Burrows-Wheeler via system libbzip2 (paper's "bzlib2").
+  kRle = 3,     ///< Homegrown byte run-length codec (ablation/testing).
+  kLzss = 4,    ///< Homegrown LZSS (4 KiB window) codec (ablation/testing).
+  kHuffman = 5, ///< Homegrown order-0 canonical Huffman codec.
+  kBwt = 6,     ///< Homegrown block-sorting (BWT+MTF+RLE+Huffman) codec.
+};
+
+/// Returns the canonical name of a codec id ("zlib", "bzip2", ...).
+std::string_view CodecIdToString(CodecId id);
+
+/// Abstract general-purpose lossless byte compressor.
+///
+/// ISOBAR is a *preconditioner*: it never entropy-codes bytes itself but
+/// hands the compressible partition of the input to one of these solvers.
+/// Implementations must be stateless and thread-compatible (const methods
+/// may be called concurrently from different threads on different buffers).
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual CodecId id() const = 0;
+
+  /// Canonical lowercase name; matches CodecIdToString(id()).
+  std::string_view name() const { return CodecIdToString(id()); }
+
+  /// Compresses `input`, replacing the contents of `*out`.
+  virtual Status Compress(ByteSpan input, Bytes* out) const = 0;
+
+  /// Decompresses `input` into `*out`. `original_size` is the exact size of
+  /// the data before compression (the ISOBAR container records it); the call
+  /// fails with Corruption if the stream does not produce exactly that many
+  /// bytes.
+  virtual Status Decompress(ByteSpan input, size_t original_size,
+                            Bytes* out) const = 0;
+};
+
+/// Identity codec used when a chunk turns out to be incompressible end to
+/// end; also a convenient baseline in ablations.
+class StoredCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kStored; }
+  Status Compress(ByteSpan input, Bytes* out) const override;
+  Status Decompress(ByteSpan input, size_t original_size,
+                    Bytes* out) const override;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_COMPRESSORS_CODEC_H_

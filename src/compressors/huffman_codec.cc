@@ -1,0 +1,249 @@
+#include "compressors/huffman_codec.h"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+#include <vector>
+
+namespace isobar {
+namespace {
+
+constexpr uint8_t kFlagEmpty = 0x01;
+constexpr uint8_t kFlagSingleSymbol = 0x02;
+constexpr int kMaxCodeLength = 63;
+
+// Computes Huffman code lengths for the 256 byte symbols from their
+// frequencies (0 for absent symbols). At least two symbols must be
+// present.
+std::array<uint8_t, 256> BuildCodeLengths(
+    const std::array<uint64_t, 256>& freq) {
+  struct Node {
+    uint64_t weight;
+    int index;  // < 256: leaf symbol; >= 256: internal node
+  };
+  struct Heavier {
+    bool operator()(const Node& a, const Node& b) const {
+      // Tie-break on index for full determinism of the tree shape.
+      return a.weight != b.weight ? a.weight > b.weight : a.index > b.index;
+    }
+  };
+
+  std::vector<int> parent(512, -1);
+  std::priority_queue<Node, std::vector<Node>, Heavier> heap;
+  for (int s = 0; s < 256; ++s) {
+    if (freq[s] > 0) heap.push({freq[s], s});
+  }
+  int next_internal = 256;
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    parent[a.index] = next_internal;
+    parent[b.index] = next_internal;
+    heap.push({a.weight + b.weight, next_internal});
+    ++next_internal;
+  }
+
+  std::array<uint8_t, 256> lengths{};
+  for (int s = 0; s < 256; ++s) {
+    if (freq[s] == 0) continue;
+    int depth = 0;
+    for (int n = s; parent[n] != -1; n = parent[n]) ++depth;
+    lengths[s] = static_cast<uint8_t>(std::min(depth, kMaxCodeLength));
+  }
+  return lengths;
+}
+
+// Canonical codebook derived from code lengths alone.
+struct Codebook {
+  // Per symbol: code value (right-aligned) and length; length 0 = absent.
+  std::array<uint64_t, 256> code{};
+  std::array<uint8_t, 256> length{};
+  // Decoder side: per length, the first canonical code value, the number
+  // of codes, and the offset into `ordered` of its first symbol.
+  std::array<uint64_t, kMaxCodeLength + 1> first_code{};
+  std::array<uint32_t, kMaxCodeLength + 1> count{};
+  std::array<uint32_t, kMaxCodeLength + 1> offset{};
+  std::array<uint8_t, 256> ordered{};  // symbols sorted by (length, symbol)
+};
+
+Status BuildCodebook(const std::array<uint8_t, 256>& lengths, Codebook* book) {
+  book->length = lengths;
+  uint64_t kraft = 0;  // in units of 2^-kMaxCodeLength
+  for (int s = 0; s < 256; ++s) {
+    if (lengths[s] > kMaxCodeLength) {
+      return Status::Corruption("huffman: code length out of range");
+    }
+    if (lengths[s] > 0) {
+      ++book->count[lengths[s]];
+      kraft += 1ull << (kMaxCodeLength - lengths[s]);
+    }
+  }
+  // A Huffman code is complete: the Kraft sum must be exactly 1. Anything
+  // else would let crafted streams walk the decoder out of bounds.
+  if (kraft != 1ull << kMaxCodeLength) {
+    return Status::Corruption("huffman: invalid code length table");
+  }
+
+  uint64_t code = 0;
+  uint32_t symbols_seen = 0;
+  for (int len = 1; len <= kMaxCodeLength; ++len) {
+    code <<= 1;
+    book->first_code[len] = code;
+    book->offset[len] = symbols_seen;
+    code += book->count[len];
+    symbols_seen += book->count[len];
+  }
+  uint32_t next_of_length[kMaxCodeLength + 1];
+  for (int len = 0; len <= kMaxCodeLength; ++len) {
+    next_of_length[len] = book->offset[len];
+  }
+  for (int s = 0; s < 256; ++s) {
+    const int len = lengths[s];
+    if (len == 0) continue;
+    const uint32_t pos = next_of_length[len]++;
+    book->ordered[pos] = static_cast<uint8_t>(s);
+    book->code[s] = book->first_code[len] + (pos - book->offset[len]);
+  }
+  return Status::OK();
+}
+
+// MSB-first bit writer over a Bytes buffer.
+class BitWriter {
+ public:
+  explicit BitWriter(Bytes* out) : out_(out) {}
+
+  void Write(uint64_t code, int bits) {
+    for (int b = bits - 1; b >= 0; --b) {
+      acc_ = static_cast<uint8_t>((acc_ << 1) | ((code >> b) & 1u));
+      if (++filled_ == 8) {
+        out_->push_back(acc_);
+        acc_ = 0;
+        filled_ = 0;
+      }
+    }
+  }
+
+  void Flush() {
+    if (filled_ > 0) {
+      out_->push_back(static_cast<uint8_t>(acc_ << (8 - filled_)));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  Bytes* out_;
+  uint8_t acc_ = 0;
+  int filled_ = 0;
+};
+
+}  // namespace
+
+Status HuffmanCodec::Compress(ByteSpan input, Bytes* out) const {
+  out->clear();
+  if (input.empty()) {
+    out->push_back(kFlagEmpty);
+    return Status::OK();
+  }
+
+  std::array<uint64_t, 256> freq{};
+  for (uint8_t byte : input) ++freq[byte];
+  int distinct = 0;
+  int only = 0;
+  for (int s = 0; s < 256; ++s) {
+    if (freq[s] > 0) {
+      ++distinct;
+      only = s;
+    }
+  }
+  if (distinct == 1) {
+    out->push_back(kFlagSingleSymbol);
+    out->push_back(static_cast<uint8_t>(only));
+    return Status::OK();
+  }
+
+  const std::array<uint8_t, 256> lengths = BuildCodeLengths(freq);
+  Codebook book;
+  ISOBAR_RETURN_NOT_OK(BuildCodebook(lengths, &book));
+
+  out->reserve(input.size() / 2 + 260);
+  out->push_back(0);  // flags
+  out->insert(out->end(), lengths.begin(), lengths.end());
+
+  BitWriter writer(out);
+  for (uint8_t byte : input) {
+    writer.Write(book.code[byte], book.length[byte]);
+  }
+  writer.Flush();
+  return Status::OK();
+}
+
+Status HuffmanCodec::Decompress(ByteSpan input, size_t original_size,
+                                Bytes* out) const {
+  out->clear();
+  if (input.empty()) return Status::Corruption("huffman: empty stream");
+  const uint8_t flags = input[0];
+
+  if (flags & kFlagEmpty) {
+    if (original_size != 0 || input.size() != 1) {
+      return Status::Corruption("huffman: malformed empty stream");
+    }
+    return Status::OK();
+  }
+  if (flags & kFlagSingleSymbol) {
+    if (input.size() != 2) {
+      return Status::Corruption("huffman: malformed single-symbol stream");
+    }
+    out->assign(original_size, input[1]);
+    return Status::OK();
+  }
+  if (flags != 0) return Status::Corruption("huffman: unknown flags");
+  if (input.size() < 1 + 256) {
+    return Status::Corruption("huffman: truncated length table");
+  }
+
+  std::array<uint8_t, 256> lengths;
+  std::copy(input.begin() + 1, input.begin() + 257, lengths.begin());
+  Codebook book;
+  ISOBAR_RETURN_NOT_OK(BuildCodebook(lengths, &book));
+
+  out->reserve(original_size);
+  size_t byte_pos = 257;
+  int bit_pos = 7;
+  while (out->size() < original_size) {
+    uint64_t code = 0;
+    int len = 0;
+    // Canonical first-code decoding: extend the code one bit at a time
+    // until it falls inside some length's code range.
+    for (;;) {
+      if (byte_pos >= input.size()) {
+        return Status::Corruption("huffman: truncated bitstream");
+      }
+      code = (code << 1) | ((input[byte_pos] >> bit_pos) & 1u);
+      if (--bit_pos < 0) {
+        bit_pos = 7;
+        ++byte_pos;
+      }
+      if (++len > kMaxCodeLength) {
+        return Status::Corruption("huffman: invalid code in bitstream");
+      }
+      if (book.count[len] != 0 && code >= book.first_code[len] &&
+          code - book.first_code[len] < book.count[len]) {
+        out->push_back(
+            book.ordered[book.offset[len] +
+                         static_cast<uint32_t>(code - book.first_code[len])]);
+        break;
+      }
+    }
+  }
+  // All remaining bits must be padding within the current byte.
+  const size_t consumed = byte_pos + (bit_pos == 7 ? 0 : 1);
+  if (consumed != input.size()) {
+    return Status::Corruption("huffman: trailing bytes in stream");
+  }
+  return Status::OK();
+}
+
+}  // namespace isobar

@@ -1,0 +1,35 @@
+#ifndef ISOBAR_COMPRESSORS_HUFFMAN_CODEC_H_
+#define ISOBAR_COMPRESSORS_HUFFMAN_CODEC_H_
+
+#include "compressors/codec.h"
+
+namespace isobar {
+
+/// Homegrown order-0 canonical Huffman codec.
+///
+/// Stream format:
+///   [u8 flags]              bit0: empty stream, bit1: single-symbol stream
+///   [u8 symbol]             (single-symbol streams only)
+///   [256 x u8 code lengths] (general streams; 0 = symbol absent)
+///   [MSB-first bitstream of canonical codes]
+///
+/// Codes are canonical: shorter codes numerically precede longer ones and
+/// equal-length codes are ordered by symbol, so the lengths alone
+/// reconstruct the codebook. The decoder walks the bitstream with the
+/// canonical first-code method (O(1) table step per bit).
+///
+/// A pure entropy coder is the sharpest possible probe of the ISOBAR
+/// hypothesis: it exploits *only* byte-frequency skew, exactly the
+/// statistic the analyzer thresholds, so preconditioning helps it more
+/// than any dictionary solver. Used by tests and the ablation benchmarks.
+class HuffmanCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kHuffman; }
+  Status Compress(ByteSpan input, Bytes* out) const override;
+  Status Decompress(ByteSpan input, size_t original_size,
+                    Bytes* out) const override;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_COMPRESSORS_HUFFMAN_CODEC_H_

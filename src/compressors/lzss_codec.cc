@@ -1,0 +1,133 @@
+#include "compressors/lzss_codec.h"
+
+#include <array>
+#include <vector>
+
+namespace isobar {
+namespace {
+
+constexpr size_t kWindow = 4096;
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 18;
+constexpr size_t kHashBits = 13;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr int kMaxChain = 32;
+
+uint32_t Hash3(const uint8_t* p) {
+  uint32_t v = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+               static_cast<uint32_t>(p[2]) << 16;
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+Status LzssCodec::Compress(ByteSpan input, Bytes* out) const {
+  out->clear();
+  out->reserve(input.size() / 2 + 16);
+
+  // head[h] = most recent position with hash h; prev[i % kWindow] = previous
+  // position in the same chain. Positions are offset by one so 0 = empty.
+  std::vector<uint32_t> head(kHashSize, 0);
+  std::vector<uint32_t> prev(kWindow, 0);
+
+  size_t i = 0;
+  // Tokens are buffered per group of 8 so the flag byte can be emitted first.
+  uint8_t flags = 0;
+  int flag_count = 0;
+  std::array<uint8_t, 16> group{};
+  size_t group_len = 0;
+
+  auto flush_group = [&]() {
+    if (flag_count == 0) return;
+    out->push_back(flags);
+    out->insert(out->end(), group.begin(), group.begin() + group_len);
+    flags = 0;
+    flag_count = 0;
+    group_len = 0;
+  };
+
+  auto insert_pos = [&](size_t pos) {
+    if (pos + kMinMatch > input.size()) return;
+    uint32_t h = Hash3(input.data() + pos);
+    prev[pos % kWindow] = head[h];
+    head[h] = static_cast<uint32_t>(pos + 1);
+  };
+
+  while (i < input.size()) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (i + kMinMatch <= input.size()) {
+      uint32_t candidate = head[Hash3(input.data() + i)];
+      int chain = 0;
+      while (candidate != 0 && chain++ < kMaxChain) {
+        size_t pos = candidate - 1;
+        if (i - pos > kWindow) break;
+        size_t len = 0;
+        size_t limit = std::min(kMaxMatch, input.size() - i);
+        while (len < limit && input[pos + len] == input[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - pos;
+          if (len == kMaxMatch) break;
+        }
+        candidate = prev[pos % kWindow];
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      // Match token: 12-bit distance (1..4096 stored as d-1), 4-bit length.
+      uint16_t d = static_cast<uint16_t>(best_dist - 1);
+      uint8_t l = static_cast<uint8_t>(best_len - kMinMatch);
+      group[group_len++] = static_cast<uint8_t>(d & 0xFF);
+      group[group_len++] = static_cast<uint8_t>((d >> 8) | (l << 4));
+      for (size_t k = 0; k < best_len; ++k) insert_pos(i + k);
+      i += best_len;
+    } else {
+      flags |= static_cast<uint8_t>(1u << flag_count);
+      group[group_len++] = input[i];
+      insert_pos(i);
+      ++i;
+    }
+    if (++flag_count == 8) flush_group();
+  }
+  flush_group();
+  return Status::OK();
+}
+
+Status LzssCodec::Decompress(ByteSpan input, size_t original_size,
+                             Bytes* out) const {
+  out->clear();
+  out->reserve(original_size);
+  size_t i = 0;
+  while (i < input.size() && out->size() < original_size) {
+    const uint8_t flags = input[i++];
+    for (int bit = 0; bit < 8 && out->size() < original_size; ++bit) {
+      if (flags & (1u << bit)) {
+        if (i >= input.size()) return Status::Corruption("lzss: truncated literal");
+        out->push_back(input[i++]);
+      } else {
+        if (i + 2 > input.size()) return Status::Corruption("lzss: truncated match");
+        const uint8_t b0 = input[i];
+        const uint8_t b1 = input[i + 1];
+        i += 2;
+        const size_t dist = (static_cast<size_t>(b1 & 0x0F) << 8 | b0) + 1;
+        const size_t len = static_cast<size_t>(b1 >> 4) + kMinMatch;
+        if (dist > out->size()) {
+          return Status::Corruption("lzss: match distance exceeds output");
+        }
+        // Byte-at-a-time copy: matches may overlap their own output.
+        size_t src = out->size() - dist;
+        for (size_t k = 0; k < len; ++k) out->push_back((*out)[src + k]);
+      }
+    }
+  }
+  if (out->size() != original_size) {
+    return Status::Corruption("lzss: stream decoded to " +
+                              std::to_string(out->size()) +
+                              " bytes, expected " +
+                              std::to_string(original_size));
+  }
+  return Status::OK();
+}
+
+}  // namespace isobar

@@ -1,0 +1,33 @@
+#ifndef ISOBAR_COMPRESSORS_LZSS_CODEC_H_
+#define ISOBAR_COMPRESSORS_LZSS_CODEC_H_
+
+#include "compressors/codec.h"
+
+namespace isobar {
+
+/// Homegrown LZSS codec: 4 KiB sliding window, matches of 3..18 bytes.
+///
+/// Stream format: groups of up to 8 tokens, each group preceded by a flag
+/// byte whose bit i (LSB first) describes token i:
+///   - bit = 1 : literal; one raw byte follows.
+///   - bit = 0 : match; two bytes follow encoding a 12-bit backward
+///               distance d (1..4096) and a 4-bit length field l with
+///               match length l + 3.
+///
+/// The encoder uses a 3-byte hash chain with a bounded search depth, which
+/// keeps it within roughly an order of magnitude of zlib's speed while
+/// remaining ~200 lines of dependency-free code. It exists to demonstrate
+/// the preconditioner's solver-independence (§I of the paper: "a user can
+/// specify a preference in compressor with little to no change") and to
+/// serve the ablation benchmarks.
+class LzssCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kLzss; }
+  Status Compress(ByteSpan input, Bytes* out) const override;
+  Status Decompress(ByteSpan input, size_t original_size,
+                    Bytes* out) const override;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_COMPRESSORS_LZSS_CODEC_H_

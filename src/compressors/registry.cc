@@ -1,0 +1,63 @@
+#include "compressors/registry.h"
+
+#include <string>
+
+#include "compressors/bwt_codec.h"
+#include "compressors/bzip2_codec.h"
+#include "compressors/huffman_codec.h"
+#include "compressors/lzss_codec.h"
+#include "compressors/rle_codec.h"
+#include "compressors/zlib_codec.h"
+
+namespace isobar {
+
+Result<const Codec*> GetCodec(CodecId id) {
+  // Function-local static references: constructed on first use, never
+  // destroyed (trivial-destruction rule for static storage duration).
+  switch (id) {
+    case CodecId::kStored: {
+      static const StoredCodec& codec = *new StoredCodec();
+      return &codec;
+    }
+    case CodecId::kZlib: {
+      static const ZlibCodec& codec = *new ZlibCodec();
+      return &codec;
+    }
+    case CodecId::kBzip2: {
+      static const Bzip2Codec& codec = *new Bzip2Codec();
+      return &codec;
+    }
+    case CodecId::kRle: {
+      static const RleCodec& codec = *new RleCodec();
+      return &codec;
+    }
+    case CodecId::kLzss: {
+      static const LzssCodec& codec = *new LzssCodec();
+      return &codec;
+    }
+    case CodecId::kHuffman: {
+      static const HuffmanCodec& codec = *new HuffmanCodec();
+      return &codec;
+    }
+    case CodecId::kBwt: {
+      static const BwtCodec& codec = *new BwtCodec();
+      return &codec;
+    }
+  }
+  return Status::NotFound("unknown codec id " +
+                          std::to_string(static_cast<int>(id)));
+}
+
+Result<const Codec*> GetCodecByName(std::string_view name) {
+  for (CodecId id : AllCodecIds()) {
+    if (CodecIdToString(id) == name) return GetCodec(id);
+  }
+  return Status::NotFound("unknown codec name '" + std::string(name) + "'");
+}
+
+std::vector<CodecId> AllCodecIds() {
+  return {CodecId::kStored,  CodecId::kZlib, CodecId::kBzip2, CodecId::kRle,
+          CodecId::kLzss,    CodecId::kHuffman, CodecId::kBwt};
+}
+
+}  // namespace isobar

@@ -1,0 +1,26 @@
+#ifndef ISOBAR_COMPRESSORS_REGISTRY_H_
+#define ISOBAR_COMPRESSORS_REGISTRY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "compressors/codec.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Returns the process-wide default-configured instance of a codec
+/// (zlib level 6, bzip2 block size 9, ...). Instances are immutable and
+/// live for the process lifetime.
+Result<const Codec*> GetCodec(CodecId id);
+
+/// Looks a codec up by its canonical name ("zlib", "bzip2", "rle", "lzss",
+/// "stored").
+Result<const Codec*> GetCodecByName(std::string_view name);
+
+/// All registered codec ids, in stable order.
+std::vector<CodecId> AllCodecIds();
+
+}  // namespace isobar
+
+#endif  // ISOBAR_COMPRESSORS_REGISTRY_H_

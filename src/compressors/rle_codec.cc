@@ -1,0 +1,88 @@
+#include "compressors/rle_codec.h"
+
+namespace isobar {
+namespace {
+
+constexpr size_t kMaxLiteralRun = 128;  // control 0..127
+constexpr size_t kMinRepeatRun = 3;
+constexpr size_t kMaxRepeatRun = 130;  // control 128..255
+
+// Length of the run of identical bytes starting at `pos`.
+size_t RunLength(ByteSpan in, size_t pos) {
+  const uint8_t value = in[pos];
+  size_t end = pos + 1;
+  while (end < in.size() && in[end] == value && end - pos < kMaxRepeatRun) {
+    ++end;
+  }
+  return end - pos;
+}
+
+}  // namespace
+
+Status RleCodec::Compress(ByteSpan input, Bytes* out) const {
+  out->clear();
+  out->reserve(input.size() / 2 + 16);
+  size_t i = 0;
+  size_t literal_start = 0;
+
+  auto flush_literals = [&](size_t end) {
+    size_t pos = literal_start;
+    while (pos < end) {
+      size_t n = std::min(kMaxLiteralRun, end - pos);
+      out->push_back(static_cast<uint8_t>(n - 1));
+      out->insert(out->end(), input.begin() + pos, input.begin() + pos + n);
+      pos += n;
+    }
+  };
+
+  while (i < input.size()) {
+    size_t run = RunLength(input, i);
+    if (run >= kMinRepeatRun) {
+      flush_literals(i);
+      out->push_back(static_cast<uint8_t>(128 + (run - kMinRepeatRun)));
+      out->push_back(input[i]);
+      i += run;
+      literal_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(input.size());
+  return Status::OK();
+}
+
+Status RleCodec::Decompress(ByteSpan input, size_t original_size,
+                            Bytes* out) const {
+  out->clear();
+  out->reserve(original_size);
+  size_t i = 0;
+  while (i < input.size()) {
+    const uint8_t control = input[i++];
+    if (control < 128) {
+      const size_t n = static_cast<size_t>(control) + 1;
+      if (i + n > input.size()) {
+        return Status::Corruption("rle: truncated literal run");
+      }
+      out->insert(out->end(), input.begin() + i, input.begin() + i + n);
+      i += n;
+    } else {
+      if (i >= input.size()) {
+        return Status::Corruption("rle: truncated repeat run");
+      }
+      const size_t n = static_cast<size_t>(control - 128) + kMinRepeatRun;
+      out->insert(out->end(), n, input[i++]);
+    }
+    if (out->size() > original_size) {
+      return Status::Corruption("rle: stream decodes past expected size");
+    }
+  }
+  if (out->size() != original_size) {
+    return Status::Corruption("rle: stream decoded to " +
+                              std::to_string(out->size()) +
+                              " bytes, expected " +
+                              std::to_string(original_size));
+  }
+  return Status::OK();
+}
+
+}  // namespace isobar

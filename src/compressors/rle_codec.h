@@ -1,0 +1,30 @@
+#ifndef ISOBAR_COMPRESSORS_RLE_CODEC_H_
+#define ISOBAR_COMPRESSORS_RLE_CODEC_H_
+
+#include "compressors/codec.h"
+
+namespace isobar {
+
+/// Homegrown byte run-length codec.
+///
+/// Stream format is a sequence of packets, each introduced by a control
+/// byte `c`:
+///   - c in [0, 127]   : literal run; the next c+1 bytes are copied verbatim.
+///   - c in [128, 255] : repeat run; the next byte is repeated (c - 128) + 3
+///                       times (run lengths 3..130).
+///
+/// Used as a zero-dependency solver in tests and as the "trivial solver"
+/// arm of the ablation benchmarks; it compresses only data with literal
+/// byte repetition, which is exactly what most hard-to-compress scientific
+/// arrays lack.
+class RleCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kRle; }
+  Status Compress(ByteSpan input, Bytes* out) const override;
+  Status Decompress(ByteSpan input, size_t original_size,
+                    Bytes* out) const override;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_COMPRESSORS_RLE_CODEC_H_

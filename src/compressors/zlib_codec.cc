@@ -1,0 +1,42 @@
+#include "compressors/zlib_codec.h"
+
+#include <zlib.h>
+
+#include <algorithm>
+
+namespace isobar {
+
+ZlibCodec::ZlibCodec(int level) : level_(std::clamp(level, 1, 9)) {}
+
+Status ZlibCodec::Compress(ByteSpan input, Bytes* out) const {
+  uLongf bound = compressBound(static_cast<uLong>(input.size()));
+  out->resize(bound);
+  int rc = compress2(out->data(), &bound, input.data(),
+                     static_cast<uLong>(input.size()), level_);
+  if (rc != Z_OK) {
+    return Status::IOError("zlib compress2 failed with code " +
+                           std::to_string(rc));
+  }
+  out->resize(bound);
+  return Status::OK();
+}
+
+Status ZlibCodec::Decompress(ByteSpan input, size_t original_size,
+                             Bytes* out) const {
+  out->resize(original_size);
+  uLongf dest_len = static_cast<uLongf>(original_size);
+  int rc = uncompress(out->data(), &dest_len, input.data(),
+                      static_cast<uLong>(input.size()));
+  if (rc != Z_OK) {
+    return Status::Corruption("zlib uncompress failed with code " +
+                              std::to_string(rc));
+  }
+  if (dest_len != original_size) {
+    return Status::Corruption("zlib stream decoded to " +
+                              std::to_string(dest_len) + " bytes, expected " +
+                              std::to_string(original_size));
+  }
+  return Status::OK();
+}
+
+}  // namespace isobar

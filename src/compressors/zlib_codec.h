@@ -1,0 +1,29 @@
+#ifndef ISOBAR_COMPRESSORS_ZLIB_CODEC_H_
+#define ISOBAR_COMPRESSORS_ZLIB_CODEC_H_
+
+#include "compressors/codec.h"
+
+namespace isobar {
+
+/// DEFLATE solver backed by the system zlib, the paper's default
+/// general-purpose compressor.
+class ZlibCodec final : public Codec {
+ public:
+  /// `level` follows zlib semantics: 1 (fastest) .. 9 (best); 6 is the
+  /// library default and what the paper's "standard zlib" baseline uses.
+  explicit ZlibCodec(int level = 6);
+
+  CodecId id() const override { return CodecId::kZlib; }
+  int level() const { return level_; }
+
+  Status Compress(ByteSpan input, Bytes* out) const override;
+  Status Decompress(ByteSpan input, size_t original_size,
+                    Bytes* out) const override;
+
+ private:
+  int level_;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_COMPRESSORS_ZLIB_CODEC_H_

@@ -1,0 +1,77 @@
+#ifndef ISOBAR_CORE_ANALYZER_H_
+#define ISOBAR_CORE_ANALYZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/byte_histogram.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Tuning knobs of the ISOBAR-analyzer (§II.A).
+struct AnalyzerOptions {
+  /// Frequency-distribution tolerance τ in (1, 256): a byte-column is
+  /// declared *incompressible* when every one of its 256 byte-value
+  /// frequencies is ≤ τ·N/256. τ→1 flags almost nothing as compressible
+  /// structure; τ→256 flags everything. The paper fixes τ = 1.42 after
+  /// observing that results are stable for τ in [1.4, 1.5].
+  double tau = 1.42;
+};
+
+/// Outcome of analyzing one array (or chunk) of N elements of ω bytes.
+struct AnalysisResult {
+  uint64_t element_count = 0;
+  size_t width = 0;
+
+  /// Bit j set ⇔ byte-column j is compressible (has exploitable skew).
+  /// This is the paper's "ISOBAR-analyzer output array" (Fig. 4), with
+  /// 1 = compressible, 0 = incompressible/noise.
+  uint64_t compressible_mask = 0;
+
+  /// Shannon entropy (bits/byte) of each byte-column, for diagnostics.
+  std::vector<double> column_entropy;
+
+  /// Number of compressible columns.
+  int compressible_columns() const;
+
+  /// Fraction of each element's bytes that are hard-to-compress noise
+  /// ("HTC Bytes (%)" in Table IV, as a fraction in [0,1]).
+  double htc_byte_fraction() const;
+
+  /// True when the dataset is *improvable* (§II.B): some but not all
+  /// columns are compressible, so partitioning pays off. All-0 or all-1
+  /// masks are "undetermined" and the whole input goes to the solver.
+  bool improvable() const;
+};
+
+/// The ISOBAR-analyzer: detects, per byte-column, whether the byte-value
+/// frequency distribution is indistinguishable from uniform noise.
+///
+/// One streaming pass builds ω 256-bin frequency counters; a column whose
+/// maximum bin stays at or below the tolerance τ·N/256 has no skew a
+/// byte-granular entropy coder could exploit and is excluded from the
+/// solver's input.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {});
+
+  const AnalyzerOptions& options() const { return options_; }
+
+  /// Analyzes `data` as elements of `width` bytes (width in [1, 64];
+  /// data.size() must be a positive multiple of width).
+  Result<AnalysisResult> Analyze(ByteSpan data, size_t width) const;
+
+  /// Classifies already-accumulated histograms; exposed so that callers
+  /// that stream data through a ColumnHistogramSet (e.g. the chunked
+  /// pipeline) can reuse the counters without a second pass.
+  Result<AnalysisResult> Classify(const ColumnHistogramSet& histograms) const;
+
+ private:
+  AnalyzerOptions options_;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_CORE_ANALYZER_H_

@@ -1,0 +1,155 @@
+#include "core/chunk_codec.h"
+
+#include "core/partitioner.h"
+#include "util/crc32c.h"
+#include "util/stopwatch.h"
+
+namespace isobar {
+namespace {
+
+uint64_t FullMask(size_t width) {
+  return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+}  // namespace
+
+Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
+                   Linearization linearization, ByteSpan chunk, size_t width,
+                   Bytes* out, CompressionStats* stats) {
+  const uint64_t full_mask = FullMask(width);
+
+  Stopwatch analysis_timer;
+  ISOBAR_ASSIGN_OR_RETURN(AnalysisResult analysis,
+                          analyzer.Analyze(chunk, width));
+  if (stats != nullptr) {
+    stats->analysis_seconds += analysis_timer.ElapsedSeconds();
+    if (analysis.improvable()) {
+      ++stats->improvable_chunks;
+      stats->improvable = true;
+    }
+    // mean_htc_fraction is maintained as a running mean over chunks.
+    stats->mean_htc_fraction +=
+        (analysis.htc_byte_fraction() - stats->mean_htc_fraction) /
+        static_cast<double>(stats->chunk_count + 1);
+    ++stats->chunk_count;
+  }
+
+  container::ChunkHeader chunk_header;
+  chunk_header.element_count = chunk.size() / width;
+  chunk_header.compressible_mask = analysis.compressible_mask;
+  chunk_header.crc32c = crc32c::Value(chunk);
+
+  Bytes gathered;
+  ByteSpan raw_section;
+  Partition partition;
+  if (analysis.improvable()) {
+    Stopwatch partition_timer;
+    ISOBAR_RETURN_NOT_OK(PartitionData(chunk, width,
+                                       analysis.compressible_mask,
+                                       linearization, &partition));
+    if (stats != nullptr) {
+      stats->partition_seconds += partition_timer.ElapsedSeconds();
+    }
+    gathered = std::move(partition.compressible);
+    raw_section = ByteSpan(partition.incompressible);
+  } else {
+    // Undetermined (Alg. 1 lines 2-3): the whole chunk goes to the
+    // solver, still in the EUPA-chosen linearization.
+    chunk_header.flags |= container::kChunkUndetermined;
+    Stopwatch partition_timer;
+    ISOBAR_RETURN_NOT_OK(
+        GatherColumns(chunk, width, full_mask, linearization, &gathered));
+    if (stats != nullptr) {
+      stats->partition_seconds += partition_timer.ElapsedSeconds();
+    }
+  }
+
+  Bytes compressed;
+  Stopwatch codec_timer;
+  ISOBAR_RETURN_NOT_OK(codec.Compress(gathered, &compressed));
+  if (stats != nullptr) stats->codec_seconds += codec_timer.ElapsedSeconds();
+
+  if (compressed.size() >= gathered.size()) {
+    // The solver expanded its input (possible on pure noise): store the
+    // gathered bytes verbatim so the container never grows the section.
+    chunk_header.flags |= container::kChunkStoredRaw;
+    chunk_header.compressed_size = gathered.size();
+    chunk_header.raw_size = raw_section.size();
+    container::AppendChunkHeader(chunk_header, out);
+    out->insert(out->end(), gathered.begin(), gathered.end());
+  } else {
+    chunk_header.compressed_size = compressed.size();
+    chunk_header.raw_size = raw_section.size();
+    container::AppendChunkHeader(chunk_header, out);
+    out->insert(out->end(), compressed.begin(), compressed.end());
+  }
+  out->insert(out->end(), raw_section.begin(), raw_section.end());
+  return Status::OK();
+}
+
+Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
+                   const Codec& codec, Linearization linearization,
+                   size_t width, uint64_t max_elements, bool verify_checksums,
+                   Bytes* out) {
+  const uint64_t full_mask = FullMask(width);
+
+  ISOBAR_ASSIGN_OR_RETURN(
+      container::ChunkHeader chunk_header,
+      container::ParseChunkHeader(container_bytes, offset));
+  if (chunk_header.element_count > max_elements) {
+    return Status::Corruption(
+        "container: chunk claims more elements than the header's chunk size");
+  }
+  const ByteSpan compressed_section =
+      container_bytes.subspan(*offset, chunk_header.compressed_size);
+  *offset += chunk_header.compressed_size;
+  const ByteSpan raw_section =
+      container_bytes.subspan(*offset, chunk_header.raw_size);
+  *offset += chunk_header.raw_size;
+
+  const bool undetermined =
+      (chunk_header.flags & container::kChunkUndetermined) != 0;
+  const uint64_t mask =
+      undetermined ? full_mask : chunk_header.compressible_mask;
+  if ((mask & ~full_mask) != 0) {
+    return Status::Corruption("container: chunk mask exceeds element width");
+  }
+  const uint64_t n = chunk_header.element_count;
+  const size_t selected = static_cast<size_t>(PopcountMask(mask, width));
+  const size_t expected_packed = n * selected;
+  const size_t expected_raw = n * (width - selected);
+  if (chunk_header.raw_size != expected_raw) {
+    return Status::Corruption("container: raw section size mismatch");
+  }
+
+  Bytes decoded;
+  ByteSpan packed;
+  if (chunk_header.flags & container::kChunkStoredRaw) {
+    if (compressed_section.size() != expected_packed) {
+      return Status::Corruption("container: stored section size mismatch");
+    }
+    packed = compressed_section;
+  } else {
+    ISOBAR_RETURN_NOT_OK(
+        codec.Decompress(compressed_section, expected_packed, &decoded));
+    packed = ByteSpan(decoded);
+  }
+
+  const size_t chunk_base = out->size();
+  out->resize(chunk_base + n * width);
+  MutableByteSpan dest(out->data() + chunk_base, n * width);
+  ISOBAR_RETURN_NOT_OK(
+      ScatterColumns(packed, width, mask, linearization, dest));
+  ISOBAR_RETURN_NOT_OK(ScatterColumns(raw_section, width, full_mask & ~mask,
+                                      Linearization::kRow, dest));
+
+  if (verify_checksums) {
+    const uint32_t crc = crc32c::Extend(0, out->data() + chunk_base, n * width);
+    if (crc != chunk_header.crc32c) {
+      return Status::Corruption("container: chunk checksum mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace isobar

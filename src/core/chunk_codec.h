@@ -1,0 +1,37 @@
+#ifndef ISOBAR_CORE_CHUNK_CODEC_H_
+#define ISOBAR_CORE_CHUNK_CODEC_H_
+
+#include "compressors/codec.h"
+#include "core/analyzer.h"
+#include "core/container.h"
+#include "core/isobar.h"
+#include "linearize/transpose.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Shared per-chunk pipeline of Alg. 1, used by both the batch
+/// IsobarCompressor and the streaming writer/reader.
+
+/// Analyzes, partitions, and solver-compresses one chunk, appending its
+/// container record ([chunk header][solver bytes][raw noise bytes]) to
+/// `*out`. Timing and verdict fields of `*stats` are accumulated (may be
+/// null).
+Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
+                   Linearization linearization, ByteSpan chunk, size_t width,
+                   Bytes* out, CompressionStats* stats);
+
+/// Parses the chunk record at `*offset` in `container_bytes`, reverses the
+/// pipeline, and appends the reconstructed elements to `*out`, advancing
+/// `*offset` past the record. `max_elements` is the container header's
+/// nominal chunk size; a record claiming more elements is corrupt (the
+/// bound keeps untrusted counts from driving allocations).
+Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
+                   const Codec& codec, Linearization linearization,
+                   size_t width, uint64_t max_elements, bool verify_checksums,
+                   Bytes* out);
+
+}  // namespace isobar
+
+#endif  // ISOBAR_CORE_CHUNK_CODEC_H_

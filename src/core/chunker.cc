@@ -1,0 +1,31 @@
+#include "core/chunker.h"
+
+#include <algorithm>
+
+namespace isobar {
+
+Chunker::Chunker(ByteSpan data, size_t width, uint64_t chunk_elements)
+    : data_(data), width_(width), chunk_elements_per_(chunk_elements) {
+  if (width_ == 0 || chunk_elements_per_ == 0 || data_.size() % width_ != 0) {
+    return;  // zero-chunk view
+  }
+  element_count_ = data_.size() / width_;
+  chunk_count_ = (element_count_ + chunk_elements_per_ - 1) / chunk_elements_per_;
+}
+
+uint64_t Chunker::chunk_elements(uint64_t i) const {
+  if (i + 1 < chunk_count_) return chunk_elements_per_;
+  if (i + 1 == chunk_count_) {
+    const uint64_t rem = element_count_ % chunk_elements_per_;
+    return rem == 0 ? chunk_elements_per_ : rem;
+  }
+  return 0;
+}
+
+ByteSpan Chunker::chunk(uint64_t i) const {
+  if (i >= chunk_count_) return {};
+  const uint64_t start = i * chunk_elements_per_ * width_;
+  return data_.subspan(start, chunk_elements(i) * width_);
+}
+
+}  // namespace isobar

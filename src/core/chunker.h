@@ -1,0 +1,45 @@
+#ifndef ISOBAR_CORE_CHUNKER_H_
+#define ISOBAR_CORE_CHUNKER_H_
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Default chunk size: 375,000 elements (≈3 MB of doubles). Fig. 8 of the
+/// paper shows compression ratios settle once chunks reach this size,
+/// consistent with the ~3 MB block sizes of LZW-family literature and
+/// RCFile.
+inline constexpr uint64_t kDefaultChunkElements = 375'000;
+
+/// Splits a typed array into fixed-size element chunks for the in-situ
+/// pipeline (§II.D, Fig. 6). Chunks are non-owning views; the last chunk
+/// may be short.
+class Chunker {
+ public:
+  /// data.size() must be a multiple of `width`; chunk_elements must be > 0.
+  /// Invalid geometry yields a zero-chunk view (callers validate inputs at
+  /// the pipeline boundary).
+  Chunker(ByteSpan data, size_t width, uint64_t chunk_elements);
+
+  uint64_t chunk_count() const { return chunk_count_; }
+
+  /// Elements in chunk `i` (full chunks except possibly the last).
+  uint64_t chunk_elements(uint64_t i) const;
+
+  /// Byte view of chunk `i`.
+  ByteSpan chunk(uint64_t i) const;
+
+ private:
+  ByteSpan data_;
+  size_t width_ = 0;
+  uint64_t chunk_elements_per_ = 0;
+  uint64_t element_count_ = 0;
+  uint64_t chunk_count_ = 0;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_CORE_CHUNKER_H_

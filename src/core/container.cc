@@ -1,0 +1,122 @@
+#include "core/container.h"
+
+#include <string>
+
+namespace isobar::container {
+namespace {
+
+Status CheckRoom(ByteSpan buffer, size_t offset, size_t need,
+                 const char* what) {
+  if (offset > buffer.size() || buffer.size() - offset < need) {
+    return Status::Corruption(std::string("container: truncated ") + what);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void AppendHeader(const Header& header, Bytes* out) {
+  const size_t base = out->size();
+  out->resize(base + kHeaderSize);
+  uint8_t* p = out->data() + base;
+  StoreLE32(p + 0, kMagic);
+  StoreLE16(p + 4, header.version);
+  StoreLE16(p + 6, /*flags=*/0);
+  p[8] = header.width;
+  p[9] = static_cast<uint8_t>(header.codec);
+  p[10] = static_cast<uint8_t>(header.linearization);
+  p[11] = static_cast<uint8_t>(header.preference);
+  StoreLE16(p + 12, header.tau_centi);
+  StoreLE16(p + 14, /*reserved=*/0);
+  StoreLE64(p + 16, header.element_count);
+  StoreLE64(p + 24, header.chunk_elements);
+  StoreLE64(p + 32, header.chunk_count);
+}
+
+Result<Header> ParseHeader(ByteSpan buffer, size_t* offset) {
+  ISOBAR_RETURN_NOT_OK(CheckRoom(buffer, *offset, kHeaderSize, "header"));
+  const uint8_t* p = buffer.data() + *offset;
+  if (LoadLE32(p) != kMagic) {
+    return Status::Corruption("container: bad magic (not an ISOBAR stream)");
+  }
+  Header header;
+  header.version = LoadLE16(p + 4);
+  if (header.version != kVersion) {
+    return Status::NotSupported("container: unsupported format version " +
+                                std::to_string(header.version));
+  }
+  header.width = p[8];
+  if (header.width == 0 || header.width > 64) {
+    return Status::Corruption("container: element width out of range");
+  }
+  header.codec = static_cast<CodecId>(p[9]);
+  if (p[9] > static_cast<uint8_t>(CodecId::kBwt)) {
+    return Status::Corruption("container: unknown codec id");
+  }
+  if (p[10] > 1) {
+    return Status::Corruption("container: unknown linearization");
+  }
+  header.linearization = static_cast<Linearization>(p[10]);
+  if (p[11] > 1) {
+    return Status::Corruption("container: unknown preference");
+  }
+  header.preference = static_cast<Preference>(p[11]);
+  header.tau_centi = LoadLE16(p + 12);
+  header.element_count = LoadLE64(p + 16);
+  header.chunk_elements = LoadLE64(p + 24);
+  header.chunk_count = LoadLE64(p + 32);
+  if (header.chunk_elements == 0 && header.chunk_count != 0) {
+    return Status::Corruption("container: zero chunk size with chunks");
+  }
+  // Decoders size buffers from these counts, so bound them before any
+  // allocation can happen downstream.
+  if (header.chunk_elements > kMaxChunkBytes / header.width) {
+    return Status::Corruption("container: chunk size exceeds format limit");
+  }
+  if (header.element_count != kUnknownCount &&
+      header.element_count > ~0ull / header.width) {
+    return Status::Corruption("container: element count overflows");
+  }
+  *offset += kHeaderSize;
+  return header;
+}
+
+void AppendChunkHeader(const ChunkHeader& header, Bytes* out) {
+  const size_t base = out->size();
+  out->resize(base + kChunkHeaderSize);
+  uint8_t* p = out->data() + base;
+  StoreLE64(p + 0, header.element_count);
+  StoreLE64(p + 8, header.compressible_mask);
+  p[16] = header.flags;
+  p[17] = 0;  // reserved
+  StoreLE32(p + 18, header.crc32c);
+  StoreLE64(p + 22, header.compressed_size);
+  StoreLE64(p + 30, header.raw_size);
+}
+
+Result<ChunkHeader> ParseChunkHeader(ByteSpan buffer, size_t* offset) {
+  ISOBAR_RETURN_NOT_OK(
+      CheckRoom(buffer, *offset, kChunkHeaderSize, "chunk header"));
+  const uint8_t* p = buffer.data() + *offset;
+  ChunkHeader header;
+  header.element_count = LoadLE64(p + 0);
+  header.compressible_mask = LoadLE64(p + 8);
+  header.flags = p[16];
+  if ((header.flags & ~(kChunkUndetermined | kChunkStoredRaw)) != 0) {
+    return Status::Corruption("container: unknown chunk flags");
+  }
+  header.crc32c = LoadLE32(p + 18);
+  header.compressed_size = LoadLE64(p + 22);
+  header.raw_size = LoadLE64(p + 30);
+  *offset += kChunkHeaderSize;
+  // Validate each section separately: the sum of two untrusted u64 sizes
+  // could wrap around and defeat a single combined bounds check.
+  const size_t remaining = buffer.size() - *offset;
+  if (header.compressed_size > remaining ||
+      header.raw_size > remaining - header.compressed_size) {
+    return Status::Corruption("container: truncated chunk payload");
+  }
+  return header;
+}
+
+}  // namespace isobar::container

@@ -1,0 +1,71 @@
+#ifndef ISOBAR_CORE_CONTAINER_H_
+#define ISOBAR_CORE_CONTAINER_H_
+
+#include <cstdint>
+
+#include "compressors/codec.h"
+#include "core/eupa_selector.h"
+#include "linearize/transpose.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar::container {
+
+/// "ISBR" in little-endian byte order.
+inline constexpr uint32_t kMagic = 0x52425349u;
+inline constexpr uint16_t kVersion = 1;
+
+inline constexpr size_t kHeaderSize = 40;
+inline constexpr size_t kChunkHeaderSize = 38;
+
+/// Per-chunk flags.
+inline constexpr uint8_t kChunkUndetermined = 0x01;  ///< Alg. 1 lines 2-3 path.
+inline constexpr uint8_t kChunkStoredRaw = 0x02;     ///< Solver output grew; gathered bytes stored verbatim.
+
+/// Sentinel for element_count / chunk_count written by the streaming
+/// writer, which cannot know the totals up front: readers consume chunks
+/// until the end of the container instead of counting.
+inline constexpr uint64_t kUnknownCount = ~0ull;
+
+/// Hard format limit on chunk_elements * width. Decoders size buffers
+/// from header fields, so untrusted counts must be bounded before any
+/// allocation; 256 MiB is ~85x the paper's 3 MB design point.
+inline constexpr uint64_t kMaxChunkBytes = 1ull << 28;
+
+/// File-level metadata (Fig. 7 "overall metadata"): everything a reader
+/// needs to reverse the pipeline with no side information.
+struct Header {
+  uint16_t version = kVersion;
+  uint8_t width = 8;                  ///< ω, element size in bytes.
+  CodecId codec = CodecId::kZlib;     ///< Solver chosen by the EUPA-selector.
+  Linearization linearization = Linearization::kRow;
+  Preference preference = Preference::kSpeed;
+  uint16_t tau_centi = 142;           ///< τ × 100, analyzer tolerance used.
+  uint64_t element_count = 0;
+  uint64_t chunk_elements = 0;        ///< Nominal elements per chunk.
+  uint64_t chunk_count = 0;
+};
+
+/// Per-chunk metadata (Fig. 7 "chunk metadata"): the analyzer verdict plus
+/// the geometry of the two byte sections that follow the header.
+struct ChunkHeader {
+  uint64_t element_count = 0;
+  uint64_t compressible_mask = 0;  ///< Analyzer output array, bit j = column j.
+  uint8_t flags = 0;
+  uint32_t crc32c = 0;             ///< Checksum of the original chunk bytes.
+  uint64_t compressed_size = 0;    ///< Bytes of solver output (or raw gathered bytes when kChunkStoredRaw).
+  uint64_t raw_size = 0;           ///< Bytes of the incompressible section.
+};
+
+/// Serializes `header` onto `out`.
+void AppendHeader(const Header& header, Bytes* out);
+
+/// Parses and validates a header at `*offset`, advancing it past the header.
+Result<Header> ParseHeader(ByteSpan buffer, size_t* offset);
+
+void AppendChunkHeader(const ChunkHeader& header, Bytes* out);
+Result<ChunkHeader> ParseChunkHeader(ByteSpan buffer, size_t* offset);
+
+}  // namespace isobar::container
+
+#endif  // ISOBAR_CORE_CONTAINER_H_

@@ -1,0 +1,147 @@
+#include "core/eupa_selector.h"
+
+#include <algorithm>
+
+#include "compressors/registry.h"
+#include "linearize/transpose.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace isobar {
+
+std::string_view PreferenceToString(Preference preference) {
+  switch (preference) {
+    case Preference::kRatio:
+      return "ratio";
+    case Preference::kSpeed:
+      return "speed";
+  }
+  return "unknown";
+}
+
+EupaSelector::EupaSelector(EupaOptions options) : options_(std::move(options)) {}
+
+namespace {
+
+// Draws up to `sample_elements` elements as `runs` contiguous runs at
+// deterministic offsets, concatenated element-aligned.
+Bytes DrawSample(ByteSpan data, size_t width, const EupaOptions& options) {
+  const uint64_t n = data.size() / width;
+  const uint64_t want = std::min<uint64_t>(options.sample_elements, n);
+  if (want == n) return Bytes(data.begin(), data.end());
+
+  const uint64_t runs = std::max<uint64_t>(1, options.sample_runs);
+  const uint64_t per_run = std::max<uint64_t>(1, want / runs);
+  Bytes sample;
+  sample.reserve(want * width);
+  Xoshiro256 rng(options.seed);
+  for (uint64_t r = 0; r < runs && sample.size() < want * width; ++r) {
+    const uint64_t max_start = n - per_run;
+    const uint64_t start = max_start == 0 ? 0 : rng.NextBounded(max_start + 1);
+    const uint8_t* p = data.data() + start * width;
+    const uint64_t take =
+        std::min<uint64_t>(per_run, want - sample.size() / width);
+    sample.insert(sample.end(), p, p + take * width);
+  }
+  return sample;
+}
+
+}  // namespace
+
+Result<EupaDecision> EupaSelector::Select(ByteSpan data, size_t width,
+                                          uint64_t compressible_mask) const {
+  if (width == 0 || width > 64) {
+    return Status::InvalidArgument("element width must be in [1, 64]");
+  }
+  if (data.empty() || data.size() % width != 0) {
+    return Status::InvalidArgument(
+        "data must be a non-empty multiple of the element width");
+  }
+  if (options_.candidate_codecs.empty() && !options_.forced_codec) {
+    return Status::InvalidArgument("no candidate codecs configured");
+  }
+
+  EupaDecision decision;
+  decision.preference = options_.preference;
+
+  // Fully forced pipeline: nothing to measure.
+  if (options_.forced_codec && options_.forced_linearization) {
+    decision.codec = *options_.forced_codec;
+    decision.linearization = *options_.forced_linearization;
+    return decision;
+  }
+
+  const Bytes sample = DrawSample(data, width, options_);
+
+  std::vector<CodecId> codecs = options_.forced_codec
+                                    ? std::vector<CodecId>{*options_.forced_codec}
+                                    : options_.candidate_codecs;
+  std::vector<Linearization> linearizations =
+      options_.forced_linearization
+          ? std::vector<Linearization>{*options_.forced_linearization}
+          : std::vector<Linearization>{Linearization::kRow,
+                                       Linearization::kColumn};
+
+  for (Linearization lin : linearizations) {
+    Bytes gathered;
+    ISOBAR_RETURN_NOT_OK(
+        GatherColumns(sample, width, compressible_mask, lin, &gathered));
+    if (gathered.empty()) {
+      return Status::InvalidArgument(
+          "empty compressible partition: selector needs a non-zero mask");
+    }
+    for (CodecId id : codecs) {
+      ISOBAR_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(id));
+      Bytes compressed;
+      Stopwatch timer;
+      ISOBAR_RETURN_NOT_OK(codec->Compress(gathered, &compressed));
+      CandidateEvaluation eval;
+      eval.codec = id;
+      eval.linearization = lin;
+      eval.throughput_mbps = timer.ThroughputMBps(gathered.size());
+      eval.ratio = compressed.empty()
+                       ? 0.0
+                       : static_cast<double>(gathered.size()) /
+                             static_cast<double>(compressed.size());
+      decision.evaluations.push_back(eval);
+    }
+  }
+
+  // Decision rule (§II.C: "the EUPA-selector is a deterministic
+  // process"). Ratios are bit-deterministic; throughputs are wall-clock
+  // measurements, so the speed rule compares them only up to a 15% band:
+  // the fastest band is located first, then the best ratio inside it
+  // wins. Near-ties (e.g. row vs column under the same solver) therefore
+  // resolve by ratio, which does not fluctuate between runs.
+  const CandidateEvaluation* best = nullptr;
+  if (options_.preference == Preference::kRatio) {
+    for (const auto& eval : decision.evaluations) {
+      if (best == nullptr || eval.ratio > best->ratio) best = &eval;
+    }
+  } else {
+    double top_throughput = 0.0;
+    for (const auto& eval : decision.evaluations) {
+      if (eval.ratio < options_.min_ratio) continue;
+      top_throughput = std::max(top_throughput, eval.throughput_mbps);
+    }
+    for (const auto& eval : decision.evaluations) {
+      if (eval.ratio < options_.min_ratio) continue;
+      if (eval.throughput_mbps < 0.85 * top_throughput) continue;
+      if (best == nullptr || eval.ratio > best->ratio) best = &eval;
+    }
+    if (best == nullptr) {
+      // No candidate met the ratio floor; fall back to the best ratio.
+      for (const auto& eval : decision.evaluations) {
+        if (best == nullptr || eval.ratio > best->ratio) best = &eval;
+      }
+    }
+  }
+  if (best == nullptr) {
+    return Status::Internal("EUPA selector produced no candidates");
+  }
+  decision.codec = best->codec;
+  decision.linearization = best->linearization;
+  return decision;
+}
+
+}  // namespace isobar

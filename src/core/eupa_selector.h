@@ -1,0 +1,92 @@
+#ifndef ISOBAR_CORE_EUPA_SELECTOR_H_
+#define ISOBAR_CORE_EUPA_SELECTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "compressors/codec.h"
+#include "linearize/transpose.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// End-user performance preference (§II.C): best compression ratio, or
+/// highest throughput with an acceptable ratio.
+enum class Preference : uint8_t {
+  kRatio = 0,
+  kSpeed = 1,
+};
+
+std::string_view PreferenceToString(Preference preference);
+
+/// Configuration of the End User's Preference Adaptive Selector.
+struct EupaOptions {
+  Preference preference = Preference::kSpeed;
+
+  /// With kSpeed, candidates whose sample compression ratio falls below
+  /// this floor are discarded (unless none survive, in which case the
+  /// best-ratio candidate wins). 1.0 = accept anything that does not
+  /// expand the data.
+  double min_ratio = 1.0;
+
+  /// Elements in the training sample drawn from the input. The sample is
+  /// taken as several contiguous runs at deterministic pseudo-random
+  /// offsets so both locality-sensitive (LZ window) and frequency
+  /// statistics are represented. The default keeps the selector's own
+  /// cost (notably the bzip2 trial) a small fraction of the pipeline.
+  uint64_t sample_elements = 16 * 1024;
+  uint64_t sample_runs = 8;
+  uint64_t seed = 0x15D0BA5ull;
+
+  /// Solvers the selector measures. Defaults to the paper's pair.
+  std::vector<CodecId> candidate_codecs = {CodecId::kZlib, CodecId::kBzip2};
+
+  /// Explicit overrides (§II.C: "explicit specification of input
+  /// parameters is also permitted"). A forced dimension is not measured.
+  std::optional<CodecId> forced_codec;
+  std::optional<Linearization> forced_linearization;
+};
+
+/// Measured performance of one (codec × linearization) candidate on the
+/// training sample.
+struct CandidateEvaluation {
+  CodecId codec = CodecId::kZlib;
+  Linearization linearization = Linearization::kRow;
+  double ratio = 0.0;             ///< sample bytes / compressed bytes
+  double throughput_mbps = 0.0;   ///< sample compression throughput
+};
+
+/// The selector's verdict plus the evidence it was based on.
+struct EupaDecision {
+  CodecId codec = CodecId::kZlib;
+  Linearization linearization = Linearization::kRow;
+  Preference preference = Preference::kSpeed;
+  std::vector<CandidateEvaluation> evaluations;
+};
+
+/// Deterministic selector choosing the (solver × linearization) pipeline
+/// that best serves the end user's preference, by measuring each candidate
+/// on a training sample of the compressible partition.
+class EupaSelector {
+ public:
+  explicit EupaSelector(EupaOptions options = {});
+
+  const EupaOptions& options() const { return options_; }
+
+  /// Chooses a pipeline for `data` (elements of `width` bytes) whose
+  /// analyzer verdict is `compressible_mask`. For undetermined inputs pass
+  /// the full mask: the selector then measures whole-element candidates,
+  /// mirroring the paper's behaviour of still choosing the optimal standard
+  /// method for non-improvable data.
+  Result<EupaDecision> Select(ByteSpan data, size_t width,
+                              uint64_t compressible_mask) const;
+
+ private:
+  EupaOptions options_;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_CORE_EUPA_SELECTOR_H_

@@ -1,0 +1,156 @@
+#include "core/isobar.h"
+
+#include <algorithm>
+
+#include "compressors/registry.h"
+#include "core/chunk_codec.h"
+#include "util/stopwatch.h"
+
+namespace isobar {
+namespace {
+
+uint64_t FullMask(size_t width) {
+  return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+}  // namespace
+
+IsobarCompressor::IsobarCompressor(CompressOptions options)
+    : options_(std::move(options)) {}
+
+Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width) const {
+  CompressionStats stats;
+  return Compress(data, width, &stats);
+}
+
+Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
+                                         CompressionStats* stats) const {
+  if (stats == nullptr) return Status::InvalidArgument("stats must not be null");
+  if (width == 0 || width > 64) {
+    return Status::InvalidArgument("element width must be in [1, 64]");
+  }
+  if (data.size() % width != 0) {
+    return Status::InvalidArgument(
+        "data size is not a multiple of the element width");
+  }
+  if (options_.chunk_elements == 0) {
+    return Status::InvalidArgument("chunk_elements must be > 0");
+  }
+
+  *stats = CompressionStats{};
+  stats->input_bytes = data.size();
+  Stopwatch total_timer;
+
+  const Analyzer analyzer(options_.analyzer);
+  const EupaSelector selector(options_.eupa);
+  const uint64_t full_mask = FullMask(width);
+
+  // --- EUPA phase: pick the (solver × linearization) pipeline once per
+  // dataset from a training sample (§II.C). The analyzer verdict for the
+  // sampling region determines which bytes the candidates are measured on.
+  EupaDecision decision;
+  decision.preference = options_.eupa.preference;
+  if (options_.eupa.forced_codec && options_.eupa.forced_linearization) {
+    decision.codec = *options_.eupa.forced_codec;
+    decision.linearization = *options_.eupa.forced_linearization;
+  } else if (!data.empty()) {
+    Stopwatch analysis_timer;
+    const uint64_t n = data.size() / width;
+    const uint64_t probe_elements =
+        std::min<uint64_t>(n, std::max<uint64_t>(options_.eupa.sample_elements,
+                                                 1));
+    ByteSpan probe = data.subspan(0, probe_elements * width);
+    ISOBAR_ASSIGN_OR_RETURN(AnalysisResult probe_result,
+                            analyzer.Analyze(probe, width));
+    stats->analysis_seconds += analysis_timer.ElapsedSeconds();
+    const uint64_t eupa_mask = probe_result.improvable()
+                                   ? probe_result.compressible_mask
+                                   : full_mask;
+    ISOBAR_ASSIGN_OR_RETURN(decision,
+                            selector.Select(data, width, eupa_mask));
+  } else {
+    // Empty input: nothing to measure; fall back to configured defaults.
+    if (options_.eupa.forced_codec) decision.codec = *options_.eupa.forced_codec;
+    if (options_.eupa.forced_linearization) {
+      decision.linearization = *options_.eupa.forced_linearization;
+    }
+  }
+  stats->decision = decision;
+
+  ISOBAR_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(decision.codec));
+
+  // --- Chunked pipeline (Alg. 1 applied per chunk, §II.D).
+  const Chunker chunker(data, width, options_.chunk_elements);
+  Bytes out;
+  out.reserve(data.size() / 2 + container::kHeaderSize);
+
+  container::Header header;
+  header.width = static_cast<uint8_t>(width);
+  header.codec = decision.codec;
+  header.linearization = decision.linearization;
+  header.preference = options_.eupa.preference;
+  header.tau_centi = static_cast<uint16_t>(options_.analyzer.tau * 100.0 + 0.5);
+  header.element_count = data.size() / width;
+  header.chunk_elements = options_.chunk_elements;
+  header.chunk_count = chunker.chunk_count();
+  container::AppendHeader(header, &out);
+
+  for (uint64_t ci = 0; ci < chunker.chunk_count(); ++ci) {
+    ISOBAR_RETURN_NOT_OK(EncodeChunk(analyzer, *codec, decision.linearization,
+                                     chunker.chunk(ci), width, &out, stats));
+  }
+
+  stats->output_bytes = out.size();
+  stats->total_seconds = total_timer.ElapsedSeconds();
+  return out;
+}
+
+Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
+                                           const DecompressOptions& options,
+                                           DecompressionStats* stats) {
+  Stopwatch total_timer;
+  size_t offset = 0;
+  ISOBAR_ASSIGN_OR_RETURN(container::Header header,
+                          container::ParseHeader(container_bytes, &offset));
+  ISOBAR_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(header.codec));
+
+  const size_t width = header.width;
+  Bytes out;
+  if (header.element_count != container::kUnknownCount) {
+    // Pre-size from the (bounded-checked) header, but never trust an
+    // untrusted count for more than one chunk's worth of upfront memory.
+    out.reserve(static_cast<size_t>(
+        std::min<uint64_t>(header.element_count * width,
+                           container::kMaxChunkBytes)));
+  }
+
+  // Counted containers (batch writer) carry the chunk total; streamed
+  // containers use the kUnknownCount sentinel and run to the end.
+  const bool counted = header.chunk_count != container::kUnknownCount;
+  uint64_t chunks_read = 0;
+  while (counted ? chunks_read < header.chunk_count
+                 : offset < container_bytes.size()) {
+    ISOBAR_RETURN_NOT_OK(DecodeChunk(container_bytes, &offset, *codec,
+                                     header.linearization, width,
+                                     header.chunk_elements,
+                                     options.verify_checksums, &out));
+    ++chunks_read;
+  }
+
+  if (offset != container_bytes.size()) {
+    return Status::Corruption("container: trailing bytes after last chunk");
+  }
+  if (header.element_count != container::kUnknownCount &&
+      out.size() != header.element_count * width) {
+    return Status::Corruption("container: element count mismatch");
+  }
+
+  if (stats != nullptr) {
+    stats->input_bytes = container_bytes.size();
+    stats->output_bytes = out.size();
+    stats->total_seconds = total_timer.ElapsedSeconds();
+  }
+  return out;
+}
+
+}  // namespace isobar

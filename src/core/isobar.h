@@ -1,0 +1,119 @@
+#ifndef ISOBAR_CORE_ISOBAR_H_
+#define ISOBAR_CORE_ISOBAR_H_
+
+#include <cstdint>
+
+#include "core/analyzer.h"
+#include "core/chunker.h"
+#include "core/container.h"
+#include "core/eupa_selector.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Options of the full ISOBAR-compress pipeline (Fig. 2).
+struct CompressOptions {
+  AnalyzerOptions analyzer;
+  EupaOptions eupa;
+
+  /// Elements per chunk (§II.D). The default follows the paper's Fig. 8
+  /// finding that ratios settle at ~375k doubles (≈3 MB).
+  uint64_t chunk_elements = kDefaultChunkElements;
+};
+
+/// Instrumentation of one Compress() run; everything the paper's tables
+/// report about the compression side can be derived from these fields.
+struct CompressionStats {
+  EupaDecision decision;
+
+  uint64_t input_bytes = 0;
+  uint64_t output_bytes = 0;
+  uint64_t chunk_count = 0;
+  uint64_t improvable_chunks = 0;
+
+  /// True when at least one chunk was identified as improvable; the
+  /// dataset-level "Improvable?" verdict of Table IV.
+  bool improvable = false;
+
+  /// Mean fraction of hard-to-compress bytes per element across chunks
+  /// ("HTC Bytes (%)" of Table IV, as a fraction).
+  double mean_htc_fraction = 0.0;
+
+  /// Wall-clock decomposition of the pipeline (seconds).
+  double analysis_seconds = 0.0;   ///< ISOBAR-analyzer + EUPA sampling.
+  double partition_seconds = 0.0;  ///< Gather/linearize.
+  double codec_seconds = 0.0;      ///< Solver time.
+  double total_seconds = 0.0;
+
+  /// CR, Eq. 1.
+  double ratio() const {
+    return output_bytes == 0 ? 0.0
+                             : static_cast<double>(input_bytes) /
+                                   static_cast<double>(output_bytes);
+  }
+  /// End-to-end compression throughput, MB/s (MB = 1e6 bytes).
+  double compression_mbps() const {
+    return total_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(input_bytes) / 1e6 / total_seconds;
+  }
+  /// Throughput of the analysis stage alone (TP_A of Table V).
+  double analysis_mbps() const {
+    return analysis_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(input_bytes) / 1e6 / analysis_seconds;
+  }
+};
+
+struct DecompressOptions {
+  /// Verify each chunk's CRC-32C against the reconstructed bytes.
+  bool verify_checksums = true;
+};
+
+struct DecompressionStats {
+  uint64_t input_bytes = 0;
+  uint64_t output_bytes = 0;
+  double total_seconds = 0.0;
+
+  /// Decompression throughput in output MB/s (the paper's TP_D).
+  double decompression_mbps() const {
+    return total_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(output_bytes) / 1e6 / total_seconds;
+  }
+};
+
+/// The ISOBAR-compress preconditioner pipeline (Alg. 1):
+///
+///   analyze → (undetermined ? whole-chunk solve
+///                           : partition → solve signal, store noise) → merge
+///
+/// Compress() produces a self-describing container (Fig. 7);
+/// Decompress() needs nothing but that container.
+class IsobarCompressor {
+ public:
+  explicit IsobarCompressor(CompressOptions options = {});
+
+  const CompressOptions& options() const { return options_; }
+
+  /// Compresses `data` interpreted as elements of `width` bytes
+  /// (width in [1, 64]; data.size() must be a multiple of width).
+  Result<Bytes> Compress(ByteSpan data, size_t width) const;
+
+  /// As above, also filling `*stats` (must not be null).
+  Result<Bytes> Compress(ByteSpan data, size_t width,
+                         CompressionStats* stats) const;
+
+  /// Reverses Compress(). Static: the container is self-describing.
+  static Result<Bytes> Decompress(ByteSpan container_bytes,
+                                  const DecompressOptions& options = {},
+                                  DecompressionStats* stats = nullptr);
+
+ private:
+  CompressOptions options_;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_CORE_ISOBAR_H_

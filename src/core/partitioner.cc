@@ -1,0 +1,53 @@
+#include "core/partitioner.h"
+
+namespace isobar {
+
+Status PartitionData(ByteSpan data, size_t width, uint64_t compressible_mask,
+                     Linearization linearization, Partition* out) {
+  if (width == 0 || width > 64) {
+    return Status::InvalidArgument("element width must be in [1, 64]");
+  }
+  if (data.size() % width != 0) {
+    return Status::InvalidArgument("data size is not a multiple of width");
+  }
+  const uint64_t full_mask =
+      width == 64 ? ~0ull : ((1ull << width) - 1);
+  if ((compressible_mask & ~full_mask) != 0) {
+    return Status::InvalidArgument("mask has bits beyond element width");
+  }
+
+  out->width = width;
+  out->element_count = data.size() / width;
+  out->compressible_mask = compressible_mask;
+  out->linearization = linearization;
+
+  ISOBAR_RETURN_NOT_OK(GatherColumns(data, width, compressible_mask,
+                                     linearization, &out->compressible));
+  // Noise bytes keep element-major (row) order: they are never entropy
+  // coded, and row order makes the merge a cheap interleave.
+  ISOBAR_RETURN_NOT_OK(GatherColumns(data, width,
+                                     full_mask & ~compressible_mask,
+                                     Linearization::kRow,
+                                     &out->incompressible));
+  return Status::OK();
+}
+
+Status MergePartition(const Partition& partition, Bytes* out) {
+  const size_t width = partition.width;
+  if (width == 0 || width > 64) {
+    return Status::InvalidArgument("partition has invalid width");
+  }
+  const uint64_t full_mask =
+      width == 64 ? ~0ull : ((1ull << width) - 1);
+  out->assign(partition.element_count * width, 0);
+  MutableByteSpan dest(*out);
+  ISOBAR_RETURN_NOT_OK(ScatterColumns(partition.compressible, width,
+                                      partition.compressible_mask,
+                                      partition.linearization, dest));
+  ISOBAR_RETURN_NOT_OK(ScatterColumns(partition.incompressible, width,
+                                      full_mask & ~partition.compressible_mask,
+                                      Linearization::kRow, dest));
+  return Status::OK();
+}
+
+}  // namespace isobar

@@ -1,0 +1,48 @@
+#ifndef ISOBAR_CORE_PARTITIONER_H_
+#define ISOBAR_CORE_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "linearize/transpose.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// The two byte streams produced by the ISOBAR-partitioner (§II.B, Fig. 5):
+/// the compressible byte-columns (headed for the solver, laid out in the
+/// EUPA-chosen linearization) and the incompressible noise bytes (stored
+/// verbatim).
+struct Partition {
+  size_t width = 0;
+  uint64_t element_count = 0;
+
+  /// Bit j set ⇔ column j went into `compressible`.
+  uint64_t compressible_mask = 0;
+
+  /// Linearization of the compressible stream.
+  Linearization linearization = Linearization::kRow;
+
+  /// Selected (signal) bytes: element_count * popcount(mask) bytes.
+  Bytes compressible;
+
+  /// Unselected (noise) bytes, always row-linearized: element_count *
+  /// (width - popcount(mask)) bytes.
+  Bytes incompressible;
+};
+
+/// Splits `data` (elements of `width` bytes) into the two partition streams
+/// according to `compressible_mask`. The mask may be anything, including
+/// all-ones (everything to the solver) or zero (everything raw); the
+/// undetermined-vs-improvable policy decision lives in the caller (Alg. 1).
+Status PartitionData(ByteSpan data, size_t width, uint64_t compressible_mask,
+                     Linearization linearization, Partition* out);
+
+/// Inverse of PartitionData: interleaves the two streams back into the
+/// original element-major byte order. This is the paper's "merger" acting
+/// on one chunk.
+Status MergePartition(const Partition& partition, Bytes* out);
+
+}  // namespace isobar
+
+#endif  // ISOBAR_CORE_PARTITIONER_H_

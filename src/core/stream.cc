@@ -1,0 +1,195 @@
+#include "core/stream.h"
+
+#include <algorithm>
+
+#include "compressors/registry.h"
+#include "core/chunk_codec.h"
+#include "core/eupa_selector.h"
+#include "util/stopwatch.h"
+
+namespace isobar {
+namespace {
+
+uint64_t FullMask(size_t width) {
+  return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+}  // namespace
+
+IsobarStreamWriter::IsobarStreamWriter(CompressOptions options, size_t width,
+                                       ByteSink* sink)
+    : options_(std::move(options)), width_(width), sink_(sink) {
+  if (width_ == 0 || width_ > 64) {
+    init_status_ = Status::InvalidArgument("element width must be in [1, 64]");
+  } else if (options_.chunk_elements == 0) {
+    init_status_ = Status::InvalidArgument("chunk_elements must be > 0");
+  } else if (sink_ == nullptr) {
+    init_status_ = Status::InvalidArgument("sink must not be null");
+  }
+  stats_.decision.preference = options_.eupa.preference;
+}
+
+Status IsobarStreamWriter::EnsurePipeline(ByteSpan training_data) {
+  if (header_written_) return Status::OK();
+
+  decision_.preference = options_.eupa.preference;
+  if (options_.eupa.forced_codec && options_.eupa.forced_linearization) {
+    decision_.codec = *options_.eupa.forced_codec;
+    decision_.linearization = *options_.eupa.forced_linearization;
+  } else if (!training_data.empty()) {
+    // Mirror the batch compressor's EUPA phase on the training window.
+    const Analyzer analyzer(options_.analyzer);
+    Stopwatch analysis_timer;
+    ISOBAR_ASSIGN_OR_RETURN(AnalysisResult probe,
+                            analyzer.Analyze(training_data, width_));
+    stats_.analysis_seconds += analysis_timer.ElapsedSeconds();
+    const uint64_t mask = probe.improvable() ? probe.compressible_mask
+                                             : FullMask(width_);
+    const EupaSelector selector(options_.eupa);
+    ISOBAR_ASSIGN_OR_RETURN(decision_,
+                            selector.Select(training_data, width_, mask));
+  } else {
+    if (options_.eupa.forced_codec) decision_.codec = *options_.eupa.forced_codec;
+    if (options_.eupa.forced_linearization) {
+      decision_.linearization = *options_.eupa.forced_linearization;
+    }
+  }
+  stats_.decision = decision_;
+  ISOBAR_ASSIGN_OR_RETURN(codec_, GetCodec(decision_.codec));
+
+  container::Header header;
+  header.width = static_cast<uint8_t>(width_);
+  header.codec = decision_.codec;
+  header.linearization = decision_.linearization;
+  header.preference = options_.eupa.preference;
+  header.tau_centi =
+      static_cast<uint16_t>(options_.analyzer.tau * 100.0 + 0.5);
+  header.element_count = container::kUnknownCount;
+  header.chunk_elements = options_.chunk_elements;
+  header.chunk_count = container::kUnknownCount;
+  Bytes encoded;
+  container::AppendHeader(header, &encoded);
+  ISOBAR_RETURN_NOT_OK(sink_->Write(encoded));
+  stats_.output_bytes += encoded.size();
+  header_written_ = true;
+  return Status::OK();
+}
+
+Status IsobarStreamWriter::EmitChunk(ByteSpan chunk) {
+  ISOBAR_RETURN_NOT_OK(EnsurePipeline(chunk));
+  const Analyzer analyzer(options_.analyzer);
+  Bytes record;
+  ISOBAR_RETURN_NOT_OK(EncodeChunk(analyzer, *codec_, decision_.linearization,
+                                   chunk, width_, &record, &stats_));
+  ISOBAR_RETURN_NOT_OK(sink_->Write(record));
+  stats_.output_bytes += record.size();
+  return Status::OK();
+}
+
+Status IsobarStreamWriter::Append(ByteSpan data) {
+  ISOBAR_RETURN_NOT_OK(init_status_);
+  if (finished_) {
+    return Status::InvalidArgument("stream writer already finished");
+  }
+  Stopwatch timer;
+  stats_.input_bytes += data.size();
+
+  const size_t chunk_bytes = options_.chunk_elements * width_;
+  size_t consumed = 0;
+  if (!pending_.empty()) {
+    // Top the pending buffer up to one full chunk first.
+    const size_t need = chunk_bytes - pending_.size();
+    const size_t take = std::min(need, data.size());
+    pending_.insert(pending_.end(), data.begin(), data.begin() + take);
+    consumed = take;
+    if (pending_.size() == chunk_bytes) {
+      ISOBAR_RETURN_NOT_OK(EmitChunk(pending_));
+      pending_.clear();
+    }
+  }
+  // Emit full chunks straight from the caller's buffer (no copy).
+  while (data.size() - consumed >= chunk_bytes) {
+    ISOBAR_RETURN_NOT_OK(EmitChunk(data.subspan(consumed, chunk_bytes)));
+    consumed += chunk_bytes;
+  }
+  pending_.insert(pending_.end(), data.begin() + consumed, data.end());
+  stats_.total_seconds += timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status IsobarStreamWriter::Finish() {
+  ISOBAR_RETURN_NOT_OK(init_status_);
+  if (finished_) return Status::OK();
+  Stopwatch timer;
+  if (pending_.size() % width_ != 0) {
+    return Status::InvalidArgument(
+        "stream ends mid-element: appended bytes are not a multiple of the "
+        "element width");
+  }
+  if (!pending_.empty()) {
+    ISOBAR_RETURN_NOT_OK(EmitChunk(pending_));
+    pending_.clear();
+  }
+  // A stream with no data at all still needs a valid (empty) container.
+  ISOBAR_RETURN_NOT_OK(EnsurePipeline({}));
+  finished_ = true;
+  stats_.total_seconds += timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+IsobarStreamReader::IsobarStreamReader(ByteSpan container_bytes,
+                                       DecompressOptions options)
+    : container_(container_bytes), options_(options) {}
+
+Status IsobarStreamReader::Init() {
+  ISOBAR_ASSIGN_OR_RETURN(header_, container::ParseHeader(container_, &offset_));
+  ISOBAR_ASSIGN_OR_RETURN(codec_, GetCodec(header_.codec));
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<bool> IsobarStreamReader::AtEnd() {
+  if (!initialized_) {
+    return Status::InvalidArgument("reader not initialized (call Init)");
+  }
+  const bool counted = header_.chunk_count != container::kUnknownCount;
+  const bool done = counted ? chunks_read_ == header_.chunk_count
+                            : offset_ == container_.size();
+  if (!done) return false;
+  if (offset_ != container_.size()) {
+    return Status::Corruption("container: trailing bytes after last chunk");
+  }
+  // Skipped chunks contribute their (header-declared) element counts, so
+  // the total stays verifiable even for seek-style access patterns.
+  if (header_.element_count != container::kUnknownCount &&
+      elements_read_ != header_.element_count) {
+    return Status::Corruption("container: element count mismatch");
+  }
+  return true;
+}
+
+Result<bool> IsobarStreamReader::NextChunk(Bytes* chunk) {
+  ISOBAR_ASSIGN_OR_RETURN(const bool done, AtEnd());
+  if (done) return false;
+  chunk->clear();
+  ISOBAR_RETURN_NOT_OK(DecodeChunk(container_, &offset_, *codec_,
+                                   header_.linearization, header_.width,
+                                   header_.chunk_elements,
+                                   options_.verify_checksums, chunk));
+  ++chunks_read_;
+  elements_read_ += chunk->size() / header_.width;
+  return true;
+}
+
+Result<bool> IsobarStreamReader::SkipChunk() {
+  ISOBAR_ASSIGN_OR_RETURN(const bool done, AtEnd());
+  if (done) return false;
+  ISOBAR_ASSIGN_OR_RETURN(container::ChunkHeader chunk_header,
+                          container::ParseChunkHeader(container_, &offset_));
+  offset_ += chunk_header.compressed_size + chunk_header.raw_size;
+  ++chunks_read_;
+  elements_read_ += chunk_header.element_count;
+  return true;
+}
+
+}  // namespace isobar

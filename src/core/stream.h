@@ -1,0 +1,113 @@
+#ifndef ISOBAR_CORE_STREAM_H_
+#define ISOBAR_CORE_STREAM_H_
+
+#include "compressors/codec.h"
+#include "core/container.h"
+#include "core/isobar.h"
+#include "io/sink.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Incremental (in-situ) ISOBAR compression: elements are appended as the
+/// producing simulation emits them, full chunks are analyzed, partitioned,
+/// solver-compressed, and pushed to a ByteSink immediately — nothing is
+/// buffered beyond one chunk (§II.D's pipelining, without a whole-dataset
+/// staging buffer).
+///
+/// Because the element total is unknown until Finish(), the emitted
+/// container carries the kUnknownCount sentinel in its header; such
+/// containers are read by IsobarStreamReader or by
+/// IsobarCompressor::Decompress, which consume chunks to the end of the
+/// stream. The EUPA decision is made once, on the first full chunk (or on
+/// the tail data at Finish() for sub-chunk streams), mirroring the batch
+/// compressor's training-sample phase.
+class IsobarStreamWriter {
+ public:
+  /// `sink` must outlive the writer.
+  IsobarStreamWriter(CompressOptions options, size_t width, ByteSink* sink);
+
+  IsobarStreamWriter(const IsobarStreamWriter&) = delete;
+  IsobarStreamWriter& operator=(const IsobarStreamWriter&) = delete;
+
+  /// Appends raw element bytes; any size is accepted (partial elements
+  /// are buffered until completed by later appends). Full chunks are
+  /// compressed and written out as they accumulate.
+  Status Append(ByteSpan data);
+
+  /// Flushes the final (possibly short) chunk and completes the stream.
+  /// Appending after Finish() fails. Idempotent on success.
+  Status Finish();
+
+  bool finished() const { return finished_; }
+
+  /// Pipeline instrumentation accumulated so far (decision valid once the
+  /// first chunk — or Finish() — forced it).
+  const CompressionStats& stats() const { return stats_; }
+
+ private:
+  Status EnsurePipeline(ByteSpan training_data);
+  Status EmitChunk(ByteSpan chunk);
+
+  CompressOptions options_;
+  size_t width_;
+  ByteSink* sink_;
+  Status init_status_;
+
+  Bytes pending_;
+  bool header_written_ = false;
+  bool finished_ = false;
+  const Codec* codec_ = nullptr;
+  EupaDecision decision_;
+  CompressionStats stats_;
+};
+
+/// Chunk-at-a-time reader for both batch and streamed ISOBAR containers.
+/// Peak memory is one chunk instead of the whole dataset — the restart
+/// side of the in-situ pipeline.
+class IsobarStreamReader {
+ public:
+  /// `container_bytes` must stay alive while the reader is used.
+  explicit IsobarStreamReader(ByteSpan container_bytes,
+                              DecompressOptions options = {});
+
+  /// Parses and validates the container header. Must be called (and
+  /// succeed) before NextChunk().
+  Status Init();
+
+  /// Header fields; valid after Init().
+  const container::Header& header() const { return header_; }
+
+  /// Appends the next chunk's reconstructed elements to `*chunk`
+  /// (replacing its contents). Returns false when the container is
+  /// exhausted (after validating totals and trailing bytes).
+  Result<bool> NextChunk(Bytes* chunk);
+
+  /// Advances past the next chunk without decompressing it (its header is
+  /// parsed, its payload skipped). Returns false when the container is
+  /// exhausted. Chunk records are self-delimiting, so seeking to the
+  /// n-th checkpoint of a long campaign costs O(n) header reads, not
+  /// O(n) decompressions.
+  Result<bool> SkipChunk();
+
+  /// Chunks consumed so far (decoded or skipped).
+  uint64_t chunks_read() const { return chunks_read_; }
+
+ private:
+  /// True when the container is exhausted; validates totals at the end.
+  Result<bool> AtEnd();
+
+  ByteSpan container_;
+  DecompressOptions options_;
+  container::Header header_;
+  const Codec* codec_ = nullptr;
+  bool initialized_ = false;
+  size_t offset_ = 0;
+  uint64_t chunks_read_ = 0;
+  uint64_t elements_read_ = 0;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_CORE_STREAM_H_

@@ -1,0 +1,28 @@
+#include "datagen/dataset.h"
+
+namespace isobar {
+
+size_t ElementWidth(ElementType type) {
+  switch (type) {
+    case ElementType::kFloat32:
+      return 4;
+    case ElementType::kFloat64:
+    case ElementType::kInt64:
+      return 8;
+  }
+  return 8;
+}
+
+std::string_view ElementTypeToString(ElementType type) {
+  switch (type) {
+    case ElementType::kFloat32:
+      return "single";
+    case ElementType::kFloat64:
+      return "double";
+    case ElementType::kInt64:
+      return "64-bit integer";
+  }
+  return "unknown";
+}
+
+}  // namespace isobar

@@ -1,0 +1,41 @@
+#ifndef ISOBAR_DATAGEN_DATASET_H_
+#define ISOBAR_DATAGEN_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Element type of a scientific dataset (Table I of the paper).
+enum class ElementType : uint8_t {
+  kFloat32 = 0,  ///< single-precision floating point (s3d_*)
+  kFloat64 = 1,  ///< double-precision floating point (most datasets)
+  kInt64 = 2,    ///< 64-bit integers (xgc_igid)
+};
+
+size_t ElementWidth(ElementType type);
+std::string_view ElementTypeToString(ElementType type);
+
+/// An in-memory dataset: a named, typed array of fixed-width elements.
+/// An element is either one scalar of `type` or, for record datasets
+/// (xgc_iphase-style), `lanes` interleaved scalars treated as one unit by
+/// the byte-column analysis.
+struct Dataset {
+  std::string name;
+  std::string application;
+  ElementType type = ElementType::kFloat64;
+  size_t lanes = 1;  ///< scalars per element (record width in scalars)
+  Bytes data;
+
+  size_t width() const { return ElementWidth(type) * lanes; }
+  uint64_t element_count() const { return data.size() / width(); }
+  ByteSpan bytes() const { return ByteSpan(data); }
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_DATAGEN_DATASET_H_

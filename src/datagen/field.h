@@ -1,0 +1,43 @@
+#ifndef ISOBAR_DATAGEN_FIELD_H_
+#define ISOBAR_DATAGEN_FIELD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// A multi-dimensional scalar field on a row-major grid: spatially smooth
+/// structure (superposed plane waves plus a radial component) with the
+/// same byte-level quantize-and-noise treatment as the 1-D profiles.
+///
+/// This is the data shape behind §III.G: simulation output is a 2-D/3-D
+/// mesh that I/O layers re-linearize (row-major, Hilbert, ...); a grid
+/// field generated here keeps *spatial* locality, so reorderings change
+/// the solver's view while the byte-column statistics stay fixed. It is
+/// also what the n-dimensional Lorenzo predictor of fpzip is built for.
+struct FieldSpec {
+  ElementType type = ElementType::kFloat64;
+
+  /// Row-major grid shape, 1-3 dimensions, each > 0.
+  std::vector<uint32_t> dims;
+
+  /// As in GeneratorParams: low bytes randomized / signal byte count.
+  int noise_bytes = 6;
+  int smooth_bytes = 2;
+
+  /// Spatial wavelength of the dominant mode, in grid cells.
+  double wavelength = 48.0;
+
+  uint64_t seed = 1;
+};
+
+/// Materializes the field; dataset.data holds prod(dims) elements in
+/// row-major order.
+Result<Dataset> GenerateField(const FieldSpec& spec);
+
+}  // namespace isobar
+
+#endif  // ISOBAR_DATAGEN_FIELD_H_

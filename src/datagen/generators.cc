@@ -1,0 +1,162 @@
+#include "datagen/generators.h"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+// Smooth bounded signal in [1, 2): two incommensurate sine components plus
+// a slow mean-reverting random walk, mimicking the locality of simulation
+// fields (potential fluctuations, velocities, temperatures). Confinement to
+// one binade keeps sign and exponent bytes constant, as observed in Fig. 1.
+class SmoothSignal {
+ public:
+  explicit SmoothSignal(Xoshiro256* rng) : rng_(rng) {
+    phase1_ = rng_->NextDouble() * kTwoPi;
+    phase2_ = rng_->NextDouble() * kTwoPi;
+    period1_ = 20000.0 + rng_->NextDouble() * 40000.0;
+    period2_ = 311.0 + rng_->NextDouble() * 700.0;
+  }
+
+  double Next(uint64_t i) {
+    walk_ += 0.02 * rng_->NextGaussian() - 0.01 * walk_;
+    double v = 1.45 + 0.25 * std::sin(kTwoPi * static_cast<double>(i) / period1_ + phase1_) +
+               0.12 * std::sin(kTwoPi * static_cast<double>(i) / period2_ + phase2_) +
+               0.08 * walk_;
+    if (v < 1.0) v = 1.0;
+    if (v > 1.999) v = 1.999;
+    return v;
+  }
+
+ private:
+  Xoshiro256* rng_;
+  double phase1_, phase2_, period1_, period2_;
+  double walk_ = 0.0;
+};
+
+// Encodes one fresh element as its little-endian bit pattern.
+uint64_t FreshValue(ElementType type, const GeneratorParams& params,
+                    uint64_t i, SmoothSignal* signal, Xoshiro256* rng) {
+  const size_t width = ElementWidth(type);
+  switch (params.kind) {
+    case GeneratorKind::kParticleIds: {
+      // 24-bit particle identifiers: three uniform low bytes, zero above.
+      return rng->Next() & 0xFFFFFFull;
+    }
+    case GeneratorKind::kMildSkew: {
+      if (rng->NextDouble() < params.anchor_fraction) {
+        // Anchor element: a single recurring value that lends every
+        // byte-column just enough skew to clear the analyzer tolerance.
+        return 0x3FF8A0B1C2D3E4F5ull;
+      }
+      return rng->Next();
+    }
+    case GeneratorKind::kSmoothNoisy:
+    case GeneratorKind::kSmoothRepetitive: {
+      // An optional anchor spike gives *every* byte-column (including the
+      // noise bytes) enough frequency skew to clear the analyzer
+      // tolerance, modelling observational datasets whose noisy-looking
+      // bytes still carry sentinel/fill values (obs_error, obs_spitzer).
+      if (params.anchor_fraction > 0.0 &&
+          rng->NextDouble() < params.anchor_fraction) {
+        return 0x3FF8A0B1C2D3E4F5ull;
+      }
+      const double v = signal->Next(i);
+      uint64_t bits;
+      if (type == ElementType::kFloat32) {
+        bits = std::bit_cast<uint32_t>(static_cast<float>(v));
+      } else {
+        bits = std::bit_cast<uint64_t>(v);
+      }
+      // Quantize: keep only the top smooth_bytes bytes of the element so
+      // every byte below the signal region is structurally zero.
+      const int zero_bytes =
+          std::max(0, static_cast<int>(width) - params.smooth_bytes);
+      if (zero_bytes > 0) {
+        bits &= ~0ull << (8 * zero_bytes);
+      }
+      // Inject uniform noise into the lowest noise_bytes bytes, recreating
+      // the unpredictable mantissa tail of hard-to-compress data.
+      const int noise = std::min<int>(params.noise_bytes,
+                                      static_cast<int>(width));
+      if (noise > 0) {
+        const uint64_t noise_mask =
+            noise >= 8 ? ~0ull : ((1ull << (8 * noise)) - 1);
+        bits = (bits & ~noise_mask) | (rng->Next() & noise_mask);
+      }
+      return bits;
+    }
+  }
+  return rng->Next();
+}
+
+}  // namespace
+
+Result<Dataset> GenerateArray(ElementType type, GeneratorParams params,
+                              uint64_t element_count, uint64_t seed) {
+  const size_t width = ElementWidth(type);
+  if (params.noise_bytes < 0 ||
+      params.noise_bytes > static_cast<int>(width)) {
+    return Status::InvalidArgument("noise_bytes out of range for type");
+  }
+  if (params.smooth_bytes < 1 ||
+      params.smooth_bytes > static_cast<int>(width)) {
+    return Status::InvalidArgument("smooth_bytes out of range for type");
+  }
+  if (params.repeat_fraction < 0.0 || params.repeat_fraction >= 1.0) {
+    return Status::InvalidArgument("repeat_fraction must be in [0, 1)");
+  }
+
+  Dataset dataset;
+  dataset.type = type;
+  dataset.data.reserve(element_count * width);
+
+  Xoshiro256 rng(seed);
+  SmoothSignal signal(&rng);
+
+  // Distinct values are drawn from a pre-generated pool of the target
+  // cardinality; duplicates sample the pool uniformly. Uniform sampling
+  // keeps per-value multiplicities tightly concentrated (Poisson), so the
+  // byte-column frequency profile of the noise bytes stays statistically
+  // flat — duplicated *elements* must not manufacture byte-level skew the
+  // paper's real datasets do not have.
+  const uint64_t pool_size = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             (1.0 - params.repeat_fraction) * static_cast<double>(element_count) +
+             0.5));
+  std::vector<uint64_t> pool(pool_size);
+  for (uint64_t i = 0; i < pool_size; ++i) {
+    pool[i] = FreshValue(type, params, i, &signal, &rng);
+  }
+
+  uint64_t next_fresh = 0;
+  for (uint64_t i = 0; i < element_count; ++i) {
+    uint64_t index;
+    if (next_fresh < pool_size &&
+        rng.NextDouble() >= params.repeat_fraction) {
+      // Next unseen pool value. Once the pool is exhausted (the number of
+      // fresh draws fluctuates around pool_size), surplus draws fall
+      // through to uniform copies — re-emitting any *fixed* value instead
+      // would concentrate hundreds of duplicates on one byte pattern and
+      // fabricate skew in the noise columns.
+      index = next_fresh++;
+    } else {
+      index = rng.NextBounded(pool_size);
+    }
+    const uint64_t bits = pool[index];
+    if (width == 4) {
+      AppendLE32(dataset.data, static_cast<uint32_t>(bits));
+    } else {
+      AppendLE64(dataset.data, bits);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace isobar

@@ -1,0 +1,68 @@
+#ifndef ISOBAR_DATAGEN_GENERATORS_H_
+#define ISOBAR_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "datagen/dataset.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Family of synthetic generators. Each family reproduces the byte-column
+/// entropy signature of one class of the paper's scientific datasets; see
+/// DESIGN.md (Substitutions) for the paper-data → synthetic mapping.
+enum class GeneratorKind : uint8_t {
+  /// Smooth bounded field whose low-order mantissa bytes are replaced by
+  /// uniform noise: the classic hard-to-compress profile of Fig. 1
+  /// (gts_*, flash_*, msg_lu/sp/sweep3d, num_*, obs_info/temp, s3d_*,
+  /// xgc_iphase).
+  kSmoothNoisy = 0,
+
+  /// Smooth quantized field with element repetition and no injected
+  /// noise: every byte-column has exploitable skew, so the dataset is
+  /// easy to compress and non-improvable (msg_sppm, num_plasma,
+  /// obs_error, obs_spitzer).
+  kSmoothRepetitive = 1,
+
+  /// Near-uniform bytes with a small fraction of "anchor" elements that
+  /// give every column mild skew: hard to compress yet non-improvable,
+  /// reproducing the odd msg_bt profile (HTC-looking entropy, all columns
+  /// above tolerance).
+  kMildSkew = 2,
+
+  /// 64-bit particle identifiers: low bytes uniform, high bytes zero,
+  /// heavy repetition (xgc_igid).
+  kParticleIds = 3,
+};
+
+/// Tunable parameters of the synthetic generators.
+struct GeneratorParams {
+  GeneratorKind kind = GeneratorKind::kSmoothNoisy;
+
+  /// Low-order bytes per element overwritten with uniform noise; sets the
+  /// hard-to-compress byte fraction (Table IV) to noise_bytes/width.
+  int noise_bytes = 6;
+
+  /// High-order bytes carrying the smooth signal; bytes between the noise
+  /// and signal regions are zero (quantization), so they always carry
+  /// compressible structure.
+  int smooth_bytes = 2;
+
+  /// Probability that an element repeats a previously generated value;
+  /// tunes the unique-value percentage of Table III (unique ≈ 1 - repeat).
+  double repeat_fraction = 0.0;
+
+  /// Probability of emitting the fixed anchor element instead of a fresh
+  /// value (kMildSkew and the anchored smooth profiles). 0 disables it.
+  double anchor_fraction = 0.0;
+};
+
+/// Generates `element_count` elements of `type` with the byte-level
+/// structure described by `params`, deterministically from `seed`.
+Result<Dataset> GenerateArray(ElementType type, GeneratorParams params,
+                              uint64_t element_count, uint64_t seed);
+
+}  // namespace isobar
+
+#endif  // ISOBAR_DATAGEN_GENERATORS_H_

@@ -1,0 +1,40 @@
+#include "datagen/records.h"
+
+namespace isobar {
+
+Result<Dataset> GenerateRecords(const RecordSpec& spec,
+                                uint64_t record_count) {
+  const size_t lane_width = ElementWidth(spec.lane_type);
+  if (spec.lanes.empty() || spec.lanes.size() * lane_width > 64) {
+    return Status::InvalidArgument(
+        "records must have 1 lane up to 64 bytes total");
+  }
+
+  // Generate each lane as an independent scalar stream, then interleave.
+  std::vector<Bytes> lane_data;
+  lane_data.reserve(spec.lanes.size());
+  for (size_t lane = 0; lane < spec.lanes.size(); ++lane) {
+    ISOBAR_ASSIGN_OR_RETURN(
+        Dataset scalar,
+        GenerateArray(spec.lane_type, spec.lanes[lane], record_count,
+                      spec.seed * 131 + lane));
+    lane_data.push_back(std::move(scalar.data));
+  }
+
+  Dataset dataset;
+  dataset.type = spec.lane_type;
+  dataset.lanes = spec.lanes.size();
+  dataset.name = "records";
+  dataset.data.resize(record_count * dataset.width());
+  uint8_t* out = dataset.data.data();
+  for (uint64_t r = 0; r < record_count; ++r) {
+    for (size_t lane = 0; lane < spec.lanes.size(); ++lane) {
+      const uint8_t* src = lane_data[lane].data() + r * lane_width;
+      std::copy(src, src + lane_width, out);
+      out += lane_width;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace isobar

@@ -1,0 +1,35 @@
+#ifndef ISOBAR_DATAGEN_RECORDS_H_
+#define ISOBAR_DATAGEN_RECORDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "datagen/generators.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Multi-variable record datasets: each element is a record of several
+/// scalar *lanes*, each lane with its own statistical profile. This is
+/// the true shape of xgc_iphase ("8 phase variables of each ion" — some
+/// quantized coordinates, some noisy momenta): the byte matrix has ω =
+/// lanes × scalar width, and the analyzer's per-column verdict resolves
+/// structure lane by lane.
+struct RecordSpec {
+  /// One GeneratorParams per lane, at most 8 lanes of doubles (ω ≤ 64)
+  /// or 16 lanes of floats.
+  std::vector<GeneratorParams> lanes;
+  ElementType lane_type = ElementType::kFloat64;
+  uint64_t seed = 1;
+};
+
+/// Generates `record_count` records; lane j of every record follows
+/// lanes[j]'s profile. The resulting Dataset has width() = lanes.size() *
+/// scalar width and flows through the standard pipeline unchanged.
+Result<Dataset> GenerateRecords(const RecordSpec& spec,
+                                uint64_t record_count);
+
+}  // namespace isobar
+
+#endif  // ISOBAR_DATAGEN_RECORDS_H_

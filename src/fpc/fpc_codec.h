@@ -1,0 +1,43 @@
+#ifndef ISOBAR_FPC_FPC_CODEC_H_
+#define ISOBAR_FPC_FPC_CODEC_H_
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Reimplementation of FPC, the high-speed double-precision floating-point
+/// compressor of Burtscher & Ratanaworabhan (IEEE Trans. Computers 2009),
+/// used by the paper as a Table X comparator.
+///
+/// Per value: an FCM and a DFCM predictor each guess the next 64-bit word;
+/// the closer prediction (more leading zero bytes after XOR) is selected,
+/// and the value is coded as a 4-bit header (1 selector bit + 3-bit
+/// leading-zero-byte count) plus the non-zero residual tail. Headers are
+/// packed two per byte.
+///
+/// Stream layout: [u8 table_bits][pairs of 4-bit headers][residual bytes
+/// interleaved per value]. Operates on any array of 8-byte elements
+/// (doubles or 64-bit integers).
+class FpcCodec {
+ public:
+  /// Each predictor table has 2^table_bits 8-byte entries; 16 (512 KiB per
+  /// table) is a good single-core default, 20+ matches the original
+  /// paper's large-memory configuration.
+  explicit FpcCodec(int table_bits = 16);
+
+  /// input.size() must be a multiple of 8.
+  Status Compress(ByteSpan input, Bytes* out) const;
+
+  /// `original_size` is the exact pre-compression byte count.
+  Status Decompress(ByteSpan input, size_t original_size, Bytes* out) const;
+
+ private:
+  int table_bits_;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_FPC_FPC_CODEC_H_

@@ -1,0 +1,31 @@
+#include "fpc/predictor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace isobar {
+
+FcmPredictor::FcmPredictor(int table_bits) {
+  assert(table_bits >= 1 && table_bits <= 26);
+  table_.assign(1ull << table_bits, 0);
+  mask_ = table_.size() - 1;
+}
+
+void FcmPredictor::Reset() {
+  std::fill(table_.begin(), table_.end(), 0);
+  hash_ = 0;
+}
+
+DfcmPredictor::DfcmPredictor(int table_bits) {
+  assert(table_bits >= 1 && table_bits <= 26);
+  table_.assign(1ull << table_bits, 0);
+  mask_ = table_.size() - 1;
+}
+
+void DfcmPredictor::Reset() {
+  std::fill(table_.begin(), table_.end(), 0);
+  hash_ = 0;
+  last_ = 0;
+}
+
+}  // namespace isobar

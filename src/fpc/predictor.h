@@ -1,0 +1,62 @@
+#ifndef ISOBAR_FPC_PREDICTOR_H_
+#define ISOBAR_FPC_PREDICTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace isobar {
+
+/// Finite Context Method predictor (Sazeides & Smith, MICRO 1997), as used
+/// by FPC (Burtscher & Ratanaworabhan, IEEE TC 2009): a hash of the recent
+/// value history indexes a table of the values that followed that history
+/// last time.
+class FcmPredictor {
+ public:
+  /// Table has 2^table_bits entries (each 8 bytes).
+  explicit FcmPredictor(int table_bits);
+
+  /// Predicted next value under the current context.
+  uint64_t Predict() const { return table_[hash_]; }
+
+  /// Records the actually observed value and advances the context.
+  void Update(uint64_t actual) {
+    table_[hash_] = actual;
+    hash_ = ((hash_ << 6) ^ (actual >> 48)) & mask_;
+  }
+
+  void Reset();
+
+ private:
+  std::vector<uint64_t> table_;
+  uint64_t mask_;
+  uint64_t hash_ = 0;
+};
+
+/// Differential FCM predictor (Goeman et al., HPCA 2001): like FCM but the
+/// table stores strides (value deltas), capturing arithmetic sequences that
+/// absolute-value contexts miss.
+class DfcmPredictor {
+ public:
+  explicit DfcmPredictor(int table_bits);
+
+  uint64_t Predict() const { return table_[hash_] + last_; }
+
+  void Update(uint64_t actual) {
+    const uint64_t delta = actual - last_;
+    table_[hash_] = delta;
+    hash_ = ((hash_ << 2) ^ (delta >> 40)) & mask_;
+    last_ = actual;
+  }
+
+  void Reset();
+
+ private:
+  std::vector<uint64_t> table_;
+  uint64_t mask_;
+  uint64_t hash_ = 0;
+  uint64_t last_ = 0;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_FPC_PREDICTOR_H_

@@ -1,0 +1,165 @@
+#include "fpzip/fpzip_codec.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "fpzip/lorenzo.h"
+
+namespace isobar {
+namespace {
+
+int LeadingZeroBytes(uint64_t residual, size_t width) {
+  if (residual == 0) return static_cast<int>(width);
+  const int lzb = std::countl_zero(residual) / 8 - static_cast<int>(8 - width);
+  return std::max(lzb, 0);
+}
+
+}  // namespace
+
+FpzipCodec::FpzipCodec(size_t element_width, std::vector<uint32_t> dims)
+    : element_width_(element_width), dims_(std::move(dims)) {}
+
+Status FpzipCodec::Compress(ByteSpan input, Bytes* out) const {
+  if (element_width_ != 4 && element_width_ != 8) {
+    return Status::InvalidArgument("fpzip supports 4- or 8-byte elements");
+  }
+  if (input.size() % element_width_ != 0) {
+    return Status::InvalidArgument("input is not a multiple of element width");
+  }
+  const uint64_t n = input.size() / element_width_;
+  if (n == 0) {
+    // Empty stream: header with a single zero-length dimension.
+    out->assign({static_cast<uint8_t>(element_width_), 1, 0, 0, 0, 0});
+    return Status::OK();
+  }
+
+  std::vector<uint32_t> dims = dims_;
+  if (dims.empty()) {
+    dims.push_back(static_cast<uint32_t>(n));
+  }
+  if (dims.size() > 3) {
+    return Status::InvalidArgument("fpzip supports 1-3 dimensions");
+  }
+  uint64_t total = 1;
+  for (uint32_t d : dims) {
+    if (d == 0) return Status::InvalidArgument("grid dimension must be > 0");
+    total *= d;
+  }
+  if (total != n) {
+    return Status::InvalidArgument("grid shape does not match element count");
+  }
+
+  out->clear();
+  out->reserve(input.size() / 2 + 16);
+  out->push_back(static_cast<uint8_t>(element_width_));
+  out->push_back(static_cast<uint8_t>(dims.size()));
+  for (uint32_t d : dims) AppendLE32(*out, d);
+
+  if (n == 0) return Status::OK();
+  const LorenzoPredictor predictor(dims);
+  const uint64_t value_mask =
+      element_width_ == 4 ? 0xFFFFFFFFull : ~0ull;
+
+  std::vector<uint64_t> ordered(n);
+  uint64_t i = 0;
+  while (i < n) {
+    const uint64_t pair = std::min<uint64_t>(2, n - i);
+    uint8_t header = 0;
+    uint8_t tails[16];
+    size_t tail_len = 0;
+    for (uint64_t k = 0; k < pair; ++k) {
+      const uint64_t index = i + k;
+      uint64_t bits;
+      if (element_width_ == 4) {
+        bits = OrderedFromFloatBits32(LoadLE32(input.data() + index * 4));
+      } else {
+        bits = OrderedFromFloatBits64(LoadLE64(input.data() + index * 8));
+      }
+      ordered[index] = bits;
+      const uint64_t pred = predictor.Predict(ordered, index) & value_mask;
+      const uint64_t residual = bits ^ pred;
+      const int lzb = LeadingZeroBytes(residual, element_width_);
+      header |= static_cast<uint8_t>(lzb << (4 * k));
+      const int tail_bytes = static_cast<int>(element_width_) - lzb;
+      for (int b = 0; b < tail_bytes; ++b) {
+        tails[tail_len++] = static_cast<uint8_t>(residual >> (8 * b));
+      }
+    }
+    out->push_back(header);
+    out->insert(out->end(), tails, tails + tail_len);
+    i += pair;
+  }
+  return Status::OK();
+}
+
+Status FpzipCodec::Decompress(ByteSpan input, size_t original_size,
+                              Bytes* out) const {
+  size_t pos = 0;
+  if (input.size() < 2) return Status::Corruption("fpzip: truncated header");
+  const size_t width = input[pos++];
+  if (width != 4 && width != 8) {
+    return Status::Corruption("fpzip: invalid element width in stream");
+  }
+  const size_t ndims = input[pos++];
+  if (ndims < 1 || ndims > 3) {
+    return Status::Corruption("fpzip: invalid dimensionality in stream");
+  }
+  if (input.size() < pos + 4 * ndims) {
+    return Status::Corruption("fpzip: truncated grid shape");
+  }
+  std::vector<uint32_t> dims(ndims);
+  uint64_t total = 1;
+  for (size_t i = 0; i < ndims; ++i) {
+    dims[i] = LoadLE32(input.data() + pos);
+    pos += 4;
+    total *= dims[i];  // a zero dimension encodes the empty stream
+  }
+  if (total * width != original_size) {
+    return Status::Corruption("fpzip: grid shape does not match output size");
+  }
+
+  out->clear();
+  out->reserve(original_size);
+  if (total == 0) return Status::OK();
+
+  const LorenzoPredictor predictor(dims);
+  const uint64_t value_mask = width == 4 ? 0xFFFFFFFFull : ~0ull;
+  std::vector<uint64_t> ordered(total);
+
+  uint64_t i = 0;
+  while (i < total) {
+    if (pos >= input.size()) return Status::Corruption("fpzip: truncated data");
+    const uint8_t header = input[pos++];
+    const uint64_t pair = std::min<uint64_t>(2, total - i);
+    for (uint64_t k = 0; k < pair; ++k) {
+      const int lzb = (header >> (4 * k)) & 0x0F;
+      if (lzb > static_cast<int>(width)) {
+        return Status::Corruption("fpzip: invalid residual header");
+      }
+      const int tail_bytes = static_cast<int>(width) - lzb;
+      if (pos + static_cast<size_t>(tail_bytes) > input.size()) {
+        return Status::Corruption("fpzip: truncated residual");
+      }
+      uint64_t residual = 0;
+      for (int b = 0; b < tail_bytes; ++b) {
+        residual |= static_cast<uint64_t>(input[pos++]) << (8 * b);
+      }
+      const uint64_t index = i + k;
+      const uint64_t pred = predictor.Predict(ordered, index) & value_mask;
+      const uint64_t bits = (pred ^ residual) & value_mask;
+      ordered[index] = bits;
+      if (width == 4) {
+        AppendLE32(*out, FloatBitsFromOrdered32(static_cast<uint32_t>(bits)));
+      } else {
+        AppendLE64(*out, FloatBitsFromOrdered64(bits));
+      }
+    }
+    i += pair;
+  }
+  if (pos != input.size()) {
+    return Status::Corruption("fpzip: trailing bytes in stream");
+  }
+  return Status::OK();
+}
+
+}  // namespace isobar

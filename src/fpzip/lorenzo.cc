@@ -1,0 +1,60 @@
+#include "fpzip/lorenzo.h"
+
+#include <cassert>
+
+namespace isobar {
+
+LorenzoPredictor::LorenzoPredictor(std::span<const uint32_t> dims) {
+  assert(!dims.empty() && dims.size() <= 3);
+  ndims_ = static_cast<int>(dims.size());
+  total_ = 1;
+  for (int i = 0; i < ndims_; ++i) {
+    assert(dims[i] > 0);
+    dims_[i] = dims[i];
+    total_ *= dims[i];
+  }
+  // Row-major: the last dimension is contiguous.
+  stride_[ndims_ - 1] = 1;
+  for (int i = ndims_ - 2; i >= 0; --i) {
+    stride_[i] = stride_[i + 1] * dims_[i + 1];
+  }
+}
+
+uint64_t LorenzoPredictor::Predict(const std::vector<uint64_t>& values,
+                                   uint64_t linear_index) const {
+  // Decompose into coordinates.
+  uint32_t coord[3];
+  uint64_t rest = linear_index;
+  for (int i = 0; i < ndims_; ++i) {
+    coord[i] = static_cast<uint32_t>(rest / stride_[i]);
+    rest %= stride_[i];
+  }
+
+  // Alternating-sign sum over the non-empty subsets of dimensions with a
+  // -1 offset: |S| odd contributes +v, |S| even contributes -v.
+  uint64_t prediction = 0;
+  const int subsets = 1 << ndims_;
+  for (int s = 1; s < subsets; ++s) {
+    bool in_bounds = true;
+    uint64_t index = linear_index;
+    for (int i = 0; i < ndims_; ++i) {
+      if (s & (1 << i)) {
+        if (coord[i] == 0) {
+          in_bounds = false;
+          break;
+        }
+        index -= stride_[i];
+      }
+    }
+    if (!in_bounds) continue;
+    const uint64_t v = values[index];
+    if (__builtin_popcount(static_cast<unsigned>(s)) % 2 == 1) {
+      prediction += v;  // wraparound arithmetic, as in fpzip
+    } else {
+      prediction -= v;
+    }
+  }
+  return prediction;
+}
+
+}  // namespace isobar

@@ -1,0 +1,59 @@
+#ifndef ISOBAR_FPZIP_LORENZO_H_
+#define ISOBAR_FPZIP_LORENZO_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace isobar {
+
+/// Order-preserving bijections between IEEE bit patterns and unsigned
+/// integers: negative values map below positive ones so that numeric
+/// closeness of floats implies closeness of the mapped integers. This is
+/// the integer domain in which fpzip forms and codes its residuals
+/// (Lindstrom & Isenburg, TVCG 2006).
+inline uint64_t OrderedFromFloatBits64(uint64_t bits) {
+  return (bits & 0x8000000000000000ull) ? ~bits : (bits | 0x8000000000000000ull);
+}
+inline uint64_t FloatBitsFromOrdered64(uint64_t ordered) {
+  return (ordered & 0x8000000000000000ull) ? (ordered & 0x7FFFFFFFFFFFFFFFull)
+                                           : ~ordered;
+}
+inline uint32_t OrderedFromFloatBits32(uint32_t bits) {
+  return (bits & 0x80000000u) ? ~bits : (bits | 0x80000000u);
+}
+inline uint32_t FloatBitsFromOrdered32(uint32_t ordered) {
+  return (ordered & 0x80000000u) ? (ordered & 0x7FFFFFFFu) : ~ordered;
+}
+
+/// n-dimensional Lorenzo predictor (Ibarria et al., CGF 2003): predicts the
+/// value at the "high corner" of a unit hypercube as the alternating-sign
+/// sum of the other corners. For 1-D data it degenerates to the previous
+/// value; for 2-D, v[i-1][j] + v[i][j-1] - v[i-1][j-1]; and so on.
+///
+/// Operates in the ordered-integer domain with wraparound arithmetic, as
+/// fpzip does, so prediction errors stay small for smooth fields. Grid
+/// dimensions are row-major; out-of-bounds neighbours contribute 0.
+class LorenzoPredictor {
+ public:
+  /// 1 to 3 dimensions.
+  explicit LorenzoPredictor(std::span<const uint32_t> dims);
+
+  /// Prediction for the element at `linear_index` given all previously
+  /// visited elements in `values` (the caller fills values[0 ..
+  /// linear_index-1] in row-major order before asking).
+  uint64_t Predict(const std::vector<uint64_t>& values,
+                   uint64_t linear_index) const;
+
+  uint64_t total_elements() const { return total_; }
+
+ private:
+  uint32_t dims_[3] = {1, 1, 1};
+  int ndims_ = 1;
+  uint64_t total_ = 1;
+  uint64_t stride_[3] = {1, 1, 1};  // stride of each dimension, row-major
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_FPZIP_LORENZO_H_

@@ -1,0 +1,54 @@
+#include "io/file_io.h"
+
+#include <fstream>
+
+namespace isobar {
+
+Result<Bytes> ReadFileToBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  Bytes data;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size > 0) {
+    // Seekable with a known size.
+    in.seekg(0, std::ios::beg);
+    data.resize(static_cast<size_t>(size));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+    if (!in) {
+      return Status::IOError("short read from '" + path + "'");
+    }
+    return data;
+  }
+  // Non-seekable (pipe, fifo, process substitution) or size-0 special
+  // files (/proc): stream in blocks.
+  in.clear();
+  in.seekg(0, std::ios::beg);
+  in.clear();
+  char block[64 * 1024];
+  while (in.read(block, sizeof(block)) || in.gcount() > 0) {
+    data.insert(data.end(), block, block + in.gcount());
+  }
+  if (in.bad()) {
+    return Status::IOError("read error on '" + path + "'");
+  }
+  return data;
+}
+
+Status WriteBytesToFile(const std::string& path, ByteSpan data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) {
+    return Status::IOError("write failed on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace isobar

@@ -1,0 +1,20 @@
+#ifndef ISOBAR_IO_FILE_IO_H_
+#define ISOBAR_IO_FILE_IO_H_
+
+#include <string>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Reads an entire file (or pipe/fifo — non-seekable inputs are streamed)
+/// into memory.
+Result<Bytes> ReadFileToBytes(const std::string& path);
+
+/// Writes `data` to `path`, truncating any existing file.
+Status WriteBytesToFile(const std::string& path, ByteSpan data);
+
+}  // namespace isobar
+
+#endif  // ISOBAR_IO_FILE_IO_H_

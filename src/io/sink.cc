@@ -1,0 +1,34 @@
+#include "io/sink.h"
+
+namespace isobar {
+
+FileSink::FileSink(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    status_ = Status::IOError("cannot open '" + path + "' for writing");
+  }
+}
+
+Status FileSink::Write(ByteSpan data) {
+  ISOBAR_RETURN_NOT_OK(status_);
+  out_.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+  if (!out_) {
+    status_ = Status::IOError("write failed");
+  }
+  return status_;
+}
+
+Status FileSink::Close() {
+  ISOBAR_RETURN_NOT_OK(status_);
+  out_.close();
+  if (!out_) {
+    status_ = Status::IOError("close failed");
+  } else {
+    status_ = Status::IOError("sink closed");
+    return Status::OK();
+  }
+  return status_;
+}
+
+}  // namespace isobar

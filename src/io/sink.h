@@ -1,0 +1,105 @@
+#ifndef ISOBAR_IO_SINK_H_
+#define ISOBAR_IO_SINK_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Destination for streamed container bytes (a file, a memory buffer, or
+/// a simulated storage link). Implementations must accept writes of any
+/// size and preserve ordering.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual Status Write(ByteSpan data) = 0;
+};
+
+/// Appends everything to a caller-owned buffer.
+class MemorySink final : public ByteSink {
+ public:
+  /// `target` must outlive the sink.
+  explicit MemorySink(Bytes* target) : target_(target) {}
+
+  Status Write(ByteSpan data) override {
+    target_->insert(target_->end(), data.begin(), data.end());
+    return Status::OK();
+  }
+
+ private:
+  Bytes* target_;
+};
+
+/// Writes to a file via buffered stdio-style streams.
+class FileSink final : public ByteSink {
+ public:
+  explicit FileSink(const std::string& path);
+
+  /// IOError if the file could not be opened.
+  Status status() const { return status_; }
+
+  Status Write(ByteSpan data) override;
+
+  /// Flushes and closes; further writes fail.
+  Status Close();
+
+ private:
+  std::ofstream out_;
+  Status status_;
+};
+
+/// Decorator counting the bytes that pass through.
+class CountingSink final : public ByteSink {
+ public:
+  /// `next` may be null (count-only mode); otherwise must outlive this.
+  explicit CountingSink(ByteSink* next = nullptr) : next_(next) {}
+
+  uint64_t bytes_written() const { return bytes_; }
+
+  Status Write(ByteSpan data) override {
+    bytes_ += data.size();
+    return next_ == nullptr ? Status::OK() : next_->Write(data);
+  }
+
+ private:
+  ByteSink* next_;
+  uint64_t bytes_ = 0;
+};
+
+/// Models a storage link of fixed bandwidth with a *simulated* clock: each
+/// write advances simulated time by bytes / bandwidth without sleeping.
+/// Used by the in-situ pipeline benchmarks to study the paper's
+/// motivating FLOPS-vs-filesystem imbalance at arbitrary link speeds.
+class ThrottledSink final : public ByteSink {
+ public:
+  /// `bandwidth_mbps` in MB/s (1 MB = 1e6 bytes); must be positive.
+  /// `next` may be null (discard data, keep the clock).
+  explicit ThrottledSink(double bandwidth_mbps, ByteSink* next = nullptr)
+      : bandwidth_mbps_(bandwidth_mbps), next_(next) {}
+
+  double simulated_seconds() const { return simulated_seconds_; }
+  uint64_t bytes_written() const { return bytes_; }
+
+  Status Write(ByteSpan data) override {
+    if (bandwidth_mbps_ <= 0.0) {
+      return Status::InvalidArgument("sink bandwidth must be positive");
+    }
+    bytes_ += data.size();
+    simulated_seconds_ += static_cast<double>(data.size()) / 1e6 / bandwidth_mbps_;
+    return next_ == nullptr ? Status::OK() : next_->Write(data);
+  }
+
+ private:
+  double bandwidth_mbps_;
+  ByteSink* next_;
+  double simulated_seconds_ = 0.0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_IO_SINK_H_

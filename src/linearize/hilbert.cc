@@ -1,0 +1,146 @@
+#include "linearize/hilbert.h"
+
+#include <cassert>
+
+namespace isobar {
+namespace {
+
+// Skilling's transpose representation: X[i] holds the bits of dimension i.
+// AxesToTranspose turns coordinates into the transposed Hilbert index;
+// TransposeToAxes is its inverse.
+void AxesToTranspose(uint32_t* x, int bits, int n) {
+  const uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    const uint32_t p = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < n; ++i) x[i] ^= t;
+}
+
+void TransposeToAxes(uint32_t* x, int bits, int n) {
+  const uint32_t big = 2u << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  uint32_t t = x[n - 1] >> 1;
+  for (int i = n - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (uint32_t q = 2; q != big; q <<= 1) {
+    const uint32_t p = q - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+HilbertCurve::HilbertCurve(int dimensions, int bits_per_dim)
+    : dimensions_(dimensions), bits_per_dim_(bits_per_dim) {
+  assert(dimensions >= 1 && dimensions <= 8);
+  assert(bits_per_dim >= 1 && bits_per_dim <= 20);
+  assert(dimensions * bits_per_dim <= 62);
+}
+
+uint64_t HilbertCurve::IndexFromCoords(std::span<const uint32_t> coords) const {
+  assert(coords.size() == static_cast<size_t>(dimensions_));
+  uint32_t x[8];
+  for (int i = 0; i < dimensions_; ++i) x[i] = coords[i];
+  if (dimensions_ == 1) return x[0];
+  AxesToTranspose(x, bits_per_dim_, dimensions_);
+  // Interleave transposed bits, most significant level first.
+  uint64_t index = 0;
+  for (int q = bits_per_dim_ - 1; q >= 0; --q) {
+    for (int i = 0; i < dimensions_; ++i) {
+      index = (index << 1) | ((x[i] >> q) & 1u);
+    }
+  }
+  return index;
+}
+
+void HilbertCurve::CoordsFromIndex(uint64_t index,
+                                   std::span<uint32_t> coords) const {
+  assert(coords.size() == static_cast<size_t>(dimensions_));
+  if (dimensions_ == 1) {
+    coords[0] = static_cast<uint32_t>(index);
+    return;
+  }
+  uint32_t x[8] = {};
+  int bit = dimensions_ * bits_per_dim_ - 1;
+  for (int q = bits_per_dim_ - 1; q >= 0; --q) {
+    for (int i = 0; i < dimensions_; ++i, --bit) {
+      x[i] |= static_cast<uint32_t>((index >> bit) & 1ull) << q;
+    }
+  }
+  TransposeToAxes(x, bits_per_dim_, dimensions_);
+  for (int i = 0; i < dimensions_; ++i) coords[i] = x[i];
+}
+
+Status HilbertReorder(ByteSpan data, size_t width,
+                      std::span<const uint32_t> grid_dims, Bytes* out) {
+  if (width == 0) return Status::InvalidArgument("width must be > 0");
+  const int n = static_cast<int>(grid_dims.size());
+  if (n < 1 || n > 8) {
+    return Status::InvalidArgument("grid must have 1..8 dimensions");
+  }
+  uint64_t total = 1;
+  uint32_t max_dim = 0;
+  for (uint32_t d : grid_dims) {
+    if (d == 0) return Status::InvalidArgument("grid dimension must be > 0");
+    total *= d;
+    max_dim = std::max(max_dim, d);
+  }
+  if (data.size() != total * width) {
+    return Status::InvalidArgument("data size does not match grid shape");
+  }
+
+  // Enclosing power-of-two cube.
+  int bits = 1;
+  while ((1u << bits) < max_dim) ++bits;
+  if (n * bits > 62) return Status::InvalidArgument("grid too large");
+
+  HilbertCurve curve(n, bits);
+  out->clear();
+  out->reserve(data.size());
+
+  uint32_t coords[8];
+  const uint64_t cells = curve.cell_count();
+  for (uint64_t h = 0; h < cells; ++h) {
+    curve.CoordsFromIndex(h, std::span<uint32_t>(coords, n));
+    bool inside = true;
+    uint64_t offset = 0;
+    for (int i = 0; i < n; ++i) {
+      if (coords[i] >= grid_dims[i]) {
+        inside = false;
+        break;
+      }
+      offset = offset * grid_dims[i] + coords[i];  // row-major
+    }
+    if (!inside) continue;
+    const uint8_t* src = data.data() + offset * width;
+    out->insert(out->end(), src, src + width);
+  }
+  return Status::OK();
+}
+
+}  // namespace isobar

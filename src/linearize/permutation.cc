@@ -1,0 +1,40 @@
+#include "linearize/permutation.h"
+
+#include <numeric>
+
+#include "util/random.h"
+
+namespace isobar {
+
+std::vector<uint64_t> RandomPermutation(uint64_t n, uint64_t seed) {
+  std::vector<uint64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0ull);
+  Xoshiro256 rng(seed);
+  for (uint64_t i = n; i > 1; --i) {
+    const uint64_t j = rng.NextBounded(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<uint64_t> InvertPermutation(const std::vector<uint64_t>& perm) {
+  std::vector<uint64_t> inv(perm.size());
+  for (uint64_t i = 0; i < perm.size(); ++i) inv[perm[i]] = i;
+  return inv;
+}
+
+Status ApplyPermutation(ByteSpan data, size_t width,
+                        const std::vector<uint64_t>& perm, Bytes* out) {
+  if (width == 0) return Status::InvalidArgument("width must be > 0");
+  if (data.size() != perm.size() * width) {
+    return Status::InvalidArgument("data size does not match permutation");
+  }
+  out->resize(data.size());
+  for (uint64_t i = 0; i < perm.size(); ++i) {
+    const uint8_t* src = data.data() + perm[i] * width;
+    std::copy(src, src + width, out->data() + i * width);
+  }
+  return Status::OK();
+}
+
+}  // namespace isobar

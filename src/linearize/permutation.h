@@ -1,0 +1,27 @@
+#ifndef ISOBAR_LINEARIZE_PERMUTATION_H_
+#define ISOBAR_LINEARIZE_PERMUTATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Deterministic Fisher–Yates permutation of [0, n) driven by `seed`.
+/// §III.G uses a fully random element order as the worst-case
+/// linearization; a fixed seed keeps the experiments reproducible.
+std::vector<uint64_t> RandomPermutation(uint64_t n, uint64_t seed);
+
+/// Returns the inverse permutation (inv[perm[i]] == i).
+std::vector<uint64_t> InvertPermutation(const std::vector<uint64_t>& perm);
+
+/// Reorders `width`-byte elements: out element i = input element perm[i].
+/// Fails if data.size() != perm.size() * width.
+Status ApplyPermutation(ByteSpan data, size_t width,
+                        const std::vector<uint64_t>& perm, Bytes* out);
+
+}  // namespace isobar
+
+#endif  // ISOBAR_LINEARIZE_PERMUTATION_H_

@@ -1,0 +1,240 @@
+#include "pfor/pfor_codec.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+namespace isobar {
+namespace {
+
+constexpr size_t kBlockValues = 128;
+constexpr size_t kBlockHeaderBytes = 1 + 1 + 8;
+constexpr size_t kExceptionBytes = 1 + 8;
+
+// Zigzag maps signed differences to small unsigned values so that both
+// +d and -d pack into ~log2(d)+1 bits.
+uint64_t ZigzagEncode(uint64_t diff) {
+  const int64_t s = static_cast<int64_t>(diff);
+  return (static_cast<uint64_t>(s) << 1) ^ static_cast<uint64_t>(s >> 63);
+}
+
+uint64_t ZigzagDecode(uint64_t zz) {
+  return (zz >> 1) ^ (~(zz & 1) + 1);
+}
+
+int BitWidth(uint64_t v) { return v == 0 ? 0 : 64 - std::countl_zero(v); }
+
+// LSB-first bit packer. The accumulator is 128 bits wide so a full
+// 64-bit value can land on any bit offset in [0, 7] without overflow.
+class BitPacker {
+ public:
+  explicit BitPacker(Bytes* out) : out_(out) {}
+
+  void Write(uint64_t value, int bits) {
+    const uint64_t masked =
+        bits >= 64 ? value : (value & ((1ull << bits) - 1));
+    acc_ |= static_cast<unsigned __int128>(masked) << filled_;
+    filled_ += bits;
+    while (filled_ >= 8) {
+      out_->push_back(static_cast<uint8_t>(acc_));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  void Flush() {
+    if (filled_ > 0) {
+      out_->push_back(static_cast<uint8_t>(acc_));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  Bytes* out_;
+  unsigned __int128 acc_ = 0;
+  int filled_ = 0;
+};
+
+// LSB-first bit unpacker over a fixed span; 128-bit accumulator for the
+// same reason as the packer.
+class BitUnpacker {
+ public:
+  explicit BitUnpacker(ByteSpan data) : data_(data) {}
+
+  uint64_t Read(int bits) {
+    while (filled_ < bits && pos_ < data_.size()) {
+      acc_ |= static_cast<unsigned __int128>(data_[pos_++]) << filled_;
+      filled_ += 8;
+    }
+    const uint64_t value =
+        bits >= 64 ? static_cast<uint64_t>(acc_)
+                   : static_cast<uint64_t>(acc_) & ((1ull << bits) - 1);
+    acc_ >>= bits;
+    filled_ = std::max(filled_ - bits, 0);
+    return value;
+  }
+
+ private:
+  ByteSpan data_;
+  size_t pos_ = 0;
+  unsigned __int128 acc_ = 0;
+  int filled_ = 0;
+};
+
+// Chooses the bit width minimizing the encoded size of one block.
+int ChooseBits(const uint64_t* offsets, size_t n) {
+  // count_wider[b] = offsets needing more than b bits.
+  int width_histogram[65] = {};
+  for (size_t i = 0; i < n; ++i) ++width_histogram[BitWidth(offsets[i])];
+  size_t wider = 0;
+  size_t best_cost = SIZE_MAX;
+  int best_bits = 64;
+  // Scan from 64 down, accumulating how many offsets exceed each width.
+  size_t exceeding[65];
+  for (int b = 64; b >= 0; --b) {
+    exceeding[b] = wider;
+    if (b > 0) wider += width_histogram[b];
+  }
+  for (int b = 0; b <= 64; ++b) {
+    if (exceeding[b] > 255) continue;  // exception index count is a u8... count fits, but cap anyway
+    const size_t cost =
+        (n * static_cast<size_t>(b) + 7) / 8 + exceeding[b] * kExceptionBytes;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_bits = b;
+    }
+  }
+  return best_bits;
+}
+
+}  // namespace
+
+PforCodec::PforCodec(PforMode mode) : mode_(mode) {}
+
+Status PforCodec::Compress(ByteSpan input, Bytes* out) const {
+  if (input.size() % 8 != 0) {
+    return Status::InvalidArgument("PFOR input must be 8-byte elements");
+  }
+  const size_t n = input.size() / 8;
+  out->clear();
+  out->reserve(input.size() / 2 + 16);
+  out->push_back(static_cast<uint8_t>(mode_));
+
+  std::vector<uint64_t> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = LoadLE64(input.data() + i * 8);
+  if (mode_ == PforMode::kDelta) {
+    uint64_t previous = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t current = values[i];
+      values[i] = ZigzagEncode(current - previous);
+      previous = current;
+    }
+  }
+
+  uint64_t offsets[kBlockValues];
+  for (size_t start = 0; start < n; start += kBlockValues) {
+    const size_t count = std::min(kBlockValues, n - start);
+    uint64_t base = values[start];
+    for (size_t i = 1; i < count; ++i) base = std::min(base, values[start + i]);
+    for (size_t i = 0; i < count; ++i) offsets[i] = values[start + i] - base;
+
+    const int bits = ChooseBits(offsets, count);
+    const uint64_t limit = bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+
+    uint8_t exception_index[kBlockValues];
+    uint64_t exception_value[kBlockValues];
+    size_t exceptions = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (offsets[i] > limit) {
+        exception_index[exceptions] = static_cast<uint8_t>(i);
+        exception_value[exceptions] = offsets[i];
+        ++exceptions;
+        offsets[i] = 0;  // packed slot is a placeholder
+      }
+    }
+
+    out->push_back(static_cast<uint8_t>(bits));
+    out->push_back(static_cast<uint8_t>(exceptions));
+    AppendLE64(*out, base);
+    BitPacker packer(out);
+    for (size_t i = 0; i < count; ++i) packer.Write(offsets[i], bits);
+    packer.Flush();
+    for (size_t e = 0; e < exceptions; ++e) {
+      out->push_back(exception_index[e]);
+      AppendLE64(*out, exception_value[e]);
+    }
+  }
+  return Status::OK();
+}
+
+Status PforCodec::Decompress(ByteSpan input, size_t original_size,
+                             Bytes* out) const {
+  if (original_size % 8 != 0) {
+    return Status::InvalidArgument("PFOR output size must be 8-byte aligned");
+  }
+  if (input.empty()) return Status::Corruption("pfor: empty stream");
+  const uint8_t mode_byte = input[0];
+  if (mode_byte > static_cast<uint8_t>(PforMode::kDelta)) {
+    return Status::Corruption("pfor: unknown mode");
+  }
+  const PforMode mode = static_cast<PforMode>(mode_byte);
+  const size_t n = original_size / 8;
+
+  out->clear();
+  out->reserve(original_size);
+  std::vector<uint64_t> values;
+  values.reserve(n);
+
+  size_t pos = 1;
+  size_t remaining = n;
+  while (remaining > 0) {
+    if (pos + kBlockHeaderBytes > input.size()) {
+      return Status::Corruption("pfor: truncated block header");
+    }
+    const int bits = input[pos];
+    const size_t exceptions = input[pos + 1];
+    if (bits > 64) return Status::Corruption("pfor: invalid bit width");
+    const uint64_t base = LoadLE64(input.data() + pos + 2);
+    pos += kBlockHeaderBytes;
+
+    const size_t count = std::min(kBlockValues, remaining);
+    const size_t packed_bytes = (count * static_cast<size_t>(bits) + 7) / 8;
+    if (pos + packed_bytes + exceptions * kExceptionBytes > input.size()) {
+      return Status::Corruption("pfor: truncated block payload");
+    }
+
+    const size_t block_first = values.size();
+    BitUnpacker unpacker(input.subspan(pos, packed_bytes));
+    for (size_t i = 0; i < count; ++i) {
+      values.push_back(base + unpacker.Read(bits));
+    }
+    pos += packed_bytes;
+
+    for (size_t e = 0; e < exceptions; ++e) {
+      const uint8_t index = input[pos];
+      const uint64_t offset = LoadLE64(input.data() + pos + 1);
+      pos += kExceptionBytes;
+      if (index >= count) {
+        return Status::Corruption("pfor: exception index out of range");
+      }
+      values[block_first + index] = base + offset;
+    }
+    remaining -= count;
+  }
+  if (pos != input.size()) {
+    return Status::Corruption("pfor: trailing bytes in stream");
+  }
+
+  if (mode == PforMode::kDelta) {
+    uint64_t previous = 0;
+    for (uint64_t& v : values) {
+      previous += ZigzagDecode(v);
+      v = previous;
+    }
+  }
+  for (uint64_t v : values) AppendLE64(*out, v);
+  return Status::OK();
+}
+
+}  // namespace isobar

@@ -1,0 +1,46 @@
+#include "stats/bit_frequency.h"
+
+namespace isobar {
+
+Result<BitFrequencyProfile> ComputeBitFrequency(ByteSpan data, size_t width) {
+  if (width == 0 || width > 64) {
+    return Status::InvalidArgument("element width must be in [1, 64]");
+  }
+  if (data.size() % width != 0) {
+    return Status::InvalidArgument("data size is not a multiple of width");
+  }
+
+  BitFrequencyProfile profile;
+  const size_t bits = width * 8;
+  profile.ones.assign(bits, 0);
+  profile.element_count = data.size() / width;
+
+  const uint8_t* p = data.data();
+  for (uint64_t i = 0; i < profile.element_count; ++i) {
+    for (size_t j = 0; j < width; ++j) {
+      const uint8_t byte = p[j];
+      // Bit position j*8 is the MSB of byte j *in memory order*. For
+      // little-endian IEEE data, callers that want the paper's
+      // sign-exponent-mantissa reading order (Fig. 1) should reverse the
+      // byte groups for presentation; the analysis itself is order-free.
+      for (int b = 0; b < 8; ++b) {
+        profile.ones[j * 8 + b] += (byte >> (7 - b)) & 1u;
+      }
+    }
+    p += width;
+  }
+
+  profile.probability.resize(bits);
+  const double n = static_cast<double>(profile.element_count);
+  for (size_t k = 0; k < bits; ++k) {
+    if (profile.element_count == 0) {
+      profile.probability[k] = 1.0;
+      continue;
+    }
+    const double p1 = static_cast<double>(profile.ones[k]) / n;
+    profile.probability[k] = p1 >= 0.5 ? p1 : 1.0 - p1;
+  }
+  return profile;
+}
+
+}  // namespace isobar

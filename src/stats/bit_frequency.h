@@ -1,0 +1,34 @@
+#ifndef ISOBAR_STATS_BIT_FREQUENCY_H_
+#define ISOBAR_STATS_BIT_FREQUENCY_H_
+
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Per-bit-position statistics of an array of fixed-width elements,
+/// reproducing the analysis behind Fig. 1 of the paper.
+struct BitFrequencyProfile {
+  /// probability[k], k in [0, 8*width): probability of the *more common*
+  /// bit value at bit position k, in [0.5, 1.0]. Position 0 is the most
+  /// significant bit of byte 0 (the paper plots positions 1..64 of a
+  /// double, sign bit first).
+  std::vector<double> probability;
+
+  /// ones[k]: raw count of set bits at position k.
+  std::vector<uint64_t> ones;
+
+  uint64_t element_count = 0;
+};
+
+/// Computes the bit-position probability profile of `data` interpreted as
+/// elements of `width` bytes. A value of 1.0 at a position means the bit is
+/// constant across the dataset; 0.5 means it is maximally unpredictable
+/// (noise-like, the signature of a hard-to-compress dataset).
+Result<BitFrequencyProfile> ComputeBitFrequency(ByteSpan data, size_t width);
+
+}  // namespace isobar
+
+#endif  // ISOBAR_STATS_BIT_FREQUENCY_H_

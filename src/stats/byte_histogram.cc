@@ -1,0 +1,56 @@
+#include "stats/byte_histogram.h"
+
+#include <cmath>
+
+namespace isobar {
+
+ColumnHistogramSet::ColumnHistogramSet(size_t width) : histograms_(width) {
+  for (auto& h : histograms_) h.fill(0);
+}
+
+Status ColumnHistogramSet::Update(ByteSpan data) {
+  const size_t width = histograms_.size();
+  if (width == 0) return Status::InvalidArgument("element width must be > 0");
+  if (data.size() % width != 0) {
+    return Status::InvalidArgument(
+        "data size " + std::to_string(data.size()) +
+        " is not a multiple of element width " + std::to_string(width));
+  }
+  const size_t n = data.size() / width;
+  const uint8_t* p = data.data();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < width; ++j) {
+      ++histograms_[j][p[j]];
+    }
+    p += width;
+  }
+  element_count_ += n;
+  return Status::OK();
+}
+
+uint64_t ColumnHistogramSet::MaxFrequency(size_t column) const {
+  uint64_t max = 0;
+  for (uint64_t f : histograms_[column]) {
+    if (f > max) max = f;
+  }
+  return max;
+}
+
+double ColumnHistogramSet::ColumnEntropy(size_t column) const {
+  if (element_count_ == 0) return 0.0;
+  const double n = static_cast<double>(element_count_);
+  double h = 0.0;
+  for (uint64_t f : histograms_[column]) {
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+void ColumnHistogramSet::Reset() {
+  for (auto& h : histograms_) h.fill(0);
+  element_count_ = 0;
+}
+
+}  // namespace isobar

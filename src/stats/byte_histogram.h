@@ -1,0 +1,57 @@
+#ifndef ISOBAR_STATS_BYTE_HISTOGRAM_H_
+#define ISOBAR_STATS_BYTE_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Frequency distribution of the 256 possible byte values within one
+/// byte-column (Fig. 3/4 of the paper: column j holds byte j of every
+/// element).
+using ByteHistogram = std::array<uint64_t, 256>;
+
+/// Per-column byte-value frequency counters for an array of fixed-width
+/// elements. This is the statistical core of the ISOBAR-analyzer: one
+/// histogram per byte-column, filled in a single streaming pass.
+class ColumnHistogramSet {
+ public:
+  /// `width` = ω, the element size in bytes (1..64).
+  explicit ColumnHistogramSet(size_t width);
+
+  /// Accumulates `data` (size must be a multiple of width). May be called
+  /// repeatedly to stream a large input.
+  Status Update(ByteSpan data);
+
+  size_t width() const { return histograms_.size(); }
+
+  /// Elements accumulated so far.
+  uint64_t element_count() const { return element_count_; }
+
+  /// Histogram of byte-column `column` (0-based).
+  const ByteHistogram& column(size_t column) const {
+    return histograms_[column];
+  }
+
+  /// Largest single byte-value frequency in `column`; the analyzer compares
+  /// this against the tolerance τ·N/256.
+  uint64_t MaxFrequency(size_t column) const;
+
+  /// Shannon entropy (bits/byte, 0..8) of the byte-value distribution in
+  /// `column`.
+  double ColumnEntropy(size_t column) const;
+
+  void Reset();
+
+ private:
+  std::vector<ByteHistogram> histograms_;
+  uint64_t element_count_ = 0;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_STATS_BYTE_HISTOGRAM_H_

@@ -1,0 +1,59 @@
+#include "stats/summary.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace isobar {
+namespace {
+
+// FNV-1a over one element's bytes; used as the distinct-value key.
+uint64_t HashElement(const uint8_t* p, size_t width) {
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < width; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<DataSummary> Summarize(ByteSpan data, size_t width) {
+  if (width == 0 || width > 64) {
+    return Status::InvalidArgument("element width must be in [1, 64]");
+  }
+  if (data.size() % width != 0) {
+    return Status::InvalidArgument("data size is not a multiple of width");
+  }
+
+  DataSummary summary;
+  summary.set_size_bytes = data.size();
+  summary.element_count = data.size() / width;
+  if (summary.element_count == 0) return summary;
+
+  std::unordered_map<uint64_t, uint64_t> counts;
+  counts.reserve(summary.element_count / 2 + 8);
+  const uint8_t* p = data.data();
+  for (uint64_t i = 0; i < summary.element_count; ++i, p += width) {
+    ++counts[HashElement(p, width)];
+  }
+
+  const double n = static_cast<double>(summary.element_count);
+  summary.unique_value_percent =
+      static_cast<double>(counts.size()) / n * 100.0;
+
+  double entropy = 0.0;
+  for (const auto& [hash, count] : counts) {
+    const double prob = static_cast<double>(count) / n;
+    entropy -= prob * std::log2(prob);
+  }
+  summary.shannon_entropy = entropy;
+
+  // A truly random vector of N all-unique elements has entropy log2(N).
+  const double reference = std::log2(n);
+  summary.randomness_percent =
+      reference > 0.0 ? entropy / reference * 100.0 : 100.0;
+  return summary;
+}
+
+}  // namespace isobar

@@ -1,0 +1,36 @@
+#ifndef ISOBAR_STATS_SUMMARY_H_
+#define ISOBAR_STATS_SUMMARY_H_
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Element-level statistical characteristics of a dataset, as reported in
+/// Table III of the paper.
+struct DataSummary {
+  uint64_t element_count = 0;
+  uint64_t set_size_bytes = 0;
+
+  /// Eq. 4: |V_unique| / |V| * 100, in percent.
+  double unique_value_percent = 0.0;
+
+  /// Eq. 5: Shannon entropy of the element-value distribution, bits/element.
+  double shannon_entropy = 0.0;
+
+  /// Eq. 6: H(V) / H(Random(|V|)) * 100, in percent, where the reference is
+  /// a same-length vector of all-unique elements (entropy log2(N)).
+  double randomness_percent = 0.0;
+};
+
+/// Computes Table III statistics for `data` interpreted as elements of
+/// `width` bytes. Distinct elements are tracked via a 64-bit hash of their
+/// byte representation; for the dataset sizes used here the collision bias
+/// on the entropy estimate is far below the reporting precision.
+Result<DataSummary> Summarize(ByteSpan data, size_t width);
+
+}  // namespace isobar
+
+#endif  // ISOBAR_STATS_SUMMARY_H_

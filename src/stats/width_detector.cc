@@ -1,0 +1,74 @@
+#include "stats/width_detector.h"
+
+#include <algorithm>
+
+#include "stats/byte_histogram.h"
+
+namespace isobar {
+namespace {
+
+constexpr size_t kMaxScanBytes = 4 * 1024 * 1024;
+constexpr uint64_t kMinElements = 1024;
+
+// Scores within this fraction of the minimum count as ties, resolved
+// toward the smaller width (so plain doubles read as 8, not 16 or 24).
+constexpr double kTieTolerance = 0.02;
+
+// Below this entropy spread across candidates, the data shows no
+// periodic byte structure and no width can be inferred.
+constexpr double kConfidenceSpread = 0.05;
+
+}  // namespace
+
+Result<WidthDetection> DetectElementWidth(ByteSpan data, size_t max_width) {
+  if (max_width == 0 || max_width > 64) {
+    return Status::InvalidArgument("max_width must be in [1, 64]");
+  }
+  if (data.size() < kMinElements) {
+    return Status::InvalidArgument(
+        "need at least " + std::to_string(kMinElements) +
+        " bytes to infer an element width");
+  }
+  const size_t scan = std::min(data.size(), kMaxScanBytes);
+
+  WidthDetection detection;
+  for (size_t width = 1; width <= max_width; ++width) {
+    // The element width must tile the whole input, and the scanned
+    // prefix must hold enough elements for stable statistics.
+    if (data.size() % width != 0) continue;
+    const size_t usable = scan / width * width;
+    if (usable / width < kMinElements) continue;
+
+    ColumnHistogramSet histograms(width);
+    ISOBAR_RETURN_NOT_OK(histograms.Update(data.subspan(0, usable)));
+    double mean = 0.0;
+    for (size_t j = 0; j < width; ++j) {
+      mean += histograms.ColumnEntropy(j);
+    }
+    mean /= static_cast<double>(width);
+    detection.candidates.push_back({width, mean});
+  }
+  if (detection.candidates.empty()) {
+    return Status::InvalidArgument(
+        "no candidate width divides the data size");
+  }
+
+  double best = detection.candidates.front().mean_column_entropy;
+  double worst = best;
+  for (const WidthCandidate& candidate : detection.candidates) {
+    best = std::min(best, candidate.mean_column_entropy);
+    worst = std::max(worst, candidate.mean_column_entropy);
+  }
+  const double band = best + std::max(kTieTolerance * best, kTieTolerance);
+  for (const WidthCandidate& candidate : detection.candidates) {
+    if (candidate.mean_column_entropy <= band) {
+      detection.width = candidate.width;  // smallest in band: sorted order
+      break;
+    }
+  }
+  detection.confident = (worst - best) > kConfidenceSpread;
+  if (!detection.confident) detection.width = 1;
+  return detection;
+}
+
+}  // namespace isobar

@@ -1,0 +1,49 @@
+#ifndef ISOBAR_STATS_WIDTH_DETECTOR_H_
+#define ISOBAR_STATS_WIDTH_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Evidence for one candidate element width.
+struct WidthCandidate {
+  size_t width = 0;
+  /// Mean byte-column entropy (bits/byte) when the data is viewed as
+  /// elements of this width. Structured data scores lowest at its true
+  /// width (and its multiples), because only there do the quiet bytes
+  /// line up into pure columns instead of mixing with noise bytes.
+  double mean_column_entropy = 0.0;
+};
+
+struct WidthDetection {
+  /// Smallest width whose score is within tolerance of the best score.
+  size_t width = 0;
+  /// True when the data showed any periodic byte structure at all; false
+  /// for featureless (fully random or constant) inputs, where `width`
+  /// falls back to 1.
+  bool confident = false;
+  /// All candidates, ordered by width, for diagnostics.
+  std::vector<WidthCandidate> candidates;
+};
+
+/// Infers the element width of a raw binary array from its byte-column
+/// statistics alone — the preprocessing question every tool in this
+/// repository otherwise asks the user ("is this file doubles? floats?
+/// 8-double records?").
+///
+/// Candidates are 1..max_width (default 16, up to 64); widths that do not
+/// divide the data size are skipped. At most ~4 MB of the input is
+/// scanned. A width is chosen as the smallest candidate scoring within 2%
+/// of the global entropy minimum, which makes the detector return 8 (not
+/// 16, 24, ...) for plain doubles while still resolving genuine record
+/// widths.
+Result<WidthDetection> DetectElementWidth(ByteSpan data,
+                                          size_t max_width = 16);
+
+}  // namespace isobar
+
+#endif  // ISOBAR_STATS_WIDTH_DETECTOR_H_

@@ -1,0 +1,84 @@
+#ifndef ISOBAR_UTIL_BYTES_H_
+#define ISOBAR_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace isobar {
+
+/// Owned byte buffer used throughout the library for raw and compressed data.
+using Bytes = std::vector<uint8_t>;
+
+/// Non-owning views; the library never takes ownership of caller memory.
+using ByteSpan = std::span<const uint8_t>;
+using MutableByteSpan = std::span<uint8_t>;
+
+/// Reinterprets a typed array as its raw little-endian byte representation.
+template <typename T>
+ByteSpan AsBytes(std::span<const T> values) {
+  return ByteSpan(reinterpret_cast<const uint8_t*>(values.data()),
+                  values.size() * sizeof(T));
+}
+
+template <typename T>
+ByteSpan AsBytes(const std::vector<T>& values) {
+  return AsBytes(std::span<const T>(values));
+}
+
+/// Unaligned little-endian loads/stores. All on-disk integers in the ISOBAR
+/// container format are little-endian regardless of host order.
+inline uint16_t LoadLE16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+}
+
+inline uint32_t LoadLE32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+inline uint64_t LoadLE64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadLE32(p)) |
+         static_cast<uint64_t>(LoadLE32(p + 4)) << 32;
+}
+
+inline void StoreLE16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline void StoreLE32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void StoreLE64(uint8_t* p, uint64_t v) {
+  StoreLE32(p, static_cast<uint32_t>(v));
+  StoreLE32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+/// Appends a little-endian integer to a growable buffer.
+inline void AppendLE16(Bytes& out, uint16_t v) {
+  size_t n = out.size();
+  out.resize(n + 2);
+  StoreLE16(out.data() + n, v);
+}
+
+inline void AppendLE32(Bytes& out, uint32_t v) {
+  size_t n = out.size();
+  out.resize(n + 4);
+  StoreLE32(out.data() + n, v);
+}
+
+inline void AppendLE64(Bytes& out, uint64_t v) {
+  size_t n = out.size();
+  out.resize(n + 8);
+  StoreLE64(out.data() + n, v);
+}
+
+}  // namespace isobar
+
+#endif  // ISOBAR_UTIL_BYTES_H_

@@ -1,0 +1,20 @@
+#ifndef ISOBAR_UTIL_CRC32C_H_
+#define ISOBAR_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace isobar::crc32c {
+
+/// Extends a running CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected)
+/// with `n` bytes. Start from `crc = 0` for a fresh checksum.
+uint32_t Extend(uint32_t crc, const uint8_t* data, size_t n);
+
+/// Checksum of a whole buffer.
+inline uint32_t Value(ByteSpan data) { return Extend(0, data.data(), data.size()); }
+
+}  // namespace isobar::crc32c
+
+#endif  // ISOBAR_UTIL_CRC32C_H_

@@ -1,0 +1,64 @@
+#ifndef ISOBAR_UTIL_RANDOM_H_
+#define ISOBAR_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace isobar {
+
+/// Deterministic, seedable xoshiro256** generator.
+///
+/// Used by the synthetic dataset generators and the EUPA sampling stage so
+/// that every experiment in the benchmark harness is bit-reproducible across
+/// runs. Not cryptographically secure; not intended to be.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Approximately standard-normal variate (sum of 4 uniforms, variance
+  /// corrected). Cheap and smooth enough for synthetic field generation.
+  double NextGaussian() {
+    double s = 0.0;
+    for (int i = 0; i < 4; ++i) s += NextDouble();
+    return (s - 2.0) * 1.7320508075688772;  // sqrt(12/4)
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_UTIL_RANDOM_H_

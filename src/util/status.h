@@ -1,0 +1,144 @@
+#ifndef ISOBAR_UTIL_STATUS_H_
+#define ISOBAR_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace isobar {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a malformed or out-of-range value.
+  kCorruption = 2,        ///< Stored bytes fail structural or checksum validation.
+  kNotFound = 3,          ///< Named entity (codec, dataset, file) does not exist.
+  kInternal = 4,          ///< Invariant violation inside the library.
+  kIOError = 5,           ///< Underlying file or solver library call failed.
+  kNotSupported = 6,      ///< Requested combination is recognized but unimplemented.
+};
+
+/// Returns the canonical lowercase name of a status code (e.g. "corruption").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: either OK or a code plus a human-readable
+/// message. No exceptions are thrown by library code; every public API that
+/// can fail returns a Status or a Result<T>.
+///
+/// The class is cheap to copy in the OK case (empty message) and is annotated
+/// [[nodiscard]] so ignored failures are compile-time visible.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Analogous to
+/// arrow::Result / absl::StatusOr.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites terse: `return value;` / `return Status::Corruption(...);`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Error status, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Value accessors; must not be called unless ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace isobar
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define ISOBAR_RETURN_NOT_OK(expr)                \
+  do {                                            \
+    ::isobar::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Evaluates a Result<T> expression and either assigns its value to `lhs`
+/// or returns its error Status from the enclosing function.
+#define ISOBAR_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto ISOBAR_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!ISOBAR_CONCAT_(_res_, __LINE__).ok())      \
+    return ISOBAR_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(ISOBAR_CONCAT_(_res_, __LINE__)).value()
+
+#define ISOBAR_CONCAT_IMPL_(a, b) a##b
+#define ISOBAR_CONCAT_(a, b) ISOBAR_CONCAT_IMPL_(a, b)
+
+#endif  // ISOBAR_UTIL_STATUS_H_

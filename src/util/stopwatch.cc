@@ -1,0 +1,11 @@
+#include "util/stopwatch.h"
+
+namespace isobar {
+
+double Stopwatch::ThroughputMBps(size_t bytes) const {
+  const double secs = ElapsedSeconds();
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / 1e6 / secs;
+}
+
+}  // namespace isobar

@@ -1,0 +1,34 @@
+#ifndef ISOBAR_UTIL_STOPWATCH_H_
+#define ISOBAR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstddef>
+
+namespace isobar {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness to report
+/// throughput in the paper's units (MB/s, with MB = 1e6 bytes).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Throughput in MB/s (1 MB = 1e6 bytes) for `bytes` processed since the
+  /// last Reset(). Returns 0 when elapsed time is not measurable.
+  double ThroughputMBps(size_t bytes) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace isobar
+
+#endif  // ISOBAR_UTIL_STOPWATCH_H_

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+// Elements of width 4: columns 0-1 uniform noise, column 2 skewed,
+// column 3 constant.
+Bytes MixedColumns(size_t n, uint64_t seed) {
+  Bytes data;
+  Xoshiro256 rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    data.push_back(static_cast<uint8_t>(rng.Next()));
+    data.push_back(static_cast<uint8_t>(rng.Next()));
+    data.push_back(static_cast<uint8_t>(rng.NextBounded(4)));  // 4 values only
+    data.push_back(0x7F);
+  }
+  return data;
+}
+
+TEST(AnalyzerTest, FlagsNoiseAndStructureColumns) {
+  const Analyzer analyzer;
+  auto result = analyzer.Analyze(MixedColumns(100000, 1), 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->compressible_mask, 0b1100ull);
+  EXPECT_EQ(result->compressible_columns(), 2);
+  EXPECT_DOUBLE_EQ(result->htc_byte_fraction(), 0.5);
+  EXPECT_TRUE(result->improvable());
+}
+
+TEST(AnalyzerTest, AllConstantIsUndetermined) {
+  const Analyzer analyzer;
+  Bytes data(8 * 1000, 0x11);
+  auto result = analyzer.Analyze(data, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->compressible_mask, 0xFFull);
+  EXPECT_FALSE(result->improvable());
+  EXPECT_DOUBLE_EQ(result->htc_byte_fraction(), 0.0);
+}
+
+TEST(AnalyzerTest, AllRandomIsUndetermined) {
+  const Analyzer analyzer;
+  Bytes data;
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 8 * 100000; ++i) {
+    data.push_back(static_cast<uint8_t>(rng.Next()));
+  }
+  auto result = analyzer.Analyze(data, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->compressible_mask, 0ull);
+  EXPECT_FALSE(result->improvable());
+  EXPECT_DOUBLE_EQ(result->htc_byte_fraction(), 1.0);
+}
+
+TEST(AnalyzerTest, TauExtremes) {
+  const Bytes data = MixedColumns(100000, 3);
+  // τ = 256: tolerance is N, nothing can exceed it except... everything is
+  // ≤ N, so all columns are incompressible.
+  Analyzer always_noise(AnalyzerOptions{.tau = 256.0});
+  auto result = always_noise.Analyze(data, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->compressible_mask, 0ull);
+
+  // τ = 1: tolerance is N/256, which uniform columns hover above by random
+  // fluctuation; every column is declared compressible.
+  Analyzer always_signal(AnalyzerOptions{.tau = 1.0});
+  result = always_signal.Analyze(data, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->compressible_mask, 0b1111ull);
+}
+
+TEST(AnalyzerTest, PaperTauIsStableInRecommendedRange) {
+  // §II.A: results are stable for τ in [1.4, 1.5].
+  const Bytes data = MixedColumns(375000, 4);
+  auto low = Analyzer(AnalyzerOptions{.tau = 1.4}).Analyze(data, 4);
+  auto mid = Analyzer(AnalyzerOptions{.tau = 1.42}).Analyze(data, 4);
+  auto high = Analyzer(AnalyzerOptions{.tau = 1.5}).Analyze(data, 4);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(mid.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_EQ(low->compressible_mask, mid->compressible_mask);
+  EXPECT_EQ(mid->compressible_mask, high->compressible_mask);
+}
+
+TEST(AnalyzerTest, InvalidTauRejected) {
+  const Bytes data(32, 0);
+  EXPECT_FALSE(Analyzer(AnalyzerOptions{.tau = 0.5}).Analyze(data, 8).ok());
+  EXPECT_FALSE(Analyzer(AnalyzerOptions{.tau = 300.0}).Analyze(data, 8).ok());
+}
+
+TEST(AnalyzerTest, GeometryValidation) {
+  const Analyzer analyzer;
+  EXPECT_FALSE(analyzer.Analyze(Bytes(16, 0), 0).ok());
+  EXPECT_FALSE(analyzer.Analyze(Bytes(16, 0), 65).ok());
+  EXPECT_FALSE(analyzer.Analyze(Bytes(15, 0), 8).ok());
+  EXPECT_FALSE(analyzer.Analyze({}, 8).ok());
+}
+
+TEST(AnalyzerTest, ClassifyMatchesAnalyzeOnStreamedHistograms) {
+  const Bytes data = MixedColumns(50000, 5);
+  const Analyzer analyzer;
+  auto direct = analyzer.Analyze(data, 4);
+  ASSERT_TRUE(direct.ok());
+
+  ColumnHistogramSet streamed(4);
+  const size_t half = data.size() / 2 / 4 * 4;
+  ASSERT_TRUE(streamed.Update(ByteSpan(data).subspan(0, half)).ok());
+  ASSERT_TRUE(streamed.Update(ByteSpan(data).subspan(half)).ok());
+  auto via_classify = analyzer.Classify(streamed);
+  ASSERT_TRUE(via_classify.ok());
+  EXPECT_EQ(via_classify->compressible_mask, direct->compressible_mask);
+  EXPECT_EQ(via_classify->element_count, direct->element_count);
+}
+
+TEST(AnalyzerTest, ColumnEntropyDiagnosticsPopulated) {
+  const Analyzer analyzer;
+  auto result = analyzer.Analyze(MixedColumns(50000, 6), 4);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->column_entropy.size(), 4u);
+  EXPECT_GT(result->column_entropy[0], 7.5);   // noise
+  EXPECT_LT(result->column_entropy[2], 2.5);   // 4-value column
+  EXPECT_DOUBLE_EQ(result->column_entropy[3], 0.0);  // constant
+}
+
+TEST(AnalyzerTest, SmallChunkDegeneratesToUndetermined) {
+  // With N < 256/τ the tolerance falls below one occurrence, so every
+  // column trivially exceeds it: tiny inputs are never partitioned.
+  const Analyzer analyzer;
+  Bytes data;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 8 * 100; ++i) data.push_back(static_cast<uint8_t>(rng.Next()));
+  auto result = analyzer.Analyze(data, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->compressible_mask, 0xFFull);
+  EXPECT_FALSE(result->improvable());
+}
+
+TEST(AnalyzerTest, WideElementsSupported) {
+  // ω = 16: noise in the low 8 bytes, structure in the high 8.
+  // Enough elements that uniform columns sit many sigma below the
+  // tolerance (at N=100000 the margin is ~8 sigma).
+  Bytes data;
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 100000; ++i) {
+    for (int b = 0; b < 8; ++b) data.push_back(static_cast<uint8_t>(rng.Next()));
+    for (int b = 0; b < 8; ++b) data.push_back(static_cast<uint8_t>(b));
+  }
+  const Analyzer analyzer;
+  auto result = analyzer.Analyze(data, 16);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->compressible_mask, 0xFF00ull);
+  EXPECT_TRUE(result->improvable());
+  EXPECT_DOUBLE_EQ(result->htc_byte_fraction(), 0.5);
+}
+
+}  // namespace
+}  // namespace isobar

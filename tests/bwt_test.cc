@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compressors/bwt_codec.h"
+#include "compressors/registry.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+Bytes TextLike(size_t n) {
+  const std::string phrase =
+      "block sorting brings equal contexts together; ";
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const size_t take = std::min(phrase.size(), n - out.size());
+    out.insert(out.end(), phrase.begin(), phrase.begin() + take);
+  }
+  return out;
+}
+
+Bytes RandomBytes(size_t n, uint64_t seed) {
+  Bytes out(n);
+  Xoshiro256 rng(seed);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.Next());
+  return out;
+}
+
+void RoundTrip(const Bytes& input) {
+  const BwtCodec codec;
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  ASSERT_EQ(out, input);
+}
+
+TEST(BwtCodecTest, EmptyRoundTrip) { RoundTrip({}); }
+
+TEST(BwtCodecTest, SingleByteRoundTrip) { RoundTrip({0x42}); }
+
+TEST(BwtCodecTest, PeriodicDataRoundTrips) {
+  // Identical rotations exercise the tie-handling of the suffix sort.
+  Bytes input;
+  for (int i = 0; i < 4096; ++i) input.push_back(i % 2 ? 'a' : 'b');
+  RoundTrip(input);
+  RoundTrip(Bytes(5000, 0x77));  // fully constant
+}
+
+TEST(BwtCodecTest, ClassicBananaExample) {
+  const std::string banana = "banana";
+  RoundTrip(Bytes(banana.begin(), banana.end()));
+}
+
+TEST(BwtCodecTest, TextRoundTripsAndCompresses) {
+  const Bytes input = TextLike(100000);
+  const BwtCodec codec;
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  // Highly repetitive text: block sorting should crush it.
+  EXPECT_LT(compressed.size(), input.size() / 8);
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(BwtCodecTest, RandomDataRoundTrips) {
+  RoundTrip(RandomBytes(70000, 1));
+}
+
+TEST(BwtCodecTest, MultiBlockInputRoundTrips) {
+  // > 256 KiB forces multiple BWT blocks, including a short tail block.
+  Bytes input = TextLike(300000);
+  Bytes noise = RandomBytes(50000, 2);
+  input.insert(input.end(), noise.begin(), noise.end());
+  RoundTrip(input);
+}
+
+TEST(BwtCodecTest, BlockBoundaryExactMultiple) {
+  RoundTrip(TextLike(256 * 1024));      // exactly one block
+  RoundTrip(TextLike(2 * 256 * 1024));  // exactly two blocks
+}
+
+TEST(BwtCodecTest, BeatsPlainHuffmanOnContextualData) {
+  // Order-0 Huffman cannot exploit context; BWT+MTF turns context into
+  // zero runs. Text must compress far better through the full pipeline.
+  const Bytes input = TextLike(200000);
+  const BwtCodec bwt;
+  Bytes bwt_out;
+  ASSERT_TRUE(bwt.Compress(input, &bwt_out).ok());
+
+  auto huffman = GetCodecByName("huffman");
+  ASSERT_TRUE(huffman.ok());
+  Bytes huffman_out;
+  ASSERT_TRUE((*huffman)->Compress(input, &huffman_out).ok());
+  EXPECT_LT(bwt_out.size(), huffman_out.size() / 3);
+}
+
+TEST(BwtCodecTest, CorruptStreamsDetected) {
+  const Bytes input = TextLike(50000);
+  const BwtCodec codec;
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  Bytes out;
+
+  // Wrong expected size.
+  EXPECT_FALSE(codec.Decompress(compressed, input.size() - 1, &out).ok());
+  // Truncations.
+  for (size_t cut : {size_t{4}, size_t{10}, compressed.size() / 2,
+                     compressed.size() - 1}) {
+    ByteSpan prefix(compressed.data(), cut);
+    EXPECT_FALSE(codec.Decompress(prefix, input.size(), &out).ok())
+        << "cut " << cut;
+  }
+  // Primary index out of range.
+  Bytes bad_primary = compressed;
+  StoreLE32(bad_primary.data() + 8, 0xFFFFFFFFu);
+  EXPECT_EQ(codec.Decompress(bad_primary, input.size(), &out).code(),
+            StatusCode::kCorruption);
+  // Implausible transformed size.
+  Bytes bad_size = compressed;
+  StoreLE32(bad_size.data() + 12, 0xFFFFFFFFu);
+  EXPECT_EQ(codec.Decompress(bad_size, input.size(), &out).code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace isobar

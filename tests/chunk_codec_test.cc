@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "compressors/registry.h"
+#include "core/chunk_codec.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+// width 4: columns 0-1 noise, 2 skewed, 3 constant.
+Bytes MixedChunk(size_t n, uint64_t seed) {
+  Bytes data;
+  Xoshiro256 rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    data.push_back(static_cast<uint8_t>(rng.Next()));
+    data.push_back(static_cast<uint8_t>(rng.Next()));
+    data.push_back(static_cast<uint8_t>(rng.NextBounded(4)));
+    data.push_back(0x99);
+  }
+  return data;
+}
+
+const Codec& Zlib() { return **GetCodec(CodecId::kZlib); }
+
+TEST(ChunkCodecTest, EncodeDecodeRoundTrip) {
+  const Bytes chunk = MixedChunk(50000, 1);
+  const Analyzer analyzer;
+  Bytes record;
+  CompressionStats stats;
+  ASSERT_TRUE(EncodeChunk(analyzer, Zlib(), Linearization::kRow, chunk, 4,
+                          &record, &stats)
+                  .ok());
+  EXPECT_EQ(stats.chunk_count, 1u);
+  EXPECT_EQ(stats.improvable_chunks, 1u);
+  EXPECT_NEAR(stats.mean_htc_fraction, 0.5, 1e-9);
+  EXPECT_LT(record.size(), chunk.size());  // 2 of 4 columns compress away
+
+  size_t offset = 0;
+  Bytes out;
+  ASSERT_TRUE(DecodeChunk(record, &offset, Zlib(), Linearization::kRow, 4,
+                          /*max_elements=*/50000, /*verify=*/true, &out)
+                  .ok());
+  EXPECT_EQ(offset, record.size());
+  EXPECT_EQ(out, chunk);
+}
+
+TEST(ChunkCodecTest, StatsAccumulateAcrossChunks) {
+  const Analyzer analyzer;
+  CompressionStats stats;
+  Bytes record;
+  // One improvable chunk (htc 0.5) and one undetermined (htc 0 with an
+  // all-compressible verdict -> constant data).
+  ASSERT_TRUE(EncodeChunk(analyzer, Zlib(), Linearization::kRow,
+                          MixedChunk(20000, 2), 4, &record, &stats)
+                  .ok());
+  ASSERT_TRUE(EncodeChunk(analyzer, Zlib(), Linearization::kRow,
+                          Bytes(20000 * 4, 0x11), 4, &record, &stats)
+                  .ok());
+  EXPECT_EQ(stats.chunk_count, 2u);
+  EXPECT_EQ(stats.improvable_chunks, 1u);
+  EXPECT_TRUE(stats.improvable);
+  EXPECT_NEAR(stats.mean_htc_fraction, 0.25, 1e-9);  // mean of 0.5 and 0
+  EXPECT_GT(stats.analysis_seconds, 0.0);
+  EXPECT_GT(stats.codec_seconds, 0.0);
+}
+
+TEST(ChunkCodecTest, NullStatsAccepted) {
+  const Analyzer analyzer;
+  Bytes record;
+  ASSERT_TRUE(EncodeChunk(analyzer, Zlib(), Linearization::kColumn,
+                          MixedChunk(5000, 3), 4, &record, nullptr)
+                  .ok());
+}
+
+TEST(ChunkCodecTest, SequentialRecordsDecodeInOrder) {
+  const Analyzer analyzer;
+  const Bytes chunk_a = MixedChunk(10000, 4);
+  const Bytes chunk_b = MixedChunk(7000, 5);
+  Bytes records;
+  ASSERT_TRUE(EncodeChunk(analyzer, Zlib(), Linearization::kColumn, chunk_a,
+                          4, &records, nullptr)
+                  .ok());
+  ASSERT_TRUE(EncodeChunk(analyzer, Zlib(), Linearization::kColumn, chunk_b,
+                          4, &records, nullptr)
+                  .ok());
+
+  size_t offset = 0;
+  Bytes out;
+  ASSERT_TRUE(DecodeChunk(records, &offset, Zlib(), Linearization::kColumn,
+                          4, 10000, true, &out)
+                  .ok());
+  ASSERT_TRUE(DecodeChunk(records, &offset, Zlib(), Linearization::kColumn,
+                          4, 10000, true, &out)
+                  .ok());
+  EXPECT_EQ(offset, records.size());
+  Bytes expected = chunk_a;
+  expected.insert(expected.end(), chunk_b.begin(), chunk_b.end());
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ChunkCodecTest, ElementCountAboveBoundRejected) {
+  const Analyzer analyzer;
+  const Bytes chunk = MixedChunk(10000, 6);
+  Bytes record;
+  ASSERT_TRUE(EncodeChunk(analyzer, Zlib(), Linearization::kRow, chunk, 4,
+                          &record, nullptr)
+                  .ok());
+  size_t offset = 0;
+  Bytes out;
+  auto status = DecodeChunk(record, &offset, Zlib(), Linearization::kRow, 4,
+                            /*max_elements=*/9999, true, &out);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(ChunkCodecTest, WrongLinearizationFailsChecksum) {
+  // Decoding with the wrong linearization scatters bytes to the wrong
+  // positions; the chunk CRC must catch it.
+  const Analyzer analyzer;
+  const Bytes chunk = MixedChunk(20000, 7);
+  Bytes record;
+  ASSERT_TRUE(EncodeChunk(analyzer, Zlib(), Linearization::kColumn, chunk, 4,
+                          &record, nullptr)
+                  .ok());
+  size_t offset = 0;
+  Bytes out;
+  auto status = DecodeChunk(record, &offset, Zlib(), Linearization::kRow, 4,
+                            20000, true, &out);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(ChunkCodecTest, WrongCodecFailsCleanly) {
+  const Analyzer analyzer;
+  const Bytes chunk = MixedChunk(20000, 8);
+  Bytes record;
+  ASSERT_TRUE(EncodeChunk(analyzer, Zlib(), Linearization::kRow, chunk, 4,
+                          &record, nullptr)
+                  .ok());
+  size_t offset = 0;
+  Bytes out;
+  const Codec& bzip2 = **GetCodec(CodecId::kBzip2);
+  auto status =
+      DecodeChunk(record, &offset, bzip2, Linearization::kRow, 4, 20000,
+                  true, &out);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace isobar

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/chunker.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+Bytes SequentialBytes(size_t n) {
+  Bytes out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint8_t>(i);
+  return out;
+}
+
+TEST(ChunkerTest, ExactMultipleSplitsEvenly) {
+  const Bytes data = SequentialBytes(8 * 100);
+  Chunker chunker(data, 8, 25);
+  EXPECT_EQ(chunker.chunk_count(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(chunker.chunk_elements(i), 25u);
+    EXPECT_EQ(chunker.chunk(i).size(), 200u);
+  }
+}
+
+TEST(ChunkerTest, RemainderGoesToLastChunk) {
+  const Bytes data = SequentialBytes(8 * 103);
+  Chunker chunker(data, 8, 25);
+  EXPECT_EQ(chunker.chunk_count(), 5u);
+  EXPECT_EQ(chunker.chunk_elements(3), 25u);
+  EXPECT_EQ(chunker.chunk_elements(4), 3u);
+  EXPECT_EQ(chunker.chunk(4).size(), 24u);
+}
+
+TEST(ChunkerTest, ChunksViewOriginalBytes) {
+  const Bytes data = SequentialBytes(16 * 10);
+  Chunker chunker(data, 16, 4);
+  // Chunk 1 starts at element 4, byte 64.
+  ByteSpan c1 = chunker.chunk(1);
+  ASSERT_EQ(c1.size(), 64u);
+  EXPECT_EQ(c1.data(), data.data() + 64);
+  EXPECT_EQ(c1[0], 64);
+}
+
+TEST(ChunkerTest, SingleOversizedChunk) {
+  const Bytes data = SequentialBytes(8 * 10);
+  Chunker chunker(data, 8, 1000000);
+  EXPECT_EQ(chunker.chunk_count(), 1u);
+  EXPECT_EQ(chunker.chunk_elements(0), 10u);
+}
+
+TEST(ChunkerTest, EmptyDataHasNoChunks) {
+  Chunker chunker({}, 8, 100);
+  EXPECT_EQ(chunker.chunk_count(), 0u);
+}
+
+TEST(ChunkerTest, InvalidGeometryYieldsNoChunks) {
+  const Bytes data = SequentialBytes(15);
+  EXPECT_EQ(Chunker(data, 8, 100).chunk_count(), 0u);   // misaligned
+  EXPECT_EQ(Chunker(data, 0, 100).chunk_count(), 0u);   // zero width
+  EXPECT_EQ(Chunker(SequentialBytes(16), 8, 0).chunk_count(), 0u);  // zero chunk
+}
+
+TEST(ChunkerTest, OutOfRangeChunkIsEmpty) {
+  const Bytes data = SequentialBytes(8 * 10);
+  Chunker chunker(data, 8, 4);
+  EXPECT_TRUE(chunker.chunk(99).empty());
+  EXPECT_EQ(chunker.chunk_elements(99), 0u);
+}
+
+TEST(ChunkerTest, DefaultChunkSizeMatchesPaper) {
+  // Fig. 8: ratios settle at ~375,000 doubles ≈ 3 MB.
+  EXPECT_EQ(kDefaultChunkElements, 375000u);
+}
+
+TEST(ChunkerTest, ChunksConcatenateToOriginal) {
+  const Bytes data = SequentialBytes(8 * 97);
+  Chunker chunker(data, 8, 13);
+  Bytes reassembled;
+  for (uint64_t i = 0; i < chunker.chunk_count(); ++i) {
+    ByteSpan c = chunker.chunk(i);
+    reassembled.insert(reassembled.end(), c.begin(), c.end());
+  }
+  EXPECT_EQ(reassembled, data);
+}
+
+}  // namespace
+}  // namespace isobar

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compressors/codec.h"
+#include "compressors/lzss_codec.h"
+#include "compressors/registry.h"
+#include "compressors/rle_codec.h"
+#include "compressors/zlib_codec.h"
+#include "compressors/bzip2_codec.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+Bytes RandomBytes(size_t n, uint64_t seed) {
+  Bytes out(n);
+  Xoshiro256 rng(seed);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.Next());
+  return out;
+}
+
+Bytes RepetitiveBytes(size_t n) {
+  Bytes out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>((i / 97) % 7);
+  }
+  return out;
+}
+
+Bytes TextLikeBytes(size_t n) {
+  const std::string phrase =
+      "the isobar preconditioner separates signal from noise; ";
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const size_t take = std::min(phrase.size(), n - out.size());
+    out.insert(out.end(), phrase.begin(), phrase.begin() + take);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property over every registered codec and several data shapes.
+
+struct RoundTripCase {
+  CodecId id;
+  const char* shape;
+};
+
+class CodecRoundTripTest
+    : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(CodecRoundTripTest, CompressThenDecompressIsIdentity) {
+  const RoundTripCase& param = GetParam();
+  auto codec_result = GetCodec(param.id);
+  ASSERT_TRUE(codec_result.ok());
+  const Codec* codec = *codec_result;
+
+  Bytes input;
+  const std::string shape = param.shape;
+  if (shape == "empty") {
+    input = {};
+  } else if (shape == "single") {
+    input = {0x5A};
+  } else if (shape == "random") {
+    input = RandomBytes(10000, 17);
+  } else if (shape == "repetitive") {
+    input = RepetitiveBytes(10000);
+  } else if (shape == "text") {
+    input = TextLikeBytes(10000);
+  } else if (shape == "allzero") {
+    input = Bytes(10000, 0);
+  }
+
+  Bytes compressed;
+  ASSERT_TRUE(codec->Compress(input, &compressed).ok());
+  Bytes output;
+  ASSERT_TRUE(codec->Decompress(compressed, input.size(), &output).ok());
+  EXPECT_EQ(input, output);
+}
+
+std::string CaseName(const ::testing::TestParamInfo<RoundTripCase>& info) {
+  return std::string(CodecIdToString(info.param.id)) + "_" + info.param.shape;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsAllShapes, CodecRoundTripTest,
+    ::testing::Values(
+        RoundTripCase{CodecId::kStored, "empty"},
+        RoundTripCase{CodecId::kStored, "single"},
+        RoundTripCase{CodecId::kStored, "random"},
+        RoundTripCase{CodecId::kZlib, "empty"},
+        RoundTripCase{CodecId::kZlib, "single"},
+        RoundTripCase{CodecId::kZlib, "random"},
+        RoundTripCase{CodecId::kZlib, "repetitive"},
+        RoundTripCase{CodecId::kZlib, "text"},
+        RoundTripCase{CodecId::kZlib, "allzero"},
+        RoundTripCase{CodecId::kBzip2, "single"},
+        RoundTripCase{CodecId::kBzip2, "random"},
+        RoundTripCase{CodecId::kBzip2, "repetitive"},
+        RoundTripCase{CodecId::kBzip2, "text"},
+        RoundTripCase{CodecId::kBzip2, "allzero"},
+        RoundTripCase{CodecId::kRle, "empty"},
+        RoundTripCase{CodecId::kRle, "single"},
+        RoundTripCase{CodecId::kRle, "random"},
+        RoundTripCase{CodecId::kRle, "repetitive"},
+        RoundTripCase{CodecId::kRle, "text"},
+        RoundTripCase{CodecId::kRle, "allzero"},
+        RoundTripCase{CodecId::kLzss, "empty"},
+        RoundTripCase{CodecId::kLzss, "single"},
+        RoundTripCase{CodecId::kLzss, "random"},
+        RoundTripCase{CodecId::kLzss, "repetitive"},
+        RoundTripCase{CodecId::kLzss, "text"},
+        RoundTripCase{CodecId::kLzss, "allzero"},
+        RoundTripCase{CodecId::kHuffman, "empty"},
+        RoundTripCase{CodecId::kHuffman, "single"},
+        RoundTripCase{CodecId::kHuffman, "random"},
+        RoundTripCase{CodecId::kHuffman, "repetitive"},
+        RoundTripCase{CodecId::kHuffman, "text"},
+        RoundTripCase{CodecId::kHuffman, "allzero"},
+        RoundTripCase{CodecId::kBwt, "empty"},
+        RoundTripCase{CodecId::kBwt, "single"},
+        RoundTripCase{CodecId::kBwt, "random"},
+        RoundTripCase{CodecId::kBwt, "repetitive"},
+        RoundTripCase{CodecId::kBwt, "text"},
+        RoundTripCase{CodecId::kBwt, "allzero"}),
+    CaseName);
+
+// ---------------------------------------------------------------------------
+// Compression effectiveness sanity: structured data must actually shrink.
+
+class CodecShrinkTest : public ::testing::TestWithParam<CodecId> {};
+
+TEST_P(CodecShrinkTest, StructuredDataShrinks) {
+  auto codec = GetCodec(GetParam());
+  ASSERT_TRUE(codec.ok());
+  const Bytes input = RepetitiveBytes(64 * 1024);
+  Bytes compressed;
+  ASSERT_TRUE((*codec)->Compress(input, &compressed).ok());
+  EXPECT_LT(compressed.size(), input.size() / 2)
+      << CodecIdToString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(RealCodecs, CodecShrinkTest,
+                         ::testing::Values(CodecId::kZlib, CodecId::kBzip2,
+                                           CodecId::kRle, CodecId::kLzss,
+                                           CodecId::kHuffman, CodecId::kBwt),
+                         [](const auto& info) {
+                           return std::string(CodecIdToString(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Error paths.
+
+TEST(StoredCodecTest, SizeMismatchIsCorruption) {
+  StoredCodec codec;
+  Bytes out;
+  Bytes data = {1, 2, 3};
+  EXPECT_EQ(codec.Decompress(data, 4, &out).code(), StatusCode::kCorruption);
+}
+
+TEST(ZlibCodecTest, GarbageInputIsCorruption) {
+  ZlibCodec codec;
+  Bytes garbage = RandomBytes(100, 3);
+  Bytes out;
+  EXPECT_EQ(codec.Decompress(garbage, 1000, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ZlibCodecTest, WrongOriginalSizeIsCorruption) {
+  ZlibCodec codec;
+  Bytes input = TextLikeBytes(1000);
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  Bytes out;
+  EXPECT_FALSE(codec.Decompress(compressed, 999, &out).ok());
+  EXPECT_FALSE(codec.Decompress(compressed, 1001, &out).ok());
+}
+
+TEST(Bzip2CodecTest, GarbageInputIsCorruption) {
+  Bzip2Codec codec;
+  Bytes garbage = RandomBytes(100, 4);
+  Bytes out;
+  EXPECT_EQ(codec.Decompress(garbage, 1000, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ZlibCodecTest, LevelIsClamped) {
+  EXPECT_EQ(ZlibCodec(0).level(), 1);
+  EXPECT_EQ(ZlibCodec(99).level(), 9);
+  EXPECT_EQ(ZlibCodec(6).level(), 6);
+}
+
+TEST(Bzip2CodecTest, BlockSizeIsClamped) {
+  EXPECT_EQ(Bzip2Codec(0).block_size_100k(), 1);
+  EXPECT_EQ(Bzip2Codec(42).block_size_100k(), 9);
+}
+
+TEST(ZlibCodecTest, HigherLevelNoWorseOnText) {
+  const Bytes input = TextLikeBytes(256 * 1024);
+  Bytes fast, best;
+  ASSERT_TRUE(ZlibCodec(1).Compress(input, &fast).ok());
+  ASSERT_TRUE(ZlibCodec(9).Compress(input, &best).ok());
+  EXPECT_LE(best.size(), fast.size());
+}
+
+// ---------------------------------------------------------------------------
+// RLE stream format specifics.
+
+TEST(RleCodecTest, EncodesLongRunsCompactly) {
+  RleCodec codec;
+  Bytes input(130, 0xAB);  // exactly the maximum repeat run
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  EXPECT_EQ(compressed.size(), 2u);
+  Bytes out;
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(RleCodecTest, RunJustOverMaxSplits) {
+  RleCodec codec;
+  Bytes input(131, 0xCD);
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  Bytes out;
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(RleCodecTest, TwoByteRunsStayLiteral) {
+  RleCodec codec;
+  Bytes input = {1, 1, 2, 2, 3, 3};  // runs below the repeat threshold
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  EXPECT_EQ(compressed.size(), input.size() + 1);  // one literal header
+  Bytes out;
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(RleCodecTest, TruncatedStreamIsCorruption) {
+  RleCodec codec;
+  Bytes input(100, 0x11);
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  compressed.pop_back();
+  Bytes out;
+  EXPECT_EQ(codec.Decompress(compressed, input.size(), &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(RleCodecTest, OverlongStreamIsCorruption) {
+  RleCodec codec;
+  Bytes input(100, 0x22);
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  Bytes out;
+  EXPECT_EQ(codec.Decompress(compressed, 50, &out).code(),
+            StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// LZSS stream format specifics.
+
+TEST(LzssCodecTest, OverlappingMatchDecodesByteAtATime) {
+  // "abcabcabc..." forces matches whose source overlaps their destination.
+  LzssCodec codec;
+  Bytes input;
+  for (int i = 0; i < 1000; ++i) input.push_back(static_cast<uint8_t>('a' + i % 3));
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  EXPECT_LT(compressed.size(), input.size() / 3);
+  Bytes out;
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(LzssCodecTest, MatchBeyondWindowNotUsed) {
+  // A repeated block separated by > 4 KiB of noise: the second copy cannot
+  // reference the first, but the stream must still round-trip.
+  LzssCodec codec;
+  Bytes block = TextLikeBytes(512);
+  Bytes input = block;
+  Bytes noise = RandomBytes(8192, 5);
+  input.insert(input.end(), noise.begin(), noise.end());
+  input.insert(input.end(), block.begin(), block.end());
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(LzssCodecTest, CorruptMatchDistanceDetected) {
+  // Hand-craft a stream whose match points before the start of output.
+  Bytes stream = {0x00, 0xFF, 0x0F};  // 8 match tokens; first: dist 4096
+  LzssCodec codec;
+  Bytes out;
+  EXPECT_EQ(codec.Decompress(stream, 100, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(LzssCodecTest, TruncatedLiteralDetected) {
+  Bytes stream = {0xFF};  // flags promise 8 literals, none present
+  LzssCodec codec;
+  Bytes out;
+  EXPECT_EQ(codec.Decompress(stream, 8, &out).code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+TEST(RegistryTest, LooksUpEveryIdAndName) {
+  for (CodecId id : AllCodecIds()) {
+    auto by_id = GetCodec(id);
+    ASSERT_TRUE(by_id.ok());
+    EXPECT_EQ((*by_id)->id(), id);
+    auto by_name = GetCodecByName(CodecIdToString(id));
+    ASSERT_TRUE(by_name.ok());
+    EXPECT_EQ(*by_id, *by_name);  // singletons
+  }
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  EXPECT_EQ(GetCodecByName("lz4").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, UnknownIdIsNotFound) {
+  EXPECT_EQ(GetCodec(static_cast<CodecId>(250)).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace isobar

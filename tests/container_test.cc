@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "core/container.h"
+
+namespace isobar::container {
+namespace {
+
+Header SampleHeader() {
+  Header h;
+  h.width = 8;
+  h.codec = CodecId::kBzip2;
+  h.linearization = Linearization::kColumn;
+  h.preference = Preference::kRatio;
+  h.tau_centi = 142;
+  h.element_count = 1234567;
+  h.chunk_elements = 375000;
+  h.chunk_count = 4;
+  return h;
+}
+
+ChunkHeader SampleChunkHeader() {
+  ChunkHeader ch;
+  ch.element_count = 375000;
+  ch.compressible_mask = 0xC1;
+  ch.flags = 0;
+  ch.crc32c = 0xDEADBEEF;
+  ch.compressed_size = 0;
+  ch.raw_size = 0;
+  return ch;
+}
+
+TEST(ContainerHeaderTest, SerializeParseRoundTrip) {
+  Bytes buffer;
+  AppendHeader(SampleHeader(), &buffer);
+  EXPECT_EQ(buffer.size(), kHeaderSize);
+
+  size_t offset = 0;
+  auto parsed = ParseHeader(buffer, &offset);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(offset, kHeaderSize);
+  EXPECT_EQ(parsed->width, 8);
+  EXPECT_EQ(parsed->codec, CodecId::kBzip2);
+  EXPECT_EQ(parsed->linearization, Linearization::kColumn);
+  EXPECT_EQ(parsed->preference, Preference::kRatio);
+  EXPECT_EQ(parsed->tau_centi, 142);
+  EXPECT_EQ(parsed->element_count, 1234567u);
+  EXPECT_EQ(parsed->chunk_elements, 375000u);
+  EXPECT_EQ(parsed->chunk_count, 4u);
+}
+
+TEST(ContainerHeaderTest, BadMagicRejected) {
+  Bytes buffer;
+  AppendHeader(SampleHeader(), &buffer);
+  buffer[0] ^= 0xFF;
+  size_t offset = 0;
+  EXPECT_EQ(ParseHeader(buffer, &offset).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ContainerHeaderTest, UnsupportedVersionRejected) {
+  Bytes buffer;
+  AppendHeader(SampleHeader(), &buffer);
+  StoreLE16(buffer.data() + 4, 999);
+  size_t offset = 0;
+  EXPECT_EQ(ParseHeader(buffer, &offset).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(ContainerHeaderTest, InvalidFieldsRejected) {
+  {
+    Bytes buffer;
+    AppendHeader(SampleHeader(), &buffer);
+    buffer[8] = 0;  // width
+    size_t offset = 0;
+    EXPECT_FALSE(ParseHeader(buffer, &offset).ok());
+  }
+  {
+    Bytes buffer;
+    AppendHeader(SampleHeader(), &buffer);
+    buffer[8] = 65;  // width too large
+    size_t offset = 0;
+    EXPECT_FALSE(ParseHeader(buffer, &offset).ok());
+  }
+  {
+    Bytes buffer;
+    AppendHeader(SampleHeader(), &buffer);
+    buffer[9] = 99;  // unknown codec
+    size_t offset = 0;
+    EXPECT_FALSE(ParseHeader(buffer, &offset).ok());
+  }
+  {
+    Bytes buffer;
+    AppendHeader(SampleHeader(), &buffer);
+    buffer[10] = 2;  // unknown linearization
+    size_t offset = 0;
+    EXPECT_FALSE(ParseHeader(buffer, &offset).ok());
+  }
+  {
+    Bytes buffer;
+    AppendHeader(SampleHeader(), &buffer);
+    buffer[11] = 7;  // unknown preference
+    size_t offset = 0;
+    EXPECT_FALSE(ParseHeader(buffer, &offset).ok());
+  }
+}
+
+TEST(ContainerHeaderTest, TruncationAtEveryPrefixRejected) {
+  Bytes buffer;
+  AppendHeader(SampleHeader(), &buffer);
+  for (size_t len = 0; len < buffer.size(); ++len) {
+    size_t offset = 0;
+    ByteSpan prefix(buffer.data(), len);
+    EXPECT_FALSE(ParseHeader(prefix, &offset).ok()) << "length " << len;
+  }
+}
+
+TEST(ContainerHeaderTest, ParsesAtNonZeroOffset) {
+  Bytes buffer(10, 0xEE);
+  AppendHeader(SampleHeader(), &buffer);
+  size_t offset = 10;
+  auto parsed = ParseHeader(buffer, &offset);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(offset, 10 + kHeaderSize);
+}
+
+TEST(ChunkHeaderTest, SerializeParseRoundTrip) {
+  ChunkHeader ch = SampleChunkHeader();
+  ch.flags = kChunkUndetermined;
+  ch.compressed_size = 100;
+  Bytes buffer;
+  AppendChunkHeader(ch, &buffer);
+  EXPECT_EQ(buffer.size(), kChunkHeaderSize);
+  buffer.resize(buffer.size() + 100);  // payload present
+
+  size_t offset = 0;
+  auto parsed = ParseChunkHeader(buffer, &offset);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(offset, kChunkHeaderSize);
+  EXPECT_EQ(parsed->element_count, 375000u);
+  EXPECT_EQ(parsed->compressible_mask, 0xC1u);
+  EXPECT_EQ(parsed->flags, kChunkUndetermined);
+  EXPECT_EQ(parsed->crc32c, 0xDEADBEEFu);
+  EXPECT_EQ(parsed->compressed_size, 100u);
+  EXPECT_EQ(parsed->raw_size, 0u);
+}
+
+TEST(ChunkHeaderTest, UnknownFlagsRejected) {
+  ChunkHeader ch = SampleChunkHeader();
+  ch.flags = 0x80;
+  Bytes buffer;
+  AppendChunkHeader(ch, &buffer);
+  size_t offset = 0;
+  EXPECT_EQ(ParseChunkHeader(buffer, &offset).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ChunkHeaderTest, PayloadSizeOverflowRejected) {
+  // Sizes chosen so compressed + raw wraps past 2^64; the parser must not
+  // be fooled by the wrapped sum.
+  ChunkHeader ch = SampleChunkHeader();
+  ch.compressed_size = ~0ull - 10;
+  ch.raw_size = 100;
+  Bytes buffer;
+  AppendChunkHeader(ch, &buffer);
+  buffer.resize(buffer.size() + 64);
+  size_t offset = 0;
+  EXPECT_EQ(ParseChunkHeader(buffer, &offset).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ChunkHeaderTest, MissingPayloadRejected) {
+  ChunkHeader ch = SampleChunkHeader();
+  ch.compressed_size = 50;
+  ch.raw_size = 50;
+  Bytes buffer;
+  AppendChunkHeader(ch, &buffer);
+  buffer.resize(buffer.size() + 99);  // one byte short
+  size_t offset = 0;
+  EXPECT_EQ(ParseChunkHeader(buffer, &offset).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ChunkHeaderTest, SequentialChunksParse) {
+  Bytes buffer;
+  for (int i = 0; i < 3; ++i) {
+    ChunkHeader ch = SampleChunkHeader();
+    ch.element_count = 100 + i;
+    ch.compressed_size = static_cast<uint64_t>(i);
+    AppendChunkHeader(ch, &buffer);
+    buffer.resize(buffer.size() + i);  // payload
+  }
+  size_t offset = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto parsed = ParseChunkHeader(buffer, &offset);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->element_count, 100u + i);
+    offset += parsed->compressed_size + parsed->raw_size;
+  }
+  EXPECT_EQ(offset, buffer.size());
+}
+
+}  // namespace
+}  // namespace isobar::container

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "core/analyzer.h"
+#include "datagen/generators.h"
+#include "datagen/registry.h"
+#include "datagen/time_series.h"
+#include "stats/summary.h"
+
+namespace isobar {
+namespace {
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorParams params;
+  auto a = GenerateArray(ElementType::kFloat64, params, 1000, 42);
+  auto b = GenerateArray(ElementType::kFloat64, params, 1000, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->data, b->data);
+  auto c = GenerateArray(ElementType::kFloat64, params, 1000, 43);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->data, c->data);
+}
+
+TEST(GeneratorTest, ProducesRequestedGeometry) {
+  GeneratorParams params;
+  params.noise_bytes = 2;  // within the 4-byte float element
+  auto d = GenerateArray(ElementType::kFloat32, params, 2500, 1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->width(), 4u);
+  EXPECT_EQ(d->element_count(), 2500u);
+  EXPECT_EQ(d->data.size(), 10000u);
+}
+
+TEST(GeneratorTest, SmoothValuesStayInOneBinade) {
+  GeneratorParams params;
+  params.noise_bytes = 0;  // pure signal
+  auto d = GenerateArray(ElementType::kFloat64, params, 5000, 11);
+  ASSERT_TRUE(d.ok());
+  for (uint64_t i = 0; i < d->element_count(); ++i) {
+    double v;
+    std::memcpy(&v, d->data.data() + i * 8, 8);
+    ASSERT_GE(v, 1.0);
+    ASSERT_LT(v, 2.0);
+  }
+}
+
+TEST(GeneratorTest, NoiseBytesAreHighEntropy) {
+  GeneratorParams params;
+  params.noise_bytes = 6;
+  auto d = GenerateArray(ElementType::kFloat64, params, 100000, 3);
+  ASSERT_TRUE(d.ok());
+  ColumnHistogramSet hist(8);
+  ASSERT_TRUE(hist.Update(d->bytes()).ok());
+  for (size_t j = 0; j < 6; ++j) {
+    EXPECT_GT(hist.ColumnEntropy(j), 7.9) << "noise column " << j;
+  }
+  // Signal columns have strong structure.
+  EXPECT_LT(hist.ColumnEntropy(6), 6.0);
+  EXPECT_LT(hist.ColumnEntropy(7), 1.0);
+}
+
+TEST(GeneratorTest, QuantizedColumnsAreZero) {
+  GeneratorParams params;
+  params.noise_bytes = 3;
+  params.smooth_bytes = 2;
+  auto d = GenerateArray(ElementType::kFloat64, params, 10000, 4);
+  ASSERT_TRUE(d.ok());
+  // Columns 3..5 lie between the noise region and the signal region.
+  for (uint64_t i = 0; i < d->element_count(); ++i) {
+    for (size_t j = 3; j < 6; ++j) {
+      ASSERT_EQ(d->data[i * 8 + j], 0) << "element " << i << " col " << j;
+    }
+  }
+}
+
+TEST(GeneratorTest, RepeatFractionControlsUniqueness) {
+  GeneratorParams params;
+  params.noise_bytes = 6;
+  params.repeat_fraction = 0.75;
+  auto d = GenerateArray(ElementType::kFloat64, params, 50000, 5);
+  ASSERT_TRUE(d.ok());
+  auto summary = Summarize(d->bytes(), 8);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_NEAR(summary->unique_value_percent, 25.0, 2.5);
+}
+
+TEST(GeneratorTest, ZeroRepeatIsAllUnique) {
+  GeneratorParams params;
+  params.noise_bytes = 6;
+  params.repeat_fraction = 0.0;
+  auto d = GenerateArray(ElementType::kFloat64, params, 50000, 6);
+  ASSERT_TRUE(d.ok());
+  auto summary = Summarize(d->bytes(), 8);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_GT(summary->unique_value_percent, 99.9);
+}
+
+TEST(GeneratorTest, ParticleIdsHaveZeroHighBytes) {
+  GeneratorParams params;
+  params.kind = GeneratorKind::kParticleIds;
+  auto d = GenerateArray(ElementType::kInt64, params, 10000, 7);
+  ASSERT_TRUE(d.ok());
+  for (uint64_t i = 0; i < d->element_count(); ++i) {
+    for (size_t j = 3; j < 8; ++j) {
+      ASSERT_EQ(d->data[i * 8 + j], 0);
+    }
+  }
+}
+
+TEST(GeneratorTest, InvalidParamsRejected) {
+  GeneratorParams params;
+  params.noise_bytes = 9;
+  EXPECT_FALSE(GenerateArray(ElementType::kFloat64, params, 10, 1).ok());
+  params = {};
+  params.noise_bytes = 5;  // > width of float32
+  EXPECT_FALSE(GenerateArray(ElementType::kFloat32, params, 10, 1).ok());
+  params = {};
+  params.repeat_fraction = 1.0;
+  EXPECT_FALSE(GenerateArray(ElementType::kFloat64, params, 10, 1).ok());
+  params = {};
+  params.smooth_bytes = 0;
+  EXPECT_FALSE(GenerateArray(ElementType::kFloat64, params, 10, 1).ok());
+}
+
+TEST(RegistryTest, HasAll24PaperDatasets) {
+  EXPECT_EQ(AllDatasetSpecs().size(), 24u);
+}
+
+TEST(RegistryTest, FindByName) {
+  auto spec = FindDatasetSpec("flash_velx");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec)->application, "FLASH");
+  EXPECT_EQ((*spec)->type, ElementType::kFloat64);
+  EXPECT_FALSE(FindDatasetSpec("does_not_exist").ok());
+}
+
+TEST(RegistryTest, EveryProfileGenerates) {
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    auto d = GenerateDataset(spec, 4096);
+    ASSERT_TRUE(d.ok()) << spec.name;
+    EXPECT_EQ(d->element_count(), 4096u) << spec.name;
+    EXPECT_EQ(d->name, spec.name);
+  }
+}
+
+TEST(RegistryTest, GenerateByMegabytes) {
+  auto spec = FindDatasetSpec("s3d_temp");
+  ASSERT_TRUE(spec.ok());
+  auto d = GenerateDatasetMB(**spec, 1.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(static_cast<double>(d->data.size()), 1e6, 4.0);
+  EXPECT_FALSE(GenerateDatasetMB(**spec, -1.0).ok());
+}
+
+TEST(RegistryTest, AnalyzerVerdictMatchesPaperTableIV) {
+  // The central fidelity requirement of the synthetic profiles: the
+  // ISOBAR-analyzer must reach the paper's Table IV verdict (improvable or
+  // not, and the HTC byte percentage) on every one of the 24 profiles.
+  const Analyzer analyzer;
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    auto d = GenerateDataset(spec, 375000);
+    ASSERT_TRUE(d.ok()) << spec.name;
+    auto analysis = analyzer.Analyze(d->bytes(), d->width());
+    ASSERT_TRUE(analysis.ok()) << spec.name;
+    EXPECT_EQ(analysis->improvable(), spec.paper_verdict.improvable)
+        << spec.name;
+    if (spec.paper_verdict.improvable) {
+      EXPECT_NEAR(analysis->htc_byte_fraction() * 100.0,
+                  spec.paper_verdict.htc_bytes_percent, 1e-9)
+          << spec.name;
+    }
+  }
+}
+
+TEST(TimeSeriesTest, StepsAreDeterministicAndDistinct) {
+  auto spec = FindDatasetSpec("gts_phi_l");
+  ASSERT_TRUE(spec.ok());
+  TimeSeriesGenerator gen(**spec, 10000);
+  auto t0 = gen.Step(0);
+  auto t0_again = gen.Step(0);
+  auto t1 = gen.Step(1);
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t0_again.ok());
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(t0->data, t0_again->data);
+  EXPECT_NE(t0->data, t1->data);
+  EXPECT_EQ(t0->name, "gts_phi_l@t0");
+}
+
+TEST(TimeSeriesTest, VerdictStableAcrossSteps) {
+  auto spec = FindDatasetSpec("gts_phi_nl");
+  ASSERT_TRUE(spec.ok());
+  TimeSeriesGenerator gen(**spec, 100000);
+  const Analyzer analyzer;
+  for (uint64_t t = 0; t < 5; ++t) {
+    auto d = gen.Step(t);
+    ASSERT_TRUE(d.ok());
+    auto analysis = analyzer.Analyze(d->bytes(), d->width());
+    ASSERT_TRUE(analysis.ok());
+    EXPECT_TRUE(analysis->improvable()) << "step " << t;
+    EXPECT_NEAR(analysis->htc_byte_fraction(), 0.75, 1e-9) << "step " << t;
+  }
+}
+
+TEST(ElementTypeTest, WidthsAndNames) {
+  EXPECT_EQ(ElementWidth(ElementType::kFloat32), 4u);
+  EXPECT_EQ(ElementWidth(ElementType::kFloat64), 8u);
+  EXPECT_EQ(ElementWidth(ElementType::kInt64), 8u);
+  EXPECT_EQ(ElementTypeToString(ElementType::kFloat32), "single");
+  EXPECT_EQ(ElementTypeToString(ElementType::kFloat64), "double");
+}
+
+}  // namespace
+}  // namespace isobar

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "core/eupa_selector.h"
+#include "datagen/registry.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+Bytes NoisyStructured(size_t elements, uint64_t seed) {
+  // width 8: low 6 bytes noise, bytes 6-7 structured.
+  Bytes data;
+  Xoshiro256 rng(seed);
+  for (size_t i = 0; i < elements; ++i) {
+    for (int b = 0; b < 6; ++b) data.push_back(static_cast<uint8_t>(rng.Next()));
+    data.push_back(static_cast<uint8_t>((i / 64) % 16));
+    data.push_back(0x3F);
+  }
+  return data;
+}
+
+TEST(EupaTest, DeterministicAcrossRuns) {
+  const Bytes data = NoisyStructured(200000, 1);
+  EupaOptions options;
+  options.preference = Preference::kRatio;
+  const EupaSelector selector(options);
+  auto first = selector.Select(data, 8, 0xC0);
+  auto second = selector.Select(data, 8, 0xC0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->codec, second->codec);
+  EXPECT_EQ(first->linearization, second->linearization);
+}
+
+TEST(EupaTest, EvaluatesAllCandidateCombinations) {
+  const Bytes data = NoisyStructured(100000, 2);
+  const EupaSelector selector;
+  auto decision = selector.Select(data, 8, 0xC0);
+  ASSERT_TRUE(decision.ok());
+  // 2 codecs × 2 linearizations.
+  EXPECT_EQ(decision->evaluations.size(), 4u);
+  for (const auto& eval : decision->evaluations) {
+    EXPECT_GT(eval.ratio, 0.0);
+    EXPECT_GT(eval.throughput_mbps, 0.0);
+  }
+}
+
+TEST(EupaTest, RatioPreferencePicksBestMeasuredRatio) {
+  const Bytes data = NoisyStructured(200000, 3);
+  EupaOptions options;
+  options.preference = Preference::kRatio;
+  const EupaSelector selector(options);
+  auto decision = selector.Select(data, 8, 0xC0);
+  ASSERT_TRUE(decision.ok());
+  double best = 0.0;
+  for (const auto& eval : decision->evaluations) best = std::max(best, eval.ratio);
+  for (const auto& eval : decision->evaluations) {
+    if (eval.codec == decision->codec &&
+        eval.linearization == decision->linearization) {
+      EXPECT_DOUBLE_EQ(eval.ratio, best);
+    }
+  }
+}
+
+TEST(EupaTest, SpeedPreferenceRespectsRatioFloor) {
+  // With an unreachable ratio floor the selector must fall back to the
+  // best-ratio candidate instead of failing.
+  const Bytes data = NoisyStructured(100000, 4);
+  EupaOptions options;
+  options.preference = Preference::kSpeed;
+  options.min_ratio = 1e9;
+  const EupaSelector selector(options);
+  auto decision = selector.Select(data, 8, 0xC0);
+  ASSERT_TRUE(decision.ok());
+  double best = 0.0;
+  for (const auto& eval : decision->evaluations) best = std::max(best, eval.ratio);
+  for (const auto& eval : decision->evaluations) {
+    if (eval.codec == decision->codec &&
+        eval.linearization == decision->linearization) {
+      EXPECT_DOUBLE_EQ(eval.ratio, best);
+    }
+  }
+}
+
+TEST(EupaTest, ForcedCodecIsHonored) {
+  const Bytes data = NoisyStructured(50000, 5);
+  EupaOptions options;
+  options.forced_codec = CodecId::kRle;
+  const EupaSelector selector(options);
+  auto decision = selector.Select(data, 8, 0xC0);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->codec, CodecId::kRle);
+  // Linearization was still measured: both arms evaluated with RLE.
+  EXPECT_EQ(decision->evaluations.size(), 2u);
+}
+
+TEST(EupaTest, FullyForcedPipelineSkipsMeasurement) {
+  const Bytes data = NoisyStructured(50000, 6);
+  EupaOptions options;
+  options.forced_codec = CodecId::kBzip2;
+  options.forced_linearization = Linearization::kColumn;
+  const EupaSelector selector(options);
+  auto decision = selector.Select(data, 8, 0xC0);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->codec, CodecId::kBzip2);
+  EXPECT_EQ(decision->linearization, Linearization::kColumn);
+  EXPECT_TRUE(decision->evaluations.empty());
+}
+
+TEST(EupaTest, CustomCandidateListUsed) {
+  const Bytes data = NoisyStructured(50000, 7);
+  EupaOptions options;
+  options.candidate_codecs = {CodecId::kRle, CodecId::kLzss};
+  const EupaSelector selector(options);
+  auto decision = selector.Select(data, 8, 0xC0);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->codec == CodecId::kRle ||
+              decision->codec == CodecId::kLzss);
+  EXPECT_EQ(decision->evaluations.size(), 4u);
+}
+
+TEST(EupaTest, InputValidation) {
+  const EupaSelector selector;
+  EXPECT_FALSE(selector.Select({}, 8, 0xFF).ok());
+  EXPECT_FALSE(selector.Select(Bytes(15, 0), 8, 0xFF).ok());
+  EXPECT_FALSE(selector.Select(Bytes(16, 0), 0, 0xFF).ok());
+  // Zero mask: there is nothing to measure.
+  EXPECT_FALSE(selector.Select(Bytes(800, 0), 8, 0).ok());
+  EupaOptions no_codecs;
+  no_codecs.candidate_codecs.clear();
+  EXPECT_FALSE(EupaSelector(no_codecs).Select(Bytes(800, 1), 8, 0xFF).ok());
+}
+
+TEST(EupaTest, SampleSmallerThanDataStillDecides) {
+  const Bytes data = NoisyStructured(500000, 8);
+  EupaOptions options;
+  options.sample_elements = 1024;
+  const EupaSelector selector(options);
+  auto decision = selector.Select(data, 8, 0xC0);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->evaluations.size(), 4u);
+}
+
+TEST(EupaTest, ChoosesColumnWhenItClearlyWins) {
+  // Construct data where column linearization is dramatically better: two
+  // compressible columns whose values are constant per column but differ
+  // from each other. Row linearization yields an alternating 2-byte
+  // pattern; column linearization yields two long constant runs. Both are
+  // compressible, but for RLE the column layout is strictly better.
+  Bytes data;
+  for (size_t i = 0; i < 100000; ++i) {
+    data.push_back(0x01);
+    data.push_back(0x02);
+  }
+  EupaOptions options;
+  options.preference = Preference::kRatio;
+  options.candidate_codecs = {CodecId::kRle};
+  const EupaSelector selector(options);
+  auto decision = selector.Select(data, 2, 0b11);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->linearization, Linearization::kColumn);
+}
+
+}  // namespace
+}  // namespace isobar

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "core/analyzer.h"
+#include "core/isobar.h"
+#include "datagen/field.h"
+#include "fpzip/fpzip_codec.h"
+#include "linearize/hilbert.h"
+
+namespace isobar {
+namespace {
+
+FieldSpec SmoothSpec(std::vector<uint32_t> dims) {
+  FieldSpec spec;
+  spec.dims = std::move(dims);
+  spec.noise_bytes = 0;
+  spec.seed = 3;
+  return spec;
+}
+
+TEST(FieldTest, ProducesRequestedGeometry) {
+  FieldSpec spec;
+  spec.dims = {40, 30};
+  spec.seed = 1;
+  auto field = GenerateField(spec);
+  ASSERT_TRUE(field.ok());
+  EXPECT_EQ(field->element_count(), 1200u);
+  EXPECT_EQ(field->width(), 8u);
+}
+
+TEST(FieldTest, DeterministicPerSeed) {
+  FieldSpec spec;
+  spec.dims = {64, 64};
+  spec.seed = 9;
+  auto a = GenerateField(spec);
+  auto b = GenerateField(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->data, b->data);
+  spec.seed = 10;
+  auto c = GenerateField(spec);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->data, c->data);
+}
+
+TEST(FieldTest, SpatiallySmoothWithoutNoise) {
+  // Adjacent grid cells must differ by much less than the field's range.
+  FieldSpec spec = SmoothSpec({128, 128});
+  spec.smooth_bytes = 8;  // full precision, no quantization
+  auto field = GenerateField(spec);
+  ASSERT_TRUE(field.ok());
+  double max_step = 0.0;
+  for (uint32_t y = 0; y < 128; ++y) {
+    for (uint32_t x = 1; x < 128; ++x) {
+      double a, b;
+      std::memcpy(&a, field->data.data() + (y * 128 + x - 1) * 8, 8);
+      std::memcpy(&b, field->data.data() + (y * 128 + x) * 8, 8);
+      max_step = std::max(max_step, std::abs(b - a));
+    }
+  }
+  EXPECT_LT(max_step, 0.08);  // range is ~0.9, neighbors within ~3%
+}
+
+TEST(FieldTest, AnalyzerSeesInjectedNoiseColumns) {
+  FieldSpec spec;
+  spec.dims = {256, 256};
+  spec.noise_bytes = 5;
+  spec.seed = 4;
+  auto field = GenerateField(spec);
+  ASSERT_TRUE(field.ok());
+  const Analyzer analyzer;
+  auto analysis = analyzer.Analyze(field->bytes(), 8);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis->compressible_mask, 0xFFull & ~0x1Full);
+  EXPECT_TRUE(analysis->improvable());
+}
+
+TEST(FieldTest, LorenzoPredictorExploitsTheGrid) {
+  // On a smooth 2-D field (full precision), the 2-D Lorenzo stencil must
+  // beat the 1-D previous-value predictor.
+  FieldSpec spec = SmoothSpec({128, 96});
+  spec.smooth_bytes = 8;
+  auto field = GenerateField(spec);
+  ASSERT_TRUE(field.ok());
+  Bytes c1, c2;
+  ASSERT_TRUE(FpzipCodec(8).Compress(field->bytes(), &c1).ok());
+  ASSERT_TRUE(FpzipCodec(8, {128, 96}).Compress(field->bytes(), &c2).ok());
+  EXPECT_LT(c2.size(), c1.size());
+}
+
+TEST(FieldTest, IsobarPipelineRoundTripsGridData) {
+  FieldSpec spec;
+  spec.dims = {64, 64, 16};
+  spec.noise_bytes = 6;
+  spec.seed = 5;
+  auto field = GenerateField(spec);
+  ASSERT_TRUE(field.ok());
+
+  // Original order and Hilbert order must both round-trip and agree on
+  // the analyzer verdict (§III.G on true 3-D data).
+  const uint32_t dims[] = {64, 64, 16};
+  Bytes hilbert;
+  ASSERT_TRUE(HilbertReorder(field->bytes(), 8, dims, &hilbert).ok());
+
+  const IsobarCompressor compressor;
+  for (ByteSpan variant : {field->bytes(), ByteSpan(hilbert)}) {
+    CompressionStats stats;
+    auto compressed = compressor.Compress(variant, 8, &stats);
+    ASSERT_TRUE(compressed.ok());
+    EXPECT_TRUE(stats.improvable);
+    EXPECT_NEAR(stats.mean_htc_fraction, 0.75, 1e-9);
+    auto restored = IsobarCompressor::Decompress(*compressed);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_TRUE(std::equal(restored->begin(), restored->end(),
+                           variant.begin()));
+  }
+}
+
+TEST(FieldTest, FloatFieldsSupported) {
+  FieldSpec spec;
+  spec.type = ElementType::kFloat32;
+  spec.dims = {100, 100};
+  spec.noise_bytes = 1;
+  spec.seed = 6;
+  auto field = GenerateField(spec);
+  ASSERT_TRUE(field.ok());
+  EXPECT_EQ(field->width(), 4u);
+  EXPECT_EQ(field->data.size(), 40000u);
+}
+
+TEST(FieldTest, InvalidSpecsRejected) {
+  FieldSpec spec;
+  spec.dims = {};
+  EXPECT_FALSE(GenerateField(spec).ok());
+  spec.dims = {4, 4, 4, 4};
+  EXPECT_FALSE(GenerateField(spec).ok());
+  spec.dims = {4, 0};
+  EXPECT_FALSE(GenerateField(spec).ok());
+  spec.dims = {8, 8};
+  spec.noise_bytes = 9;
+  EXPECT_FALSE(GenerateField(spec).ok());
+  spec.noise_bytes = 2;
+  spec.wavelength = 0.0;
+  EXPECT_FALSE(GenerateField(spec).ok());
+  spec.wavelength = 32.0;
+  spec.smooth_bytes = 0;
+  EXPECT_FALSE(GenerateField(spec).ok());
+}
+
+}  // namespace
+}  // namespace isobar

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/file_io.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(FileIoTest, WriteThenReadRoundTrips) {
+  const std::string path = TempPath("file_io_roundtrip.bin");
+  Bytes data(100000);
+  Xoshiro256 rng(1);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  ASSERT_TRUE(WriteBytesToFile(path, data).ok());
+  auto read = ReadFileToBytes(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST(FileIoTest, EmptyFileReadsEmpty) {
+  const std::string path = TempPath("file_io_empty.bin");
+  ASSERT_TRUE(WriteBytesToFile(path, {}).ok());
+  auto read = ReadFileToBytes(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+}
+
+TEST(FileIoTest, MissingFileIsIOError) {
+  auto read = ReadFileToBytes(TempPath("does_not_exist.bin"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+TEST(FileIoTest, UnwritablePathIsIOError) {
+  EXPECT_EQ(WriteBytesToFile("/nonexistent_dir_xyz/file.bin", Bytes(4, 0))
+                .code(),
+            StatusCode::kIOError);
+}
+
+TEST(FileIoTest, OverwriteTruncates) {
+  const std::string path = TempPath("file_io_trunc.bin");
+  ASSERT_TRUE(WriteBytesToFile(path, Bytes(1000, 0xAA)).ok());
+  ASSERT_TRUE(WriteBytesToFile(path, Bytes(10, 0xBB)).ok());
+  auto read = ReadFileToBytes(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, Bytes(10, 0xBB));
+}
+
+#if defined(__linux__)
+TEST(FileIoTest, NonSeekableInputIsStreamed) {
+  // /proc files report size 0 / non-seekable semantics; reading must fall
+  // back to streaming rather than trusting tellg().
+  auto read = ReadFileToBytes("/proc/self/cmdline");
+  ASSERT_TRUE(read.ok());
+  EXPECT_GT(read->size(), 0u);
+}
+#endif
+
+}  // namespace
+}  // namespace isobar

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "fpc/fpc_codec.h"
+#include "fpc/predictor.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+Bytes DoublesToBytes(const std::vector<double>& values) {
+  Bytes out;
+  out.reserve(values.size() * 8);
+  for (double v : values) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    AppendLE64(out, bits);
+  }
+  return out;
+}
+
+std::vector<double> SmoothSeries(size_t n) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = 1.5 + 0.25 * std::sin(static_cast<double>(i) * 0.001);
+  }
+  return v;
+}
+
+Bytes RandomWords(size_t n, uint64_t seed) {
+  Bytes out;
+  Xoshiro256 rng(seed);
+  for (size_t i = 0; i < n; ++i) AppendLE64(out, rng.Next());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Predictors.
+
+TEST(FcmPredictorTest, LearnsRepeatingSequence) {
+  FcmPredictor fcm(10);
+  // High bits must differ: the FCM context hash keys on the top 16 bits of
+  // each value, as the values it targets are IEEE doubles.
+  const uint64_t pattern[] = {10ull << 48, 20ull << 48, 30ull << 48};
+  // Warm up: after seeing the cycle a few times, FCM predicts it exactly.
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t v : pattern) fcm.Update(v);
+  }
+  int correct = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t v : pattern) {
+      if (fcm.Predict() == v) ++correct;
+      fcm.Update(v);
+    }
+  }
+  EXPECT_EQ(correct, 9);
+}
+
+TEST(FcmPredictorTest, ResetForgets) {
+  FcmPredictor fcm(8);
+  for (int i = 0; i < 10; ++i) fcm.Update(777);
+  EXPECT_EQ(fcm.Predict(), 777u);
+  fcm.Reset();
+  EXPECT_EQ(fcm.Predict(), 0u);
+}
+
+TEST(DfcmPredictorTest, LearnsArithmeticSequence) {
+  // DFCM stores strides: a pure arithmetic progression becomes perfectly
+  // predictable even though every value is new (FCM cannot do this).
+  DfcmPredictor dfcm(10);
+  uint64_t v = 1000;
+  for (int i = 0; i < 8; ++i) {
+    dfcm.Update(v);
+    v += 17;
+  }
+  int correct = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (dfcm.Predict() == v) ++correct;
+    dfcm.Update(v);
+    v += 17;
+  }
+  EXPECT_GE(correct, 14);
+}
+
+TEST(DfcmPredictorTest, ResetForgets) {
+  DfcmPredictor dfcm(8);
+  for (int i = 0; i < 10; ++i) dfcm.Update(i * 100);
+  dfcm.Reset();
+  EXPECT_EQ(dfcm.Predict(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Codec round trips.
+
+class FpcRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FpcRoundTripTest, RandomWordsRoundTrip) {
+  const FpcCodec codec(GetParam());
+  const Bytes input = RandomWords(5000, GetParam());
+  Bytes compressed, output;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &output).ok());
+  EXPECT_EQ(output, input);
+}
+
+TEST_P(FpcRoundTripTest, SmoothDoublesRoundTrip) {
+  const FpcCodec codec(GetParam());
+  const Bytes input = DoublesToBytes(SmoothSeries(5001));  // odd count
+  Bytes compressed, output;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &output).ok());
+  EXPECT_EQ(output, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableSizes, FpcRoundTripTest,
+                         ::testing::Values(8, 12, 16, 20));
+
+TEST(FpcCodecTest, EmptyInputRoundTrips) {
+  const FpcCodec codec;
+  Bytes compressed, output;
+  ASSERT_TRUE(codec.Compress({}, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, 0, &output).ok());
+  EXPECT_TRUE(output.empty());
+}
+
+TEST(FpcCodecTest, SingleValueRoundTrips) {
+  const FpcCodec codec;
+  Bytes input;
+  AppendLE64(input, 0xDEADBEEFCAFEF00Dull);
+  Bytes compressed, output;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, 8, &output).ok());
+  EXPECT_EQ(output, input);
+}
+
+TEST(FpcCodecTest, ConstantSeriesCompressesHard) {
+  const FpcCodec codec;
+  Bytes input = DoublesToBytes(std::vector<double>(10000, 3.14159));
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  // Every value after the first is perfectly predicted: ~0.5 byte each.
+  EXPECT_LT(compressed.size(), input.size() / 10);
+}
+
+TEST(FpcCodecTest, SmoothBeatsRandom) {
+  const FpcCodec codec;
+  Bytes smooth = DoublesToBytes(SmoothSeries(20000));
+  Bytes random = RandomWords(20000, 9);
+  Bytes cs, cr;
+  ASSERT_TRUE(codec.Compress(smooth, &cs).ok());
+  ASSERT_TRUE(codec.Compress(random, &cr).ok());
+  EXPECT_LT(cs.size(), cr.size());
+}
+
+TEST(FpcCodecTest, MisalignedInputRejected) {
+  const FpcCodec codec;
+  Bytes input(12, 0);
+  Bytes out;
+  EXPECT_EQ(codec.Compress(input, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(codec.Decompress(input, 12, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FpcCodecTest, TruncatedStreamIsCorruption) {
+  const FpcCodec codec;
+  const Bytes input = RandomWords(100, 2);
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  Bytes truncated(compressed.begin(), compressed.end() - 3);
+  Bytes out;
+  EXPECT_EQ(codec.Decompress(truncated, input.size(), &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(FpcCodecTest, TrailingGarbageIsCorruption) {
+  const FpcCodec codec;
+  const Bytes input = RandomWords(100, 2);
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  compressed.push_back(0xAA);
+  Bytes out;
+  EXPECT_EQ(codec.Decompress(compressed, input.size(), &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(FpcCodecTest, InvalidTableBitsInStreamIsCorruption) {
+  Bytes stream = {0xFF, 0x00};
+  const FpcCodec codec;
+  Bytes out;
+  EXPECT_EQ(codec.Decompress(stream, 8, &out).code(), StatusCode::kCorruption);
+}
+
+TEST(FpcCodecTest, DifferentTableSizesInteroperate) {
+  // Decompression reads the table size from the stream, so a codec
+  // configured differently still decodes correctly.
+  const Bytes input = DoublesToBytes(SmoothSeries(3000));
+  Bytes compressed;
+  ASSERT_TRUE(FpcCodec(12).Compress(input, &compressed).ok());
+  Bytes output;
+  ASSERT_TRUE(FpcCodec(20).Decompress(compressed, input.size(), &output).ok());
+  EXPECT_EQ(output, input);
+}
+
+}  // namespace
+}  // namespace isobar

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compressors/huffman_codec.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+Bytes SkewedBytes(size_t n, uint64_t seed) {
+  // Geometric-ish distribution: heavy skew an entropy coder can exploit.
+  Bytes out;
+  out.reserve(n);
+  Xoshiro256 rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t r = rng.Next();
+    int symbol = 0;
+    while ((r & 1u) && symbol < 12) {
+      ++symbol;
+      r >>= 1;
+    }
+    out.push_back(static_cast<uint8_t>(symbol));
+  }
+  return out;
+}
+
+Bytes RandomBytes(size_t n, uint64_t seed) {
+  Bytes out(n);
+  Xoshiro256 rng(seed);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.Next());
+  return out;
+}
+
+TEST(HuffmanCodecTest, EmptyRoundTrip) {
+  const HuffmanCodec codec;
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress({}, &compressed).ok());
+  EXPECT_EQ(compressed.size(), 1u);
+  ASSERT_TRUE(codec.Decompress(compressed, 0, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(HuffmanCodecTest, SingleSymbolRoundTrip) {
+  const HuffmanCodec codec;
+  const Bytes input(100000, 0x5C);
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  EXPECT_EQ(compressed.size(), 2u);  // flag + symbol: maximal compression
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(HuffmanCodecTest, SingleByteRoundTrip) {
+  const HuffmanCodec codec;
+  const Bytes input = {0xAB};
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, 1, &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(HuffmanCodecTest, TwoSymbolRoundTrip) {
+  const HuffmanCodec codec;
+  Bytes input;
+  for (int i = 0; i < 999; ++i) input.push_back(i % 3 == 0 ? 7 : 9);
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+  // 1 bit per symbol + 257-byte header.
+  EXPECT_LE(compressed.size(), 999 / 8 + 260);
+}
+
+TEST(HuffmanCodecTest, RandomBytesRoundTrip) {
+  const HuffmanCodec codec;
+  const Bytes input = RandomBytes(50000, 1);
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(HuffmanCodecTest, SkewedDataApproachesEntropyBound) {
+  const HuffmanCodec codec;
+  const Bytes input = SkewedBytes(200000, 2);
+  // Empirical entropy of the input.
+  std::array<uint64_t, 256> freq{};
+  for (uint8_t b : input) ++freq[b];
+  double entropy_bits = 0.0;
+  for (uint64_t f : freq) {
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / input.size();
+    entropy_bits -= p * std::log2(p);
+  }
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  const double bits_per_symbol =
+      8.0 * (compressed.size() - 257.0) / input.size();
+  // Huffman is within one bit of entropy; for this distribution much less.
+  EXPECT_LT(bits_per_symbol, entropy_bits + 0.25);
+  EXPECT_GE(bits_per_symbol, entropy_bits - 1e-9);
+  Bytes out;
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(HuffmanCodecTest, DeterministicOutput) {
+  const HuffmanCodec codec;
+  const Bytes input = SkewedBytes(10000, 3);
+  Bytes a, b;
+  ASSERT_TRUE(codec.Compress(input, &a).ok());
+  ASSERT_TRUE(codec.Compress(input, &b).ok());
+  EXPECT_EQ(a, b);
+}
+
+TEST(HuffmanCodecTest, TruncatedBitstreamIsCorruption) {
+  const HuffmanCodec codec;
+  const Bytes input = SkewedBytes(10000, 4);
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  Bytes truncated(compressed.begin(), compressed.end() - 5);
+  Bytes out;
+  EXPECT_EQ(codec.Decompress(truncated, input.size(), &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(HuffmanCodecTest, TrailingBytesAreCorruption) {
+  const HuffmanCodec codec;
+  const Bytes input = SkewedBytes(10000, 5);
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  compressed.push_back(0xFF);
+  Bytes out;
+  EXPECT_EQ(codec.Decompress(compressed, input.size(), &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(HuffmanCodecTest, InvalidLengthTableIsCorruption) {
+  // Craft a header whose Kraft sum is not 1 (two symbols of length 3).
+  Bytes stream(257, 0);
+  stream[0] = 0;
+  stream[1 + 'a'] = 3;
+  stream[1 + 'b'] = 3;
+  stream.push_back(0x00);
+  const HuffmanCodec codec;
+  Bytes out;
+  EXPECT_EQ(codec.Decompress(stream, 10, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(HuffmanCodecTest, UnknownFlagsRejected) {
+  const HuffmanCodec codec;
+  Bytes out;
+  EXPECT_EQ(codec.Decompress(Bytes{0x80}, 0, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(HuffmanCodecTest, MalformedSpecialStreamsRejected) {
+  const HuffmanCodec codec;
+  Bytes out;
+  // Empty-stream flag with payload.
+  EXPECT_FALSE(codec.Decompress(Bytes{0x01, 0x00}, 0, &out).ok());
+  // Empty-stream flag but nonzero expected size.
+  EXPECT_FALSE(codec.Decompress(Bytes{0x01}, 5, &out).ok());
+  // Single-symbol flag without the symbol byte.
+  EXPECT_FALSE(codec.Decompress(Bytes{0x02}, 5, &out).ok());
+  // Truncated length table.
+  EXPECT_FALSE(codec.Decompress(Bytes(100, 0), 5, &out).ok());
+}
+
+TEST(HuffmanCodecTest, AllSymbolsPresentRoundTrip) {
+  // Uniform coverage of all 256 symbols exercises the full table paths.
+  Bytes input;
+  for (int round = 0; round < 64; ++round) {
+    for (int s = 0; s < 256; ++s) input.push_back(static_cast<uint8_t>(s));
+  }
+  const HuffmanCodec codec;
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+}  // namespace
+}  // namespace isobar

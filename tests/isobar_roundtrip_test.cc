@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/isobar.h"
+#include "datagen/registry.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Round trip over dataset profiles × preference × codec arm.
+
+struct PipelineCase {
+  const char* dataset;
+  Preference preference;
+  // kStored sentinel -> let EUPA choose between zlib and bzip2.
+  CodecId forced_codec;
+  bool force = false;
+};
+
+class IsobarDatasetRoundTripTest
+    : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(IsobarDatasetRoundTripTest, CompressDecompressIsIdentity) {
+  const PipelineCase& param = GetParam();
+  auto spec = FindDatasetSpec(param.dataset);
+  ASSERT_TRUE(spec.ok());
+  auto dataset = GenerateDataset(**spec, 200000);
+  ASSERT_TRUE(dataset.ok());
+
+  CompressOptions options;
+  options.eupa.preference = param.preference;
+  options.eupa.sample_elements = 8192;
+  options.chunk_elements = 75000;  // several chunks per run
+  if (param.force) {
+    options.eupa.forced_codec = param.forced_codec;
+  }
+  const IsobarCompressor compressor(options);
+
+  CompressionStats stats;
+  auto compressed = compressor.Compress(dataset->bytes(), dataset->width(), &stats);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  EXPECT_EQ(stats.input_bytes, dataset->data.size());
+  EXPECT_EQ(stats.output_bytes, compressed->size());
+
+  DecompressionStats dstats;
+  auto restored =
+      IsobarCompressor::Decompress(*compressed, DecompressOptions{}, &dstats);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, dataset->data);
+  EXPECT_EQ(dstats.output_bytes, dataset->data.size());
+}
+
+std::string PipelineCaseName(
+    const ::testing::TestParamInfo<PipelineCase>& info) {
+  std::string name = info.param.dataset;
+  name += info.param.preference == Preference::kRatio ? "_ratio" : "_speed";
+  if (info.param.force) {
+    name += "_";
+    name += CodecIdToString(info.param.forced_codec);
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsAndPreferences, IsobarDatasetRoundTripTest,
+    ::testing::Values(
+        // Improvable profiles under both preferences, EUPA free choice.
+        PipelineCase{"gts_phi_l", Preference::kSpeed, CodecId::kStored},
+        PipelineCase{"gts_phi_l", Preference::kRatio, CodecId::kStored},
+        PipelineCase{"xgc_igid", Preference::kSpeed, CodecId::kStored},
+        PipelineCase{"xgc_iphase", Preference::kRatio, CodecId::kStored},
+        PipelineCase{"s3d_temp", Preference::kSpeed, CodecId::kStored},
+        PipelineCase{"s3d_vmag", Preference::kRatio, CodecId::kStored},
+        PipelineCase{"flash_velx", Preference::kSpeed, CodecId::kStored},
+        PipelineCase{"flash_gamc", Preference::kRatio, CodecId::kStored},
+        PipelineCase{"msg_sweep3d", Preference::kSpeed, CodecId::kStored},
+        PipelineCase{"num_comet", Preference::kRatio, CodecId::kStored},
+        PipelineCase{"obs_info", Preference::kSpeed, CodecId::kStored},
+        // Non-improvable profiles (undetermined path).
+        PipelineCase{"msg_bt", Preference::kSpeed, CodecId::kStored},
+        PipelineCase{"msg_sppm", Preference::kRatio, CodecId::kStored},
+        PipelineCase{"num_plasma", Preference::kRatio, CodecId::kStored},
+        PipelineCase{"obs_error", Preference::kSpeed, CodecId::kStored},
+        PipelineCase{"obs_spitzer", Preference::kSpeed, CodecId::kStored},
+        // Forced solver arms, including the homegrown codecs.
+        PipelineCase{"gts_chkp_zeon", Preference::kSpeed, CodecId::kZlib, true},
+        PipelineCase{"gts_chkp_zion", Preference::kRatio, CodecId::kBzip2, true},
+        PipelineCase{"flash_vely", Preference::kSpeed, CodecId::kRle, true},
+        PipelineCase{"msg_lu", Preference::kSpeed, CodecId::kLzss, true},
+        PipelineCase{"msg_sp", Preference::kSpeed, CodecId::kStored, true},
+        PipelineCase{"num_brain", Preference::kRatio, CodecId::kZlib, true},
+        PipelineCase{"num_control", Preference::kSpeed, CodecId::kZlib, true},
+        PipelineCase{"obs_temp", Preference::kRatio, CodecId::kBzip2, true}),
+    PipelineCaseName);
+
+// ---------------------------------------------------------------------------
+// Round trip over element widths and chunk geometries.
+
+class IsobarWidthRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(IsobarWidthRoundTripTest, ArbitraryWidthRoundTrips) {
+  const auto [width, chunk_elements] = GetParam();
+  // Mixed structure: half the columns noise, half skewed.
+  Bytes data;
+  Xoshiro256 rng(width * 1000 + chunk_elements);
+  const size_t n = 50000;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < width; ++j) {
+      if (j < width / 2) {
+        data.push_back(static_cast<uint8_t>(rng.Next()));
+      } else {
+        data.push_back(static_cast<uint8_t>(j));
+      }
+    }
+  }
+
+  CompressOptions options;
+  options.chunk_elements = chunk_elements;
+  options.eupa.sample_elements = 4096;
+  options.eupa.forced_codec = CodecId::kZlib;  // keep the sweep fast
+  const IsobarCompressor compressor(options);
+  auto compressed = compressor.Compress(data, width);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  auto restored = IsobarCompressor::Decompress(*compressed);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndChunks, IsobarWidthRoundTripTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 3, 4, 8, 12, 16, 64),
+                       ::testing::Values<uint64_t>(7001, 50000, 1000000)));
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs.
+
+TEST(IsobarRoundTripTest, EmptyInput) {
+  const IsobarCompressor compressor;
+  auto compressed = compressor.Compress({}, 8);
+  ASSERT_TRUE(compressed.ok());
+  auto restored = IsobarCompressor::Decompress(*compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(IsobarRoundTripTest, SingleElement) {
+  Bytes data = {1, 2, 3, 4, 5, 6, 7, 8};
+  const IsobarCompressor compressor;
+  auto compressed = compressor.Compress(data, 8);
+  ASSERT_TRUE(compressed.ok());
+  auto restored = IsobarCompressor::Decompress(*compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, data);
+}
+
+TEST(IsobarRoundTripTest, ChunkBoundaryExactMultiple) {
+  auto spec = FindDatasetSpec("flash_velx");
+  ASSERT_TRUE(spec.ok());
+  auto dataset = GenerateDataset(**spec, 60000);
+  ASSERT_TRUE(dataset.ok());
+  CompressOptions options;
+  options.chunk_elements = 20000;  // exactly 3 chunks
+  options.eupa.forced_codec = CodecId::kZlib;
+  const IsobarCompressor compressor(options);
+  CompressionStats stats;
+  auto compressed = compressor.Compress(dataset->bytes(), 8, &stats);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_EQ(stats.chunk_count, 3u);
+  auto restored = IsobarCompressor::Decompress(*compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, dataset->data);
+}
+
+TEST(IsobarRoundTripTest, InvalidInputsRejected) {
+  const IsobarCompressor compressor;
+  EXPECT_FALSE(compressor.Compress(Bytes(15, 0), 8).ok());
+  EXPECT_FALSE(compressor.Compress(Bytes(16, 0), 0).ok());
+  EXPECT_FALSE(compressor.Compress(Bytes(16, 0), 65).ok());
+  CompressOptions zero_chunk;
+  zero_chunk.chunk_elements = 0;
+  EXPECT_FALSE(IsobarCompressor(zero_chunk).Compress(Bytes(16, 0), 8).ok());
+}
+
+TEST(IsobarRoundTripTest, PureNoiseWithStoredFallbackDoesNotExpandPayload) {
+  // All-random data, stored codec: the solver cannot shrink anything, so
+  // every chunk must take the stored-raw fallback and the container
+  // overhead stays at headers only.
+  Bytes data;
+  Xoshiro256 rng(1234);
+  const size_t n = 100000;
+  for (size_t i = 0; i < n * 8; ++i) data.push_back(static_cast<uint8_t>(rng.Next()));
+  CompressOptions options;
+  options.eupa.forced_codec = CodecId::kStored;
+  options.eupa.forced_linearization = Linearization::kRow;
+  options.chunk_elements = 25000;
+  const IsobarCompressor compressor(options);
+  CompressionStats stats;
+  auto compressed = compressor.Compress(data, 8, &stats);
+  ASSERT_TRUE(compressed.ok());
+  const size_t overhead =
+      container::kHeaderSize + stats.chunk_count * container::kChunkHeaderSize;
+  EXPECT_EQ(compressed->size(), data.size() + overhead);
+  auto restored = IsobarCompressor::Decompress(*compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, data);
+}
+
+}  // namespace
+}  // namespace isobar

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "linearize/hilbert.h"
+#include "linearize/permutation.h"
+#include "linearize/transpose.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+Bytes RandomBytes(size_t n, uint64_t seed) {
+  Bytes out(n);
+  Xoshiro256 rng(seed);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.Next());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Gather/scatter transposes.
+
+class TransposeRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t, Linearization>> {};
+
+TEST_P(TransposeRoundTripTest, GatherScatterIsIdentityOnSelectedColumns) {
+  const auto [width, mask_pattern, lin] = GetParam();
+  const uint64_t full = width >= 64 ? ~0ull : ((1ull << width) - 1);
+  const uint64_t mask = mask_pattern & full;
+  const Bytes data = RandomBytes(width * 257, width * 31 + mask);
+
+  Bytes packed;
+  ASSERT_TRUE(GatherColumns(data, width, mask, lin, &packed).ok());
+  EXPECT_EQ(packed.size(), 257u * static_cast<size_t>(PopcountMask(mask, width)));
+
+  // Scatter into a zeroed buffer and verify selected columns match the
+  // original while unselected ones stay zero.
+  Bytes dest(data.size(), 0);
+  ASSERT_TRUE(ScatterColumns(packed, width, mask, lin, MutableByteSpan(dest)).ok());
+  for (size_t i = 0; i < 257; ++i) {
+    for (size_t j = 0; j < width; ++j) {
+      const uint8_t expected =
+          (mask & (1ull << j)) ? data[i * width + j] : 0;
+      ASSERT_EQ(dest[i * width + j], expected) << "element " << i << " col " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsMasksLinearizations, TransposeRoundTripTest,
+    ::testing::Combine(
+        ::testing::Values<size_t>(1, 2, 4, 8, 16, 64),
+        ::testing::Values<uint64_t>(0x1ull, 0xC1ull, 0x5555555555555555ull,
+                                    ~0ull),
+        ::testing::Values(Linearization::kRow, Linearization::kColumn)));
+
+TEST(TransposeTest, ColumnLinearizationIsByteShuffle) {
+  // width 2, full mask, column order: all first bytes then all second bytes.
+  const Bytes data = {1, 2, 3, 4, 5, 6};
+  Bytes packed;
+  ASSERT_TRUE(
+      GatherColumns(data, 2, 0b11, Linearization::kColumn, &packed).ok());
+  EXPECT_EQ(packed, (Bytes{1, 3, 5, 2, 4, 6}));
+}
+
+TEST(TransposeTest, RowLinearizationKeepsElementBytesAdjacent) {
+  const Bytes data = {1, 2, 3, 4, 5, 6};
+  Bytes packed;
+  ASSERT_TRUE(GatherColumns(data, 2, 0b10, Linearization::kRow, &packed).ok());
+  EXPECT_EQ(packed, (Bytes{2, 4, 6}));
+}
+
+TEST(TransposeTest, MaskBeyondWidthRejected) {
+  const Bytes data(16, 0);
+  Bytes packed;
+  EXPECT_EQ(GatherColumns(data, 2, 0b100, Linearization::kRow, &packed).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TransposeTest, PackedSizeMismatchRejected) {
+  Bytes dest(16, 0);
+  Bytes packed(5, 0);
+  EXPECT_EQ(ScatterColumns(packed, 2, 0b01, Linearization::kRow,
+                           MutableByteSpan(dest)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TransposeTest, EmptyMaskYieldsEmptyOutput) {
+  const Bytes data(24, 7);
+  Bytes packed;
+  ASSERT_TRUE(GatherColumns(data, 8, 0, Linearization::kRow, &packed).ok());
+  EXPECT_TRUE(packed.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Hilbert curve.
+
+class HilbertBijectivityTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HilbertBijectivityTest, IndexCoordsRoundTripAndCoverage) {
+  const auto [dims, bits] = GetParam();
+  HilbertCurve curve(dims, bits);
+  const uint64_t cells = curve.cell_count();
+  std::set<uint64_t> visited;
+  std::vector<uint32_t> coords(dims);
+  for (uint64_t h = 0; h < cells; ++h) {
+    curve.CoordsFromIndex(h, coords);
+    // Coordinates in range.
+    for (int i = 0; i < dims; ++i) {
+      ASSERT_LT(coords[i], 1u << bits);
+    }
+    // Inverse maps back.
+    ASSERT_EQ(curve.IndexFromCoords(coords), h);
+    // Encode position to check full coverage.
+    uint64_t key = 0;
+    for (int i = 0; i < dims; ++i) key = (key << bits) | coords[i];
+    visited.insert(key);
+  }
+  EXPECT_EQ(visited.size(), cells);  // bijective: every cell exactly once
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsAndBits, HilbertBijectivityTest,
+                         ::testing::Values(std::make_tuple(1, 6),
+                                           std::make_tuple(2, 3),
+                                           std::make_tuple(2, 5),
+                                           std::make_tuple(3, 3),
+                                           std::make_tuple(3, 4)));
+
+TEST(HilbertTest, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining property of a Hilbert walk: each step moves by exactly 1
+  // in exactly one dimension.
+  HilbertCurve curve(2, 5);
+  std::vector<uint32_t> prev(2), cur(2);
+  curve.CoordsFromIndex(0, prev);
+  for (uint64_t h = 1; h < curve.cell_count(); ++h) {
+    curve.CoordsFromIndex(h, cur);
+    int manhattan = 0;
+    for (int i = 0; i < 2; ++i) {
+      manhattan += std::abs(static_cast<int>(cur[i]) - static_cast<int>(prev[i]));
+    }
+    ASSERT_EQ(manhattan, 1) << "at index " << h;
+    prev = cur;
+  }
+}
+
+TEST(HilbertTest, ThreeDWalkIsAlsoContiguous) {
+  HilbertCurve curve(3, 3);
+  std::vector<uint32_t> prev(3), cur(3);
+  curve.CoordsFromIndex(0, prev);
+  for (uint64_t h = 1; h < curve.cell_count(); ++h) {
+    curve.CoordsFromIndex(h, cur);
+    int manhattan = 0;
+    for (int i = 0; i < 3; ++i) {
+      manhattan += std::abs(static_cast<int>(cur[i]) - static_cast<int>(prev[i]));
+    }
+    ASSERT_EQ(manhattan, 1);
+    prev = cur;
+  }
+}
+
+TEST(HilbertReorderTest, PowerOfTwoGridIsPermutation) {
+  const size_t width = 4;
+  const uint32_t dims[] = {16, 16};
+  Bytes data;
+  for (uint32_t i = 0; i < 256; ++i) AppendLE32(data, i);
+  Bytes reordered;
+  ASSERT_TRUE(HilbertReorder(data, width, dims, &reordered).ok());
+  ASSERT_EQ(reordered.size(), data.size());
+  std::set<uint32_t> seen;
+  for (size_t i = 0; i < 256; ++i) {
+    seen.insert(LoadLE32(reordered.data() + i * width));
+  }
+  EXPECT_EQ(seen.size(), 256u);
+  // Must not be the identity order (the curve actually reorders).
+  EXPECT_NE(reordered, data);
+}
+
+TEST(HilbertReorderTest, NonPowerOfTwoGridCoversAllElements) {
+  const uint32_t dims[] = {5, 7, 3};
+  const size_t n = 5 * 7 * 3;
+  Bytes data;
+  for (uint32_t i = 0; i < n; ++i) AppendLE32(data, i + 1000);
+  Bytes reordered;
+  ASSERT_TRUE(HilbertReorder(data, 4, dims, &reordered).ok());
+  ASSERT_EQ(reordered.size(), data.size());
+  std::set<uint32_t> seen;
+  for (size_t i = 0; i < n; ++i) {
+    seen.insert(LoadLE32(reordered.data() + i * 4));
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(HilbertReorderTest, ShapeMismatchRejected) {
+  const uint32_t dims[] = {4, 4};
+  Bytes data(17 * 4, 0);  // 17 elements != 16 cells
+  Bytes out;
+  EXPECT_EQ(HilbertReorder(data, 4, dims, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Permutations.
+
+TEST(PermutationTest, IsAValidPermutation) {
+  const auto perm = RandomPermutation(1000, 42);
+  std::set<uint64_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.rbegin(), 999u);
+}
+
+TEST(PermutationTest, DeterministicPerSeed) {
+  EXPECT_EQ(RandomPermutation(100, 7), RandomPermutation(100, 7));
+  EXPECT_NE(RandomPermutation(100, 7), RandomPermutation(100, 8));
+}
+
+TEST(PermutationTest, InverseComposesToIdentity) {
+  const auto perm = RandomPermutation(500, 3);
+  const auto inv = InvertPermutation(perm);
+  for (uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(inv[perm[i]], i);
+  }
+}
+
+TEST(PermutationTest, ApplyThenApplyInverseRestoresData) {
+  const Bytes data = RandomBytes(8 * 200, 77);
+  const auto perm = RandomPermutation(200, 5);
+  Bytes shuffled, restored;
+  ASSERT_TRUE(ApplyPermutation(data, 8, perm, &shuffled).ok());
+  EXPECT_NE(shuffled, data);
+  ASSERT_TRUE(
+      ApplyPermutation(shuffled, 8, InvertPermutation(perm), &restored).ok());
+  EXPECT_EQ(restored, data);
+}
+
+TEST(PermutationTest, SizeMismatchRejected) {
+  const Bytes data(64, 0);
+  Bytes out;
+  EXPECT_EQ(ApplyPermutation(data, 8, RandomPermutation(9, 1), &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace isobar

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/partitioner.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+Bytes RandomBytes(size_t n, uint64_t seed) {
+  Bytes out(n);
+  Xoshiro256 rng(seed);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.Next());
+  return out;
+}
+
+class PartitionRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t, Linearization>> {};
+
+TEST_P(PartitionRoundTripTest, PartitionThenMergeIsIdentity) {
+  const auto [width, mask_pattern, lin] = GetParam();
+  const uint64_t full = width >= 64 ? ~0ull : ((1ull << width) - 1);
+  const uint64_t mask = mask_pattern & full;
+  const Bytes data = RandomBytes(width * 333, width + mask_pattern);
+
+  Partition partition;
+  ASSERT_TRUE(PartitionData(data, width, mask, lin, &partition).ok());
+  EXPECT_EQ(partition.element_count, 333u);
+  EXPECT_EQ(partition.compressible.size(),
+            333u * static_cast<size_t>(PopcountMask(mask, width)));
+  EXPECT_EQ(partition.compressible.size() + partition.incompressible.size(),
+            data.size());
+
+  Bytes merged;
+  ASSERT_TRUE(MergePartition(partition, &merged).ok());
+  EXPECT_EQ(merged, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsMasksLinearizations, PartitionRoundTripTest,
+    ::testing::Combine(
+        ::testing::Values<size_t>(1, 4, 8, 16, 64),
+        ::testing::Values<uint64_t>(0x0ull, 0x1ull, 0xC0ull,
+                                    0xAAAAAAAAAAAAAAAAull, ~0ull),
+        ::testing::Values(Linearization::kRow, Linearization::kColumn)));
+
+TEST(PartitionerTest, KnownSplitExample) {
+  // Paper's running example (§II.B): ω = 8, mask 10000010 in output-array
+  // notation means columns 1 and 7 are compressible. Our bit j = column j.
+  Bytes data;
+  for (uint8_t i = 0; i < 2; ++i) {
+    for (uint8_t j = 0; j < 8; ++j) {
+      data.push_back(static_cast<uint8_t>(10 * i + j));
+    }
+  }
+  const uint64_t mask = (1ull << 1) | (1ull << 7);
+  Partition partition;
+  ASSERT_TRUE(
+      PartitionData(data, 8, mask, Linearization::kRow, &partition).ok());
+  EXPECT_EQ(partition.compressible, (Bytes{1, 7, 11, 17}));
+  EXPECT_EQ(partition.incompressible, (Bytes{0, 2, 3, 4, 5, 6, 10, 12, 13, 14, 15, 16}));
+}
+
+TEST(PartitionerTest, ColumnLinearizationOfCompressibleStream) {
+  Bytes data = {1, 2, 3, 4, 5, 6};  // width 2, 3 elements
+  Partition partition;
+  ASSERT_TRUE(PartitionData(data, 2, 0b11, Linearization::kColumn, &partition).ok());
+  EXPECT_EQ(partition.compressible, (Bytes{1, 3, 5, 2, 4, 6}));
+  EXPECT_TRUE(partition.incompressible.empty());
+}
+
+TEST(PartitionerTest, EmptyMaskPutsEverythingInNoise) {
+  const Bytes data = RandomBytes(8 * 10, 1);
+  Partition partition;
+  ASSERT_TRUE(PartitionData(data, 8, 0, Linearization::kRow, &partition).ok());
+  EXPECT_TRUE(partition.compressible.empty());
+  EXPECT_EQ(partition.incompressible, data);  // row order = original order
+  Bytes merged;
+  ASSERT_TRUE(MergePartition(partition, &merged).ok());
+  EXPECT_EQ(merged, data);
+}
+
+TEST(PartitionerTest, EmptyInputSupported) {
+  Partition partition;
+  ASSERT_TRUE(PartitionData({}, 8, 0xFF, Linearization::kRow, &partition).ok());
+  EXPECT_EQ(partition.element_count, 0u);
+  Bytes merged;
+  ASSERT_TRUE(MergePartition(partition, &merged).ok());
+  EXPECT_TRUE(merged.empty());
+}
+
+TEST(PartitionerTest, InvalidGeometryRejected) {
+  Partition partition;
+  EXPECT_FALSE(PartitionData(Bytes(15, 0), 8, 1, Linearization::kRow, &partition).ok());
+  EXPECT_FALSE(PartitionData(Bytes(16, 0), 0, 1, Linearization::kRow, &partition).ok());
+  EXPECT_FALSE(
+      PartitionData(Bytes(16, 0), 2, 0b100, Linearization::kRow, &partition).ok());
+}
+
+TEST(PartitionerTest, MergeRejectsCorruptPartition) {
+  Partition partition;
+  partition.width = 8;
+  partition.element_count = 4;
+  partition.compressible_mask = 0x0F;
+  partition.compressible = Bytes(10, 0);  // should be 16
+  partition.incompressible = Bytes(16, 0);
+  Bytes merged;
+  EXPECT_FALSE(MergePartition(partition, &merged).ok());
+}
+
+}  // namespace
+}  // namespace isobar

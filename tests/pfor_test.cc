@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "pfor/pfor_codec.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+Bytes WordsToBytes(const std::vector<uint64_t>& values) {
+  Bytes out;
+  out.reserve(values.size() * 8);
+  for (uint64_t v : values) AppendLE64(out, v);
+  return out;
+}
+
+std::vector<uint64_t> SmallRangeValues(size_t n, uint64_t range,
+                                       uint64_t seed) {
+  std::vector<uint64_t> v(n);
+  Xoshiro256 rng(seed);
+  for (auto& x : v) x = 1'000'000 + rng.NextBounded(range);
+  return v;
+}
+
+class PforRoundTripTest : public ::testing::TestWithParam<PforMode> {};
+
+TEST_P(PforRoundTripTest, SmallRangeValuesRoundTrip) {
+  const PforCodec codec(GetParam());
+  const Bytes input = WordsToBytes(SmallRangeValues(1000, 4096, 1));
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+  EXPECT_LT(compressed.size(), input.size() / 3);  // ~12 bits of 64 used
+}
+
+TEST_P(PforRoundTripTest, FullRangeRandomRoundTrip) {
+  const PforCodec codec(GetParam());
+  std::vector<uint64_t> values(777);
+  Xoshiro256 rng(2);
+  for (auto& v : values) v = rng.Next();
+  const Bytes input = WordsToBytes(values);
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST_P(PforRoundTripTest, OutliersBecomeExceptions) {
+  // Mostly small offsets with rare huge spikes: the patched-exception
+  // path must carry the spikes while the block stays narrow.
+  const PforCodec codec(GetParam());
+  std::vector<uint64_t> values = SmallRangeValues(1024, 256, 3);
+  for (size_t i = 100; i < values.size(); i += 100) {
+    values[i] = 0xFFFF'FFFF'FFFF'0000ull + i;
+  }
+  const Bytes input = WordsToBytes(values);
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+  EXPECT_LT(compressed.size(), input.size() / 2);
+}
+
+TEST_P(PforRoundTripTest, NonBlockMultipleCountRoundTrips) {
+  const PforCodec codec(GetParam());
+  for (size_t n : {1, 2, 127, 128, 129, 255, 257}) {
+    const Bytes input = WordsToBytes(SmallRangeValues(n, 1000, n));
+    Bytes compressed, out;
+    ASSERT_TRUE(codec.Compress(input, &compressed).ok()) << n;
+    ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok()) << n;
+    EXPECT_EQ(out, input) << n;
+  }
+}
+
+TEST_P(PforRoundTripTest, EmptyInputRoundTrips) {
+  const PforCodec codec(GetParam());
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress({}, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, 0, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, PforRoundTripTest,
+                         ::testing::Values(PforMode::kFor, PforMode::kDelta),
+                         [](const auto& info) {
+                           return info.param == PforMode::kFor ? "for"
+                                                               : "delta";
+                         });
+
+TEST(PforCodecTest, DeltaModeWinsOnArithmeticSequences) {
+  // Strictly increasing ids with small strides: after delta + zigzag the
+  // offsets are tiny; plain FOR must store the full spread of each block.
+  std::vector<uint64_t> values(4096);
+  Xoshiro256 rng(5);
+  uint64_t v = 1ull << 40;
+  for (auto& x : values) {
+    v += 1 + rng.NextBounded(7);
+    x = v;
+  }
+  const Bytes input = WordsToBytes(values);
+  Bytes for_out, delta_out;
+  ASSERT_TRUE(PforCodec(PforMode::kFor).Compress(input, &for_out).ok());
+  ASSERT_TRUE(PforCodec(PforMode::kDelta).Compress(input, &delta_out).ok());
+  EXPECT_LT(delta_out.size(), for_out.size() / 2);
+}
+
+TEST(PforCodecTest, DeltaHandlesDecreasingSequences) {
+  std::vector<uint64_t> values(1000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1'000'000'000ull - i * 17;
+  }
+  const Bytes input = WordsToBytes(values);
+  const PforCodec codec(PforMode::kDelta);
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+  EXPECT_LT(compressed.size(), input.size() / 4);
+}
+
+TEST(PforCodecTest, ConstantValuesPackToZeroBits) {
+  const PforCodec codec(PforMode::kFor);
+  const Bytes input = WordsToBytes(std::vector<uint64_t>(1280, 42));
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  // 10 blocks x 10-byte headers + mode byte, no packed payload at b=0.
+  EXPECT_EQ(compressed.size(), 1 + 10 * 10u);
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(PforCodecTest, MisalignedInputRejected) {
+  const PforCodec codec;
+  Bytes out;
+  EXPECT_EQ(codec.Compress(Bytes(12, 0), &out).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(codec.Decompress(Bytes(12, 0), 12, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PforCodecTest, CorruptStreamsDetected) {
+  const PforCodec codec;
+  const Bytes input = WordsToBytes(SmallRangeValues(300, 512, 7));
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  Bytes out;
+
+  // Truncations at several depths.
+  for (size_t cut : {compressed.size() - 1, compressed.size() / 2, size_t{1},
+                     size_t{0}}) {
+    ByteSpan prefix(compressed.data(), cut);
+    EXPECT_FALSE(codec.Decompress(prefix, input.size(), &out).ok())
+        << "cut " << cut;
+  }
+  // Trailing garbage.
+  Bytes padded = compressed;
+  padded.push_back(0x00);
+  EXPECT_EQ(codec.Decompress(padded, input.size(), &out).code(),
+            StatusCode::kCorruption);
+  // Unknown mode byte.
+  Bytes bad_mode = compressed;
+  bad_mode[0] = 9;
+  EXPECT_EQ(codec.Decompress(bad_mode, input.size(), &out).code(),
+            StatusCode::kCorruption);
+  // Invalid bit width in the first block header.
+  Bytes bad_bits = compressed;
+  bad_bits[1] = 65;
+  EXPECT_EQ(codec.Decompress(bad_bits, input.size(), &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(PforCodecTest, ExceptionIndexOutOfRangeDetected) {
+  // Hand-craft a final short block (1 value) whose exception index points
+  // past the block.
+  Bytes stream;
+  stream.push_back(0);   // mode kFor
+  stream.push_back(0);   // bits = 0
+  stream.push_back(1);   // one exception
+  AppendLE64(stream, 0);  // base
+  stream.push_back(5);   // exception index 5 >= count 1
+  AppendLE64(stream, 123);
+  const PforCodec codec;
+  Bytes out;
+  EXPECT_EQ(codec.Decompress(stream, 8, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(PforCodecTest, WideBitWidthsRoundTrip) {
+  // Offsets spanning ~2^60 force bit widths near the 64-bit ceiling,
+  // exercising the 128-bit accumulator paths of the bit packer.
+  std::vector<uint64_t> values(512);
+  Xoshiro256 rng(11);
+  for (auto& v : values) v = rng.Next() >> 3;  // 61-bit values
+  const Bytes input = WordsToBytes(values);
+  const PforCodec codec(PforMode::kFor);
+  Bytes compressed, out;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec.Decompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+}  // namespace
+}  // namespace isobar

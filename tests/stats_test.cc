@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/bit_frequency.h"
+#include "stats/byte_histogram.h"
+#include "stats/summary.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+Bytes RandomBytes(size_t n, uint64_t seed) {
+  Bytes out(n);
+  Xoshiro256 rng(seed);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.Next());
+  return out;
+}
+
+TEST(ColumnHistogramTest, CountsPerColumn) {
+  // Elements of width 2: column 0 always 0xAA, column 1 cycles 0..3.
+  Bytes data;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back(0xAA);
+    data.push_back(static_cast<uint8_t>(i % 4));
+  }
+  ColumnHistogramSet set(2);
+  ASSERT_TRUE(set.Update(data).ok());
+  EXPECT_EQ(set.element_count(), 100u);
+  EXPECT_EQ(set.column(0)[0xAA], 100u);
+  EXPECT_EQ(set.MaxFrequency(0), 100u);
+  EXPECT_EQ(set.column(1)[0], 25u);
+  EXPECT_EQ(set.column(1)[3], 25u);
+  EXPECT_EQ(set.MaxFrequency(1), 25u);
+}
+
+TEST(ColumnHistogramTest, StreamingUpdatesAccumulate) {
+  Bytes part1 = {1, 2, 3, 4};
+  Bytes part2 = {1, 2};
+  ColumnHistogramSet set(2);
+  ASSERT_TRUE(set.Update(part1).ok());
+  ASSERT_TRUE(set.Update(part2).ok());
+  EXPECT_EQ(set.element_count(), 3u);
+  EXPECT_EQ(set.column(0)[1], 2u);
+  EXPECT_EQ(set.column(0)[3], 1u);
+  EXPECT_EQ(set.column(1)[2], 2u);
+}
+
+TEST(ColumnHistogramTest, MisalignedDataRejected) {
+  ColumnHistogramSet set(8);
+  Bytes data(12, 0);
+  EXPECT_EQ(set.Update(data).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ColumnHistogramTest, ConstantColumnHasZeroEntropy) {
+  Bytes data(800, 0x42);
+  ColumnHistogramSet set(8);
+  ASSERT_TRUE(set.Update(data).ok());
+  for (size_t j = 0; j < 8; ++j) {
+    EXPECT_DOUBLE_EQ(set.ColumnEntropy(j), 0.0);
+  }
+}
+
+TEST(ColumnHistogramTest, UniformColumnEntropyNearEight) {
+  Bytes data = RandomBytes(8 * 100000, 11);
+  ColumnHistogramSet set(8);
+  ASSERT_TRUE(set.Update(data).ok());
+  for (size_t j = 0; j < 8; ++j) {
+    EXPECT_GT(set.ColumnEntropy(j), 7.9);
+    EXPECT_LE(set.ColumnEntropy(j), 8.0);
+  }
+}
+
+TEST(ColumnHistogramTest, ResetClears) {
+  Bytes data(80, 0x01);
+  ColumnHistogramSet set(8);
+  ASSERT_TRUE(set.Update(data).ok());
+  set.Reset();
+  EXPECT_EQ(set.element_count(), 0u);
+  EXPECT_EQ(set.MaxFrequency(0), 0u);
+}
+
+TEST(BitFrequencyTest, ConstantDataIsFullyPredictable) {
+  Bytes data(80, 0x0F);
+  auto profile = ComputeBitFrequency(data, 8);
+  ASSERT_TRUE(profile.ok());
+  ASSERT_EQ(profile->probability.size(), 64u);
+  for (double p : profile->probability) EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(BitFrequencyTest, RandomDataNearHalf) {
+  Bytes data = RandomBytes(8 * 50000, 21);
+  auto profile = ComputeBitFrequency(data, 8);
+  ASSERT_TRUE(profile.ok());
+  for (double p : profile->probability) {
+    EXPECT_GE(p, 0.5);
+    EXPECT_LT(p, 0.52);
+  }
+}
+
+TEST(BitFrequencyTest, MixedColumnsShowContrast) {
+  // Byte 0 constant, byte 1 random: first 8 positions certain, next 8 noisy.
+  Bytes data;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    data.push_back(0x00);
+    data.push_back(static_cast<uint8_t>(rng.Next()));
+  }
+  auto profile = ComputeBitFrequency(data, 2);
+  ASSERT_TRUE(profile.ok());
+  for (int k = 0; k < 8; ++k) EXPECT_DOUBLE_EQ(profile->probability[k], 1.0);
+  for (int k = 8; k < 16; ++k) EXPECT_LT(profile->probability[k], 0.52);
+}
+
+TEST(BitFrequencyTest, OnesCountsMatchProbability) {
+  Bytes data = {0xFF, 0x00, 0xFF, 0x00};  // width 1: alternating bytes
+  auto profile = ComputeBitFrequency(data, 1);
+  ASSERT_TRUE(profile.ok());
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(profile->ones[k], 2u);
+    EXPECT_DOUBLE_EQ(profile->probability[k], 0.5);
+  }
+}
+
+TEST(BitFrequencyTest, InvalidWidthRejected) {
+  Bytes data(8, 0);
+  EXPECT_FALSE(ComputeBitFrequency(data, 0).ok());
+  EXPECT_FALSE(ComputeBitFrequency(data, 65).ok());
+  EXPECT_FALSE(ComputeBitFrequency(data, 3).ok());  // 8 % 3 != 0
+}
+
+TEST(SummaryTest, AllUniqueElements) {
+  Bytes data;
+  for (uint64_t i = 0; i < 1024; ++i) AppendLE64(data, i * 2654435761ull);
+  auto summary = Summarize(data, 8);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->element_count, 1024u);
+  EXPECT_DOUBLE_EQ(summary->unique_value_percent, 100.0);
+  EXPECT_NEAR(summary->shannon_entropy, 10.0, 1e-9);  // log2(1024)
+  EXPECT_NEAR(summary->randomness_percent, 100.0, 1e-9);
+}
+
+TEST(SummaryTest, SingleRepeatedValue) {
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) AppendLE64(data, 42);
+  auto summary = Summarize(data, 8);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_NEAR(summary->unique_value_percent, 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(summary->shannon_entropy, 0.0);
+  EXPECT_DOUBLE_EQ(summary->randomness_percent, 0.0);
+}
+
+TEST(SummaryTest, TwoEquallyLikelyValuesHaveOneBit) {
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) AppendLE64(data, i % 2);
+  auto summary = Summarize(data, 8);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_NEAR(summary->shannon_entropy, 1.0, 1e-9);
+}
+
+TEST(SummaryTest, DuplicatesLowerUniquePercent) {
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) AppendLE64(data, i % 100);
+  auto summary = Summarize(data, 8);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_NEAR(summary->unique_value_percent, 10.0, 1e-9);
+  EXPECT_NEAR(summary->shannon_entropy, std::log2(100.0), 1e-9);
+}
+
+TEST(SummaryTest, EmptyDataIsValid) {
+  auto summary = Summarize({}, 8);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->element_count, 0u);
+}
+
+TEST(SummaryTest, WidthValidation) {
+  Bytes data(16, 0);
+  EXPECT_FALSE(Summarize(data, 0).ok());
+  EXPECT_FALSE(Summarize(data, 65).ok());
+  EXPECT_FALSE(Summarize(data, 3).ok());
+}
+
+TEST(SummaryTest, WideElementsSupported) {
+  // 64-byte elements (xgc_iphase-style records).
+  Bytes data;
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 64; ++i) {
+    for (int b = 0; b < 64; ++b) {
+      data.push_back(static_cast<uint8_t>(rng.Next()));
+    }
+  }
+  auto summary = Summarize(data, 64);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->element_count, 64u);
+  EXPECT_DOUBLE_EQ(summary->unique_value_percent, 100.0);
+}
+
+}  // namespace
+}  // namespace isobar

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+
+#include "core/isobar.h"
+#include "core/stream.h"
+#include "datagen/registry.h"
+#include "io/sink.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+Dataset HardDataset(uint64_t elements, const char* name = "gts_phi_l") {
+  auto spec = FindDatasetSpec(name);
+  auto dataset = GenerateDataset(**spec, elements);
+  return std::move(*dataset);
+}
+
+CompressOptions SmallChunkOptions() {
+  CompressOptions options;
+  options.chunk_elements = 20000;
+  options.eupa.sample_elements = 4096;
+  return options;
+}
+
+TEST(StreamWriterTest, MatchesBatchCompressorByteForByte) {
+  // With a fully forced pipeline the batch and streaming paths must make
+  // identical per-chunk decisions; only the header count fields differ.
+  const Dataset dataset = HardDataset(65000);
+  CompressOptions options = SmallChunkOptions();
+  options.eupa.forced_codec = CodecId::kZlib;
+  options.eupa.forced_linearization = Linearization::kRow;
+
+  const IsobarCompressor batch(options);
+  auto batch_out = batch.Compress(dataset.bytes(), 8);
+  ASSERT_TRUE(batch_out.ok());
+
+  Bytes stream_out;
+  MemorySink sink(&stream_out);
+  IsobarStreamWriter writer(options, 8, &sink);
+  ASSERT_TRUE(writer.Append(dataset.bytes()).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  ASSERT_EQ(stream_out.size(), batch_out->size());
+  // Bytes past the header are identical; the header differs only in the
+  // element/chunk count fields (16..31 and 32..39), which the stream
+  // leaves as sentinels.
+  EXPECT_TRUE(std::equal(stream_out.begin() + container::kHeaderSize,
+                         stream_out.end(),
+                         batch_out->begin() + container::kHeaderSize));
+}
+
+TEST(StreamWriterTest, StreamedContainerDecompresses) {
+  const Dataset dataset = HardDataset(100000);
+  Bytes stream_out;
+  MemorySink sink(&stream_out);
+  IsobarStreamWriter writer(SmallChunkOptions(), 8, &sink);
+  ASSERT_TRUE(writer.Append(dataset.bytes()).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  auto restored = IsobarCompressor::Decompress(stream_out);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, dataset.data);
+}
+
+TEST(StreamWriterTest, ArbitraryAppendGranularity) {
+  // Dribble data in odd-sized pieces, including partial elements.
+  const Dataset dataset = HardDataset(50000);
+  Bytes stream_out;
+  MemorySink sink(&stream_out);
+  IsobarStreamWriter writer(SmallChunkOptions(), 8, &sink);
+
+  Xoshiro256 rng(7);
+  size_t position = 0;
+  while (position < dataset.data.size()) {
+    const size_t take = std::min<size_t>(1 + rng.NextBounded(77777),
+                                         dataset.data.size() - position);
+    ASSERT_TRUE(writer.Append(dataset.bytes().subspan(position, take)).ok());
+    position += take;
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+
+  auto restored = IsobarCompressor::Decompress(stream_out);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, dataset.data);
+}
+
+TEST(StreamWriterTest, SubChunkStreamWorks) {
+  // Less than one chunk of data: the decision happens at Finish().
+  const Dataset dataset = HardDataset(5000);
+  Bytes stream_out;
+  MemorySink sink(&stream_out);
+  IsobarStreamWriter writer(SmallChunkOptions(), 8, &sink);
+  ASSERT_TRUE(writer.Append(dataset.bytes()).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  auto restored = IsobarCompressor::Decompress(stream_out);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, dataset.data);
+}
+
+TEST(StreamWriterTest, EmptyStreamProducesValidContainer) {
+  Bytes stream_out;
+  MemorySink sink(&stream_out);
+  IsobarStreamWriter writer(SmallChunkOptions(), 8, &sink);
+  ASSERT_TRUE(writer.Finish().ok());
+  auto restored = IsobarCompressor::Decompress(stream_out);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(StreamWriterTest, FinishIsIdempotentAndAppendAfterFinishFails) {
+  Bytes stream_out;
+  MemorySink sink(&stream_out);
+  IsobarStreamWriter writer(SmallChunkOptions(), 8, &sink);
+  ASSERT_TRUE(writer.Append(Bytes(80, 1)).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_TRUE(writer.finished());
+  EXPECT_FALSE(writer.Append(Bytes(8, 1)).ok());
+}
+
+TEST(StreamWriterTest, MidElementFinishFails) {
+  Bytes stream_out;
+  MemorySink sink(&stream_out);
+  IsobarStreamWriter writer(SmallChunkOptions(), 8, &sink);
+  ASSERT_TRUE(writer.Append(Bytes(13, 1)).ok());  // 1.625 elements
+  EXPECT_EQ(writer.Finish().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StreamWriterTest, InvalidConstructionReportsOnUse) {
+  Bytes stream_out;
+  MemorySink sink(&stream_out);
+  IsobarStreamWriter bad_width(SmallChunkOptions(), 0, &sink);
+  EXPECT_FALSE(bad_width.Append(Bytes(8, 0)).ok());
+  IsobarStreamWriter null_sink(SmallChunkOptions(), 8, nullptr);
+  EXPECT_FALSE(null_sink.Finish().ok());
+}
+
+TEST(StreamWriterTest, StatsAccumulate) {
+  const Dataset dataset = HardDataset(60000);
+  Bytes stream_out;
+  MemorySink sink(&stream_out);
+  IsobarStreamWriter writer(SmallChunkOptions(), 8, &sink);
+  ASSERT_TRUE(writer.Append(dataset.bytes()).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  const CompressionStats& stats = writer.stats();
+  EXPECT_EQ(stats.input_bytes, dataset.data.size());
+  EXPECT_EQ(stats.output_bytes, stream_out.size());
+  EXPECT_EQ(stats.chunk_count, 3u);
+  EXPECT_TRUE(stats.improvable);
+  EXPECT_GT(stats.ratio(), 1.2);
+}
+
+TEST(StreamReaderTest, IteratesChunksOfBatchContainer) {
+  const Dataset dataset = HardDataset(65000);
+  const IsobarCompressor batch(SmallChunkOptions());
+  auto compressed = batch.Compress(dataset.bytes(), 8);
+  ASSERT_TRUE(compressed.ok());
+
+  IsobarStreamReader reader(*compressed);
+  ASSERT_TRUE(reader.Init().ok());
+  EXPECT_EQ(reader.header().element_count, 65000u);
+
+  Bytes reassembled, chunk;
+  int chunks = 0;
+  for (;;) {
+    auto more = reader.NextChunk(&chunk);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    reassembled.insert(reassembled.end(), chunk.begin(), chunk.end());
+    ++chunks;
+  }
+  EXPECT_EQ(chunks, 4);  // 65000 / 20000 -> 3 full + 1 short
+  EXPECT_EQ(reassembled, dataset.data);
+}
+
+TEST(StreamReaderTest, IteratesChunksOfStreamedContainer) {
+  const Dataset dataset = HardDataset(45000);
+  Bytes stream_out;
+  MemorySink sink(&stream_out);
+  IsobarStreamWriter writer(SmallChunkOptions(), 8, &sink);
+  ASSERT_TRUE(writer.Append(dataset.bytes()).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  IsobarStreamReader reader(stream_out);
+  ASSERT_TRUE(reader.Init().ok());
+  EXPECT_EQ(reader.header().element_count, container::kUnknownCount);
+
+  Bytes reassembled, chunk;
+  for (;;) {
+    auto more = reader.NextChunk(&chunk);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    reassembled.insert(reassembled.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(reassembled, dataset.data);
+}
+
+TEST(StreamReaderTest, SkipChunkSeeksWithoutDecoding) {
+  const Dataset dataset = HardDataset(80000);
+  const IsobarCompressor batch(SmallChunkOptions());
+  auto compressed = batch.Compress(dataset.bytes(), 8);
+  ASSERT_TRUE(compressed.ok());
+
+  // Skip the first two 20000-element chunks, decode the third.
+  IsobarStreamReader reader(*compressed);
+  ASSERT_TRUE(reader.Init().ok());
+  for (int i = 0; i < 2; ++i) {
+    auto more = reader.SkipChunk();
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(*more);
+  }
+  EXPECT_EQ(reader.chunks_read(), 2u);
+  Bytes chunk;
+  auto more = reader.NextChunk(&chunk);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(*more);
+  const ByteSpan expected = dataset.bytes().subspan(2 * 20000 * 8, 20000 * 8);
+  EXPECT_TRUE(std::equal(chunk.begin(), chunk.end(), expected.begin()));
+}
+
+TEST(StreamReaderTest, SkipAllChunksReachesCleanEnd) {
+  const Dataset dataset = HardDataset(45000);
+  const IsobarCompressor batch(SmallChunkOptions());
+  auto compressed = batch.Compress(dataset.bytes(), 8);
+  ASSERT_TRUE(compressed.ok());
+
+  IsobarStreamReader reader(*compressed);
+  ASSERT_TRUE(reader.Init().ok());
+  int skipped = 0;
+  for (;;) {
+    auto more = reader.SkipChunk();
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    ++skipped;
+  }
+  EXPECT_EQ(skipped, 3);  // 2 full + 1 short chunk
+}
+
+TEST(StreamReaderTest, RequiresInit) {
+  Bytes dummy(100, 0);
+  IsobarStreamReader reader(dummy);
+  Bytes chunk;
+  EXPECT_FALSE(reader.NextChunk(&chunk).ok());
+}
+
+TEST(StreamReaderTest, DetectsCorruptChunkMidStream) {
+  const Dataset dataset = HardDataset(65000);
+  const IsobarCompressor batch(SmallChunkOptions());
+  auto compressed = batch.Compress(dataset.bytes(), 8);
+  ASSERT_TRUE(compressed.ok());
+  Bytes mutated = *compressed;
+  // Damage the last chunk's payload. (Note: not every bit matters —
+  // deflate's final-block padding bits are don't-care — so hit the last
+  // byte, which is always load-bearing: solver checksum or raw data.)
+  mutated[mutated.size() - 1] ^= 0x20;
+
+  IsobarStreamReader reader(mutated);
+  ASSERT_TRUE(reader.Init().ok());
+  Bytes chunk;
+  Status last;
+  for (;;) {
+    auto more = reader.NextChunk(&chunk);
+    if (!more.ok()) {
+      last = more.status();
+      break;
+    }
+    if (!*more) break;
+  }
+  EXPECT_EQ(last.code(), StatusCode::kCorruption);
+}
+
+TEST(SinkTest, CountingSinkCounts) {
+  Bytes buffer;
+  MemorySink memory(&buffer);
+  CountingSink counting(&memory);
+  ASSERT_TRUE(counting.Write(Bytes(100, 1)).ok());
+  ASSERT_TRUE(counting.Write(Bytes(23, 2)).ok());
+  EXPECT_EQ(counting.bytes_written(), 123u);
+  EXPECT_EQ(buffer.size(), 123u);
+}
+
+TEST(SinkTest, ThrottledSinkAdvancesSimulatedClock) {
+  ThrottledSink sink(/*bandwidth_mbps=*/100.0);
+  ASSERT_TRUE(sink.Write(Bytes(50'000'000 / 100, 0)).ok());  // 0.5 MB
+  EXPECT_NEAR(sink.simulated_seconds(), 0.005, 1e-9);
+  ASSERT_TRUE(sink.Write(Bytes(500'000, 0)).ok());
+  EXPECT_NEAR(sink.simulated_seconds(), 0.010, 1e-9);
+  EXPECT_EQ(sink.bytes_written(), 1'000'000u);
+}
+
+TEST(SinkTest, FileSinkWritesFile) {
+  const std::string path = ::testing::TempDir() + "/isobar_sink_test.bin";
+  FileSink sink(path);
+  ASSERT_TRUE(sink.status().ok());
+  ASSERT_TRUE(sink.Write(Bytes{1, 2, 3, 4}).ok());
+  ASSERT_TRUE(sink.Close().ok());
+  std::ifstream in(path, std::ios::binary);
+  Bytes content((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, (Bytes{1, 2, 3, 4}));
+  EXPECT_FALSE(sink.Write(Bytes{5}).ok());  // closed
+}
+
+}  // namespace
+}  // namespace isobar

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "util/bytes.h"
+#include "util/crc32c.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace isobar {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+  Status s = Status::Corruption("bad checksum");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad checksum");
+  EXPECT_EQ(s.ToString(), "corruption: bad checksum");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Corruption("a"), Status::Corruption("a"));
+  EXPECT_FALSE(Status::Corruption("a") == Status::Corruption("b"));
+  EXPECT_FALSE(Status::Corruption("a") == Status::Internal("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string(1000, 'x'));
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v.size(), 1000u);
+}
+
+Status FailingOperation() { return Status::IOError("disk on fire"); }
+
+Status Propagates() {
+  ISOBAR_RETURN_NOT_OK(FailingOperation());
+  return Status::Internal("unreachable");
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kIOError);
+}
+
+Result<int> GiveSeven() { return 7; }
+
+Status UsesAssignOrReturn(int* out) {
+  ISOBAR_ASSIGN_OR_RETURN(int v, GiveSeven());
+  *out = v;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacroAssigns) {
+  int v = 0;
+  ASSERT_TRUE(UsesAssignOrReturn(&v).ok());
+  EXPECT_EQ(v, 7);
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // Canonical CRC-32C check value.
+  const char* digits = "123456789";
+  EXPECT_EQ(crc32c::Extend(0, reinterpret_cast<const uint8_t*>(digits), 9),
+            0xE3069283u);
+  // RFC 3720 (iSCSI) test vectors.
+  uint8_t zeros[32] = {};
+  EXPECT_EQ(crc32c::Extend(0, zeros, 32), 0x8A9136AAu);
+  uint8_t ones[32];
+  std::memset(ones, 0xFF, sizeof(ones));
+  EXPECT_EQ(crc32c::Extend(0, ones, 32), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendIsIncremental) {
+  uint8_t data[64];
+  for (int i = 0; i < 64; ++i) data[i] = static_cast<uint8_t>(i * 7 + 3);
+  const uint32_t whole = crc32c::Extend(0, data, 64);
+  uint32_t split = crc32c::Extend(0, data, 17);
+  split = crc32c::Extend(split, data + 17, 64 - 17);
+  EXPECT_EQ(whole, split);
+}
+
+TEST(Crc32cTest, DistinguishesSingleBitFlip) {
+  uint8_t data[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  const uint32_t before = crc32c::Extend(0, data, 16);
+  data[7] ^= 0x10;
+  EXPECT_NE(before, crc32c::Extend(0, data, 16));
+}
+
+TEST(BytesTest, LittleEndianRoundTrip) {
+  uint8_t buf[8];
+  StoreLE16(buf, 0xBEEF);
+  EXPECT_EQ(LoadLE16(buf), 0xBEEF);
+  StoreLE32(buf, 0xDEADBEEFu);
+  EXPECT_EQ(LoadLE32(buf), 0xDEADBEEFu);
+  StoreLE64(buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(LoadLE64(buf), 0x0123456789ABCDEFull);
+  EXPECT_EQ(buf[0], 0xEF);  // little-endian byte order on disk
+  EXPECT_EQ(buf[7], 0x01);
+}
+
+TEST(BytesTest, AppendHelpersGrowBuffer) {
+  Bytes out;
+  AppendLE16(out, 0x1122);
+  AppendLE32(out, 0x33445566u);
+  AppendLE64(out, 0x778899AABBCCDDEEull);
+  ASSERT_EQ(out.size(), 14u);
+  EXPECT_EQ(LoadLE16(out.data()), 0x1122);
+  EXPECT_EQ(LoadLE32(out.data() + 2), 0x33445566u);
+  EXPECT_EQ(LoadLE64(out.data() + 6), 0x778899AABBCCDDEEull);
+}
+
+TEST(BytesTest, AsBytesViewsTypedArray) {
+  std::vector<uint32_t> values = {1, 2, 3};
+  ByteSpan bytes = AsBytes(values);
+  EXPECT_EQ(bytes.size(), 12u);
+  EXPECT_EQ(bytes[0], 1);
+  EXPECT_EQ(bytes[4], 2);
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Xoshiro256 a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, NextBoundedRespectsBound) {
+  Xoshiro256 rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+TEST(RandomTest, GaussianHasRoughlyUnitSpread) {
+  Xoshiro256 rng(31337);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotonic) {
+  Stopwatch sw;
+  const double a = sw.ElapsedSeconds();
+  const double b = sw.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(StopwatchTest, ThroughputZeroBytesIsZero) {
+  Stopwatch sw;
+  EXPECT_GE(sw.ThroughputMBps(0), 0.0);
+  EXPECT_EQ(sw.ThroughputMBps(0), 0.0);
+}
+
+}  // namespace
+}  // namespace isobar

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "datagen/records.h"
+#include "datagen/registry.h"
+#include "stats/width_detector.h"
+#include "util/random.h"
+
+namespace isobar {
+namespace {
+
+TEST(WidthDetectorTest, RecoversDoubleWidthFromHardProfiles) {
+  for (const char* name : {"gts_phi_l", "flash_gamc", "msg_sweep3d"}) {
+    auto spec = FindDatasetSpec(name);
+    ASSERT_TRUE(spec.ok());
+    auto dataset = GenerateDataset(**spec, 100000);
+    ASSERT_TRUE(dataset.ok());
+    auto detection = DetectElementWidth(dataset->bytes());
+    ASSERT_TRUE(detection.ok()) << name;
+    EXPECT_TRUE(detection->confident) << name;
+    EXPECT_EQ(detection->width, 8u) << name;
+  }
+}
+
+TEST(WidthDetectorTest, RecoversFloatWidth) {
+  auto spec = FindDatasetSpec("s3d_vmag");
+  ASSERT_TRUE(spec.ok());
+  auto dataset = GenerateDataset(**spec, 100000);
+  ASSERT_TRUE(dataset.ok());
+  auto detection = DetectElementWidth(dataset->bytes(), 8);
+  ASSERT_TRUE(detection.ok());
+  EXPECT_TRUE(detection->confident);
+  EXPECT_EQ(detection->width, 4u);
+}
+
+TEST(WidthDetectorTest, RecoversRecordWidth) {
+  // 12-byte records (3 float lanes with distinct structure) have no
+  // shorter period.
+  RecordSpec spec;
+  spec.lane_type = ElementType::kFloat32;
+  GeneratorParams noisy;
+  noisy.noise_bytes = 2;
+  GeneratorParams clean;
+  clean.noise_bytes = 0;
+  GeneratorParams half;
+  half.noise_bytes = 1;
+  spec.lanes = {noisy, clean, half};
+  spec.seed = 7;
+  auto records = GenerateRecords(spec, 100000);
+  ASSERT_TRUE(records.ok());
+  auto detection = DetectElementWidth(records->bytes(), 16);
+  ASSERT_TRUE(detection.ok());
+  EXPECT_TRUE(detection->confident);
+  EXPECT_EQ(detection->width, 12u);
+}
+
+TEST(WidthDetectorTest, RandomDataIsNotConfident) {
+  Bytes data;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1 << 18; ++i) data.push_back(static_cast<uint8_t>(rng.Next()));
+  auto detection = DetectElementWidth(data);
+  ASSERT_TRUE(detection.ok());
+  EXPECT_FALSE(detection->confident);
+  EXPECT_EQ(detection->width, 1u);
+}
+
+TEST(WidthDetectorTest, ConstantDataIsNotConfident) {
+  Bytes data(1 << 16, 0x42);
+  auto detection = DetectElementWidth(data);
+  ASSERT_TRUE(detection.ok());
+  EXPECT_FALSE(detection->confident);
+  EXPECT_EQ(detection->width, 1u);
+}
+
+TEST(WidthDetectorTest, CandidatesRespectDivisibility) {
+  // 8 * 12345 bytes: width 16 does not divide the input and must be
+  // absent from the candidate list.
+  auto spec = FindDatasetSpec("gts_phi_l");
+  ASSERT_TRUE(spec.ok());
+  auto dataset = GenerateDataset(**spec, 12345);
+  ASSERT_TRUE(dataset.ok());
+  auto detection = DetectElementWidth(dataset->bytes());
+  ASSERT_TRUE(detection.ok());
+  for (const WidthCandidate& candidate : detection->candidates) {
+    EXPECT_EQ(dataset->data.size() % candidate.width, 0u);
+  }
+  EXPECT_EQ(detection->width, 8u);
+}
+
+TEST(WidthDetectorTest, InputValidation) {
+  Bytes tiny(100, 0);
+  EXPECT_FALSE(DetectElementWidth(tiny).ok());
+  Bytes enough(1 << 16, 0);
+  EXPECT_FALSE(DetectElementWidth(enough, 0).ok());
+  EXPECT_FALSE(DetectElementWidth(enough, 65).ok());
+}
+
+}  // namespace
+}  // namespace isobar
