@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2.cc" "bench/CMakeFiles/bench_table2.dir/bench_table2.cc.o" "gcc" "bench/CMakeFiles/bench_table2.dir/bench_table2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_fpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_fpzip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_pfor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_insitu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_compressors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_linearize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_inspector.dir/dataset_inspector.cpp.o"
+  "CMakeFiles/dataset_inspector.dir/dataset_inspector.cpp.o.d"
+  "dataset_inspector"
+  "dataset_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

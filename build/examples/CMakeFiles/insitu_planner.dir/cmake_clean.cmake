@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_planner.dir/insitu_planner.cpp.o"
+  "CMakeFiles/insitu_planner.dir/insitu_planner.cpp.o.d"
+  "insitu_planner"
+  "insitu_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

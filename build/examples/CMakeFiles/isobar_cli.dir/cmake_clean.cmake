@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isobar_cli.dir/isobar_cli.cpp.o"
+  "CMakeFiles/isobar_cli.dir/isobar_cli.cpp.o.d"
+  "isobar_cli"
+  "isobar_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isobar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isobar_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_fpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_fpzip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_pfor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_insitu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_compressors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_linearize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

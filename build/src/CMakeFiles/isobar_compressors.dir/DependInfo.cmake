@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compressors/bwt_codec.cc" "src/CMakeFiles/isobar_compressors.dir/compressors/bwt_codec.cc.o" "gcc" "src/CMakeFiles/isobar_compressors.dir/compressors/bwt_codec.cc.o.d"
+  "/root/repo/src/compressors/bzip2_codec.cc" "src/CMakeFiles/isobar_compressors.dir/compressors/bzip2_codec.cc.o" "gcc" "src/CMakeFiles/isobar_compressors.dir/compressors/bzip2_codec.cc.o.d"
+  "/root/repo/src/compressors/codec.cc" "src/CMakeFiles/isobar_compressors.dir/compressors/codec.cc.o" "gcc" "src/CMakeFiles/isobar_compressors.dir/compressors/codec.cc.o.d"
+  "/root/repo/src/compressors/huffman_codec.cc" "src/CMakeFiles/isobar_compressors.dir/compressors/huffman_codec.cc.o" "gcc" "src/CMakeFiles/isobar_compressors.dir/compressors/huffman_codec.cc.o.d"
+  "/root/repo/src/compressors/lzss_codec.cc" "src/CMakeFiles/isobar_compressors.dir/compressors/lzss_codec.cc.o" "gcc" "src/CMakeFiles/isobar_compressors.dir/compressors/lzss_codec.cc.o.d"
+  "/root/repo/src/compressors/registry.cc" "src/CMakeFiles/isobar_compressors.dir/compressors/registry.cc.o" "gcc" "src/CMakeFiles/isobar_compressors.dir/compressors/registry.cc.o.d"
+  "/root/repo/src/compressors/rle_codec.cc" "src/CMakeFiles/isobar_compressors.dir/compressors/rle_codec.cc.o" "gcc" "src/CMakeFiles/isobar_compressors.dir/compressors/rle_codec.cc.o.d"
+  "/root/repo/src/compressors/zlib_codec.cc" "src/CMakeFiles/isobar_compressors.dir/compressors/zlib_codec.cc.o" "gcc" "src/CMakeFiles/isobar_compressors.dir/compressors/zlib_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isobar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

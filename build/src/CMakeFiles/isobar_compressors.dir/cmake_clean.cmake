@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isobar_compressors.dir/compressors/bwt_codec.cc.o"
+  "CMakeFiles/isobar_compressors.dir/compressors/bwt_codec.cc.o.d"
+  "CMakeFiles/isobar_compressors.dir/compressors/bzip2_codec.cc.o"
+  "CMakeFiles/isobar_compressors.dir/compressors/bzip2_codec.cc.o.d"
+  "CMakeFiles/isobar_compressors.dir/compressors/codec.cc.o"
+  "CMakeFiles/isobar_compressors.dir/compressors/codec.cc.o.d"
+  "CMakeFiles/isobar_compressors.dir/compressors/huffman_codec.cc.o"
+  "CMakeFiles/isobar_compressors.dir/compressors/huffman_codec.cc.o.d"
+  "CMakeFiles/isobar_compressors.dir/compressors/lzss_codec.cc.o"
+  "CMakeFiles/isobar_compressors.dir/compressors/lzss_codec.cc.o.d"
+  "CMakeFiles/isobar_compressors.dir/compressors/registry.cc.o"
+  "CMakeFiles/isobar_compressors.dir/compressors/registry.cc.o.d"
+  "CMakeFiles/isobar_compressors.dir/compressors/rle_codec.cc.o"
+  "CMakeFiles/isobar_compressors.dir/compressors/rle_codec.cc.o.d"
+  "CMakeFiles/isobar_compressors.dir/compressors/zlib_codec.cc.o"
+  "CMakeFiles/isobar_compressors.dir/compressors/zlib_codec.cc.o.d"
+  "libisobar_compressors.a"
+  "libisobar_compressors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isobar_compressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

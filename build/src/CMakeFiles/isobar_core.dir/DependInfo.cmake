@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cc" "src/CMakeFiles/isobar_core.dir/core/analyzer.cc.o" "gcc" "src/CMakeFiles/isobar_core.dir/core/analyzer.cc.o.d"
+  "/root/repo/src/core/chunk_codec.cc" "src/CMakeFiles/isobar_core.dir/core/chunk_codec.cc.o" "gcc" "src/CMakeFiles/isobar_core.dir/core/chunk_codec.cc.o.d"
+  "/root/repo/src/core/chunker.cc" "src/CMakeFiles/isobar_core.dir/core/chunker.cc.o" "gcc" "src/CMakeFiles/isobar_core.dir/core/chunker.cc.o.d"
+  "/root/repo/src/core/container.cc" "src/CMakeFiles/isobar_core.dir/core/container.cc.o" "gcc" "src/CMakeFiles/isobar_core.dir/core/container.cc.o.d"
+  "/root/repo/src/core/eupa_selector.cc" "src/CMakeFiles/isobar_core.dir/core/eupa_selector.cc.o" "gcc" "src/CMakeFiles/isobar_core.dir/core/eupa_selector.cc.o.d"
+  "/root/repo/src/core/isobar.cc" "src/CMakeFiles/isobar_core.dir/core/isobar.cc.o" "gcc" "src/CMakeFiles/isobar_core.dir/core/isobar.cc.o.d"
+  "/root/repo/src/core/partitioner.cc" "src/CMakeFiles/isobar_core.dir/core/partitioner.cc.o" "gcc" "src/CMakeFiles/isobar_core.dir/core/partitioner.cc.o.d"
+  "/root/repo/src/core/stream.cc" "src/CMakeFiles/isobar_core.dir/core/stream.cc.o" "gcc" "src/CMakeFiles/isobar_core.dir/core/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isobar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_compressors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_linearize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

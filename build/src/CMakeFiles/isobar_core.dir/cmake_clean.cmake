@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isobar_core.dir/core/analyzer.cc.o"
+  "CMakeFiles/isobar_core.dir/core/analyzer.cc.o.d"
+  "CMakeFiles/isobar_core.dir/core/chunk_codec.cc.o"
+  "CMakeFiles/isobar_core.dir/core/chunk_codec.cc.o.d"
+  "CMakeFiles/isobar_core.dir/core/chunker.cc.o"
+  "CMakeFiles/isobar_core.dir/core/chunker.cc.o.d"
+  "CMakeFiles/isobar_core.dir/core/container.cc.o"
+  "CMakeFiles/isobar_core.dir/core/container.cc.o.d"
+  "CMakeFiles/isobar_core.dir/core/eupa_selector.cc.o"
+  "CMakeFiles/isobar_core.dir/core/eupa_selector.cc.o.d"
+  "CMakeFiles/isobar_core.dir/core/isobar.cc.o"
+  "CMakeFiles/isobar_core.dir/core/isobar.cc.o.d"
+  "CMakeFiles/isobar_core.dir/core/partitioner.cc.o"
+  "CMakeFiles/isobar_core.dir/core/partitioner.cc.o.d"
+  "CMakeFiles/isobar_core.dir/core/stream.cc.o"
+  "CMakeFiles/isobar_core.dir/core/stream.cc.o.d"
+  "libisobar_core.a"
+  "libisobar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isobar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libisobar_core.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dataset.cc" "src/CMakeFiles/isobar_datagen.dir/datagen/dataset.cc.o" "gcc" "src/CMakeFiles/isobar_datagen.dir/datagen/dataset.cc.o.d"
+  "/root/repo/src/datagen/field.cc" "src/CMakeFiles/isobar_datagen.dir/datagen/field.cc.o" "gcc" "src/CMakeFiles/isobar_datagen.dir/datagen/field.cc.o.d"
+  "/root/repo/src/datagen/generators.cc" "src/CMakeFiles/isobar_datagen.dir/datagen/generators.cc.o" "gcc" "src/CMakeFiles/isobar_datagen.dir/datagen/generators.cc.o.d"
+  "/root/repo/src/datagen/records.cc" "src/CMakeFiles/isobar_datagen.dir/datagen/records.cc.o" "gcc" "src/CMakeFiles/isobar_datagen.dir/datagen/records.cc.o.d"
+  "/root/repo/src/datagen/registry.cc" "src/CMakeFiles/isobar_datagen.dir/datagen/registry.cc.o" "gcc" "src/CMakeFiles/isobar_datagen.dir/datagen/registry.cc.o.d"
+  "/root/repo/src/datagen/time_series.cc" "src/CMakeFiles/isobar_datagen.dir/datagen/time_series.cc.o" "gcc" "src/CMakeFiles/isobar_datagen.dir/datagen/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isobar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

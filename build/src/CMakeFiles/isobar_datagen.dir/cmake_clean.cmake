@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isobar_datagen.dir/datagen/dataset.cc.o"
+  "CMakeFiles/isobar_datagen.dir/datagen/dataset.cc.o.d"
+  "CMakeFiles/isobar_datagen.dir/datagen/field.cc.o"
+  "CMakeFiles/isobar_datagen.dir/datagen/field.cc.o.d"
+  "CMakeFiles/isobar_datagen.dir/datagen/generators.cc.o"
+  "CMakeFiles/isobar_datagen.dir/datagen/generators.cc.o.d"
+  "CMakeFiles/isobar_datagen.dir/datagen/records.cc.o"
+  "CMakeFiles/isobar_datagen.dir/datagen/records.cc.o.d"
+  "CMakeFiles/isobar_datagen.dir/datagen/registry.cc.o"
+  "CMakeFiles/isobar_datagen.dir/datagen/registry.cc.o.d"
+  "CMakeFiles/isobar_datagen.dir/datagen/time_series.cc.o"
+  "CMakeFiles/isobar_datagen.dir/datagen/time_series.cc.o.d"
+  "libisobar_datagen.a"
+  "libisobar_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isobar_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

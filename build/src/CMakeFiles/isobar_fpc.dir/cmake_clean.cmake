@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isobar_fpc.dir/fpc/fpc_codec.cc.o"
+  "CMakeFiles/isobar_fpc.dir/fpc/fpc_codec.cc.o.d"
+  "CMakeFiles/isobar_fpc.dir/fpc/predictor.cc.o"
+  "CMakeFiles/isobar_fpc.dir/fpc/predictor.cc.o.d"
+  "libisobar_fpc.a"
+  "libisobar_fpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isobar_fpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isobar_fpzip.dir/fpzip/fpzip_codec.cc.o"
+  "CMakeFiles/isobar_fpzip.dir/fpzip/fpzip_codec.cc.o.d"
+  "CMakeFiles/isobar_fpzip.dir/fpzip/lorenzo.cc.o"
+  "CMakeFiles/isobar_fpzip.dir/fpzip/lorenzo.cc.o.d"
+  "libisobar_fpzip.a"
+  "libisobar_fpzip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isobar_fpzip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for isobar_fpzip.
+# This may be replaced when dependencies are built.

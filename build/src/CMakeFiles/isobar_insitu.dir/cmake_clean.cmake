@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isobar_insitu.dir/io/in_situ.cc.o"
+  "CMakeFiles/isobar_insitu.dir/io/in_situ.cc.o.d"
+  "libisobar_insitu.a"
+  "libisobar_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isobar_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/file_io.cc" "src/CMakeFiles/isobar_io.dir/io/file_io.cc.o" "gcc" "src/CMakeFiles/isobar_io.dir/io/file_io.cc.o.d"
+  "/root/repo/src/io/sink.cc" "src/CMakeFiles/isobar_io.dir/io/sink.cc.o" "gcc" "src/CMakeFiles/isobar_io.dir/io/sink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isobar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isobar_io.dir/io/file_io.cc.o"
+  "CMakeFiles/isobar_io.dir/io/file_io.cc.o.d"
+  "CMakeFiles/isobar_io.dir/io/sink.cc.o"
+  "CMakeFiles/isobar_io.dir/io/sink.cc.o.d"
+  "libisobar_io.a"
+  "libisobar_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isobar_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

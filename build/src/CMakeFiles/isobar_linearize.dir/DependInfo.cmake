@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linearize/hilbert.cc" "src/CMakeFiles/isobar_linearize.dir/linearize/hilbert.cc.o" "gcc" "src/CMakeFiles/isobar_linearize.dir/linearize/hilbert.cc.o.d"
+  "/root/repo/src/linearize/permutation.cc" "src/CMakeFiles/isobar_linearize.dir/linearize/permutation.cc.o" "gcc" "src/CMakeFiles/isobar_linearize.dir/linearize/permutation.cc.o.d"
+  "/root/repo/src/linearize/transpose.cc" "src/CMakeFiles/isobar_linearize.dir/linearize/transpose.cc.o" "gcc" "src/CMakeFiles/isobar_linearize.dir/linearize/transpose.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isobar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isobar_linearize.dir/linearize/hilbert.cc.o"
+  "CMakeFiles/isobar_linearize.dir/linearize/hilbert.cc.o.d"
+  "CMakeFiles/isobar_linearize.dir/linearize/permutation.cc.o"
+  "CMakeFiles/isobar_linearize.dir/linearize/permutation.cc.o.d"
+  "CMakeFiles/isobar_linearize.dir/linearize/transpose.cc.o"
+  "CMakeFiles/isobar_linearize.dir/linearize/transpose.cc.o.d"
+  "libisobar_linearize.a"
+  "libisobar_linearize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isobar_linearize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

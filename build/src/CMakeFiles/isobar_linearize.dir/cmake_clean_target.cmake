@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libisobar_linearize.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isobar_pfor.dir/pfor/pfor_codec.cc.o"
+  "CMakeFiles/isobar_pfor.dir/pfor/pfor_codec.cc.o.d"
+  "libisobar_pfor.a"
+  "libisobar_pfor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isobar_pfor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bit_frequency.cc" "src/CMakeFiles/isobar_stats.dir/stats/bit_frequency.cc.o" "gcc" "src/CMakeFiles/isobar_stats.dir/stats/bit_frequency.cc.o.d"
+  "/root/repo/src/stats/byte_histogram.cc" "src/CMakeFiles/isobar_stats.dir/stats/byte_histogram.cc.o" "gcc" "src/CMakeFiles/isobar_stats.dir/stats/byte_histogram.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/isobar_stats.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/isobar_stats.dir/stats/summary.cc.o.d"
+  "/root/repo/src/stats/width_detector.cc" "src/CMakeFiles/isobar_stats.dir/stats/width_detector.cc.o" "gcc" "src/CMakeFiles/isobar_stats.dir/stats/width_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isobar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

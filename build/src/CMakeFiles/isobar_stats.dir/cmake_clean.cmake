@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isobar_stats.dir/stats/bit_frequency.cc.o"
+  "CMakeFiles/isobar_stats.dir/stats/bit_frequency.cc.o.d"
+  "CMakeFiles/isobar_stats.dir/stats/byte_histogram.cc.o"
+  "CMakeFiles/isobar_stats.dir/stats/byte_histogram.cc.o.d"
+  "CMakeFiles/isobar_stats.dir/stats/summary.cc.o"
+  "CMakeFiles/isobar_stats.dir/stats/summary.cc.o.d"
+  "CMakeFiles/isobar_stats.dir/stats/width_detector.cc.o"
+  "CMakeFiles/isobar_stats.dir/stats/width_detector.cc.o.d"
+  "libisobar_stats.a"
+  "libisobar_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isobar_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

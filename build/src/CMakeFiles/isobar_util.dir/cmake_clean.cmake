@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isobar_util.dir/util/crc32c.cc.o"
+  "CMakeFiles/isobar_util.dir/util/crc32c.cc.o.d"
+  "CMakeFiles/isobar_util.dir/util/status.cc.o"
+  "CMakeFiles/isobar_util.dir/util/status.cc.o.d"
+  "CMakeFiles/isobar_util.dir/util/stopwatch.cc.o"
+  "CMakeFiles/isobar_util.dir/util/stopwatch.cc.o.d"
+  "libisobar_util.a"
+  "libisobar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isobar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analyzer_test.cc" "tests/CMakeFiles/isobar_tests.dir/analyzer_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/analyzer_test.cc.o.d"
+  "/root/repo/tests/bwt_test.cc" "tests/CMakeFiles/isobar_tests.dir/bwt_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/bwt_test.cc.o.d"
+  "/root/repo/tests/chunk_codec_test.cc" "tests/CMakeFiles/isobar_tests.dir/chunk_codec_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/chunk_codec_test.cc.o.d"
+  "/root/repo/tests/chunker_test.cc" "tests/CMakeFiles/isobar_tests.dir/chunker_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/chunker_test.cc.o.d"
+  "/root/repo/tests/compressors_test.cc" "tests/CMakeFiles/isobar_tests.dir/compressors_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/compressors_test.cc.o.d"
+  "/root/repo/tests/container_test.cc" "tests/CMakeFiles/isobar_tests.dir/container_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/container_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/isobar_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/eupa_test.cc" "tests/CMakeFiles/isobar_tests.dir/eupa_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/eupa_test.cc.o.d"
+  "/root/repo/tests/field_test.cc" "tests/CMakeFiles/isobar_tests.dir/field_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/field_test.cc.o.d"
+  "/root/repo/tests/file_io_test.cc" "tests/CMakeFiles/isobar_tests.dir/file_io_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/file_io_test.cc.o.d"
+  "/root/repo/tests/fpc_test.cc" "tests/CMakeFiles/isobar_tests.dir/fpc_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/fpc_test.cc.o.d"
+  "/root/repo/tests/fpzip_test.cc" "tests/CMakeFiles/isobar_tests.dir/fpzip_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/fpzip_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/isobar_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/huffman_test.cc" "tests/CMakeFiles/isobar_tests.dir/huffman_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/huffman_test.cc.o.d"
+  "/root/repo/tests/in_situ_test.cc" "tests/CMakeFiles/isobar_tests.dir/in_situ_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/in_situ_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/isobar_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/isobar_pipeline_test.cc" "tests/CMakeFiles/isobar_tests.dir/isobar_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/isobar_pipeline_test.cc.o.d"
+  "/root/repo/tests/isobar_roundtrip_test.cc" "tests/CMakeFiles/isobar_tests.dir/isobar_roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/isobar_roundtrip_test.cc.o.d"
+  "/root/repo/tests/linearize_test.cc" "tests/CMakeFiles/isobar_tests.dir/linearize_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/linearize_test.cc.o.d"
+  "/root/repo/tests/partitioner_test.cc" "tests/CMakeFiles/isobar_tests.dir/partitioner_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/partitioner_test.cc.o.d"
+  "/root/repo/tests/pfor_test.cc" "tests/CMakeFiles/isobar_tests.dir/pfor_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/pfor_test.cc.o.d"
+  "/root/repo/tests/records_test.cc" "tests/CMakeFiles/isobar_tests.dir/records_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/records_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/isobar_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/stream_test.cc" "tests/CMakeFiles/isobar_tests.dir/stream_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/stream_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/isobar_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/width_detector_test.cc" "tests/CMakeFiles/isobar_tests.dir/width_detector_test.cc.o" "gcc" "tests/CMakeFiles/isobar_tests.dir/width_detector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isobar_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_fpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_fpzip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_pfor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_insitu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_compressors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_linearize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isobar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
