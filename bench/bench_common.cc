@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "util/stopwatch.h"
 
@@ -11,6 +12,17 @@ namespace {
 [[noreturn]] void Die(const std::string& message) {
   std::fprintf(stderr, "benchmark failed: %s\n", message.c_str());
   std::exit(1);
+}
+
+// Destination of the --telemetry-json at-exit dump (static storage:
+// atexit handlers take no arguments).
+std::string& TelemetryDumpPath() {
+  static std::string& path = *new std::string();
+  return path;
+}
+
+void DumpTelemetryAtExit() {
+  if (!TelemetryDumpPath().empty()) DumpTelemetryJson(TelemetryDumpPath());
 }
 
 }  // namespace
@@ -25,12 +37,47 @@ Args ParseArgs(int argc, char** argv) {
     } else if (std::strncmp(arg, "--steps=", 8) == 0) {
       args.steps = std::atoi(arg + 8);
       if (args.steps <= 0) Die("--steps must be positive");
+    } else if (std::strncmp(arg, "--telemetry-json=", 17) == 0) {
+      args.telemetry_json = arg + 17;
+      if (args.telemetry_json.empty()) Die("--telemetry-json needs a path");
     } else {
       Die(std::string("unknown argument '") + arg +
-          "' (supported: --mb=<float>, --steps=<int>)");
+          "' (supported: --mb=<float>, --steps=<int>, "
+          "--telemetry-json=<path>)");
     }
   }
+  if (!args.telemetry_json.empty()) {
+    telemetry::SetEnabled(true);
+    telemetry::TraceRecorder::Global().SetEnabled(true);
+    TelemetryDumpPath() = args.telemetry_json;
+    std::atexit(DumpTelemetryAtExit);
+  }
   return args;
+}
+
+TelemetrySnapshot TelemetrySnapshot::Capture() {
+  TelemetrySnapshot snapshot;
+  snapshot.metrics = telemetry::MetricsRegistry::Global().Snapshot();
+  return snapshot;
+}
+
+telemetry::MetricsSnapshot TelemetrySnapshot::Since(
+    const TelemetrySnapshot& before) const {
+  return telemetry::Delta(before.metrics, metrics);
+}
+
+void DumpTelemetryJson(const std::string& path) {
+  const std::string report = telemetry::TelemetryReportJson();
+  if (path == "-") {
+    std::fwrite(report.data(), 1, report.size(), stdout);
+    return;
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file << report;
+  if (!file.good()) {
+    std::fprintf(stderr, "warning: cannot write telemetry to '%s'\n",
+                 path.c_str());
+  }
 }
 
 SolverRun RunSolver(CodecId id, ByteSpan data) {

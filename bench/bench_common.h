@@ -7,13 +7,17 @@
 #include "compressors/registry.h"
 #include "core/isobar.h"
 #include "datagen/registry.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_export.h"
 
 namespace isobar::bench {
 
 /// Common command-line arguments of the table/figure benchmarks.
 ///
-///   --mb=<float>       synthetic data per dataset in MB (default 2.0)
-///   --steps=<int>      time steps for the consistency study (default 20)
+///   --mb=<float>            synthetic data per dataset in MB (default 2.0)
+///   --steps=<int>           time steps for the consistency study (default 20)
+///   --telemetry-json=<path> enable telemetry + tracing for the whole run
+///                           and dump the combined report at exit
 ///
 /// The paper ran on full datasets (18 MB - 1.1 GB) on a 2009-era Opteron;
 /// a few MB per dataset reproduces every ratio and verdict to the
@@ -21,9 +25,29 @@ namespace isobar::bench {
 struct Args {
   double mb = 2.0;
   int steps = 20;
+  std::string telemetry_json;
 };
 
 Args ParseArgs(int argc, char** argv);
+
+/// Point-in-time capture of the global telemetry state. Capture one
+/// before and one after a measured region and diff them to attribute
+/// per-stage work (spans, codec bytes, chunk counts) to exactly that
+/// region — the machine-readable per-stage breakdown behind every
+/// wall-clock number a bench target prints.
+struct TelemetrySnapshot {
+  telemetry::MetricsSnapshot metrics;
+
+  static TelemetrySnapshot Capture();
+
+  /// Counter/histogram deltas accumulated since `before` was captured.
+  telemetry::MetricsSnapshot Since(const TelemetrySnapshot& before) const;
+};
+
+/// Writes the combined telemetry report (metrics + spans + traces) as
+/// JSON. Used by the --telemetry-json at-exit hook; also callable
+/// directly around a single table's measurement.
+void DumpTelemetryJson(const std::string& path);
 
 /// One measured run of a standalone general-purpose solver: compress,
 /// decompress, verify losslessness. Aborts the benchmark with a message on

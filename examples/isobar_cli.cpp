@@ -5,9 +5,18 @@
 //   ./isobar_cli c <input> <output.isobar> [--width=8] [--pref=speed|ratio]
 //                 [--codec=zlib|bzip2|rle|lzss] [--lin=row|column]
 //                 [--tau=1.42] [--chunk=375000]
-//   ./isobar_cli d <input.isobar> <output>
+//                 [--metrics-json=<path>] [--metrics-csv=<path>]
+//                 [--trace=<path>]
+//   ./isobar_cli d <input.isobar> <output> [--metrics-json=<path>]
+//                 [--metrics-csv=<path>] [--trace=<path>]
 //   ./isobar_cli info <input.isobar>
 //   ./isobar_cli verify <input.isobar>
+//
+// The telemetry flags enable the metrics/span/trace subsystem for the run
+// and dump it afterwards ("-" writes to stdout): --metrics-json writes the
+// combined report (counters, histograms, spans, per-chunk pipeline
+// traces), --metrics-csv the flat instrument table, --trace the per-chunk
+// trace CSV. See docs/OBSERVABILITY.md for the schema.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +28,8 @@
 #include "core/stream.h"
 #include "io/file_io.h"
 #include "linearize/transpose.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_export.h"
 
 namespace {
 
@@ -35,13 +46,86 @@ bool WriteFile(const char* path, ByteSpan data) {
   return WriteBytesToFile(path, data).ok();
 }
 
+/// Telemetry output destinations, shared by the compress and decompress
+/// commands. Parsing a telemetry flag switches the subsystem on for the
+/// run; Dump() writes each requested artifact after the work is done.
+struct TelemetryFlags {
+  std::string metrics_json;
+  std::string metrics_csv;
+  std::string trace_csv;
+  /// Set when a telemetry flag was given with an empty path; the command
+  /// should exit with a usage error instead of silently dropping output.
+  bool parse_error = false;
+
+  /// Consumes `--metrics-json= / --metrics-csv= / --trace=`; returns
+  /// false for any other argument.
+  bool Parse(const char* arg) {
+    std::string* dest;
+    if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
+      dest = &metrics_json;
+      *dest = arg + 15;
+    } else if (std::strncmp(arg, "--metrics-csv=", 14) == 0) {
+      dest = &metrics_csv;
+      *dest = arg + 14;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      dest = &trace_csv;
+      *dest = arg + 8;
+    } else {
+      return false;
+    }
+    if (dest->empty()) {
+      std::fprintf(stderr, "'%s' needs a path (use - for stdout)\n", arg);
+      parse_error = true;
+      return true;
+    }
+    telemetry::SetEnabled(true);
+    telemetry::TraceRecorder::Global().SetEnabled(true);
+    return true;
+  }
+
+  static bool WriteText(const std::string& path, const std::string& text) {
+    if (path == "-") {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+      return true;
+    }
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    file << text;
+    if (!file.good()) {
+      std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  bool Dump() const {
+    bool ok = true;
+    if (!metrics_json.empty()) {
+      ok &= WriteText(metrics_json, telemetry::TelemetryReportJson());
+    }
+    if (!metrics_csv.empty()) {
+      ok &= WriteText(metrics_csv, telemetry::MetricsToCsv(
+                                       telemetry::MetricsRegistry::Global()
+                                           .Snapshot()));
+    }
+    if (!trace_csv.empty()) {
+      ok &= WriteText(trace_csv,
+                      telemetry::TraceToCsv(
+                          telemetry::TraceRecorder::Global().Snapshot()));
+    }
+    return ok;
+  }
+};
+
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s c <input> <output.isobar> [--width=8] [--pref=speed|ratio]\n"
       "          [--codec=zlib|bzip2|rle|lzss] [--lin=row|column]\n"
       "          [--tau=1.42] [--chunk=375000]\n"
-      "       %s d <input.isobar> <output>\n"
+      "          [--metrics-json=<path>] [--metrics-csv=<path>]\n"
+      "          [--trace=<path>]\n"
+      "       %s d <input.isobar> <output> [--metrics-json=<path>]\n"
+      "          [--metrics-csv=<path>] [--trace=<path>]\n"
       "       %s info <input.isobar>\n"
       "       %s verify <input.isobar>\n",
       argv0, argv0, argv0, argv0);
@@ -51,9 +135,12 @@ int Usage(const char* argv0) {
 int Compress(int argc, char** argv) {
   size_t width = 8;
   CompressOptions options;
+  TelemetryFlags telemetry_flags;
   for (int i = 4; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--width=", 8) == 0) {
+    if (telemetry_flags.Parse(arg)) {
+      continue;
+    } else if (std::strncmp(arg, "--width=", 8) == 0) {
       width = static_cast<size_t>(std::atoi(arg + 8));
     } else if (std::strcmp(arg, "--pref=speed") == 0) {
       options.eupa.preference = Preference::kSpeed;
@@ -79,6 +166,7 @@ int Compress(int argc, char** argv) {
       return 2;
     }
   }
+  if (telemetry_flags.parse_error) return 2;
 
   Bytes input;
   if (!ReadFile(argv[2], &input)) {
@@ -90,6 +178,9 @@ int Compress(int argc, char** argv) {
   auto compressed = compressor.Compress(input, width, &stats);
   if (!compressed.ok()) {
     std::fprintf(stderr, "%s\n", compressed.status().ToString().c_str());
+    // Still dump what telemetry saw: a failed run is exactly when the
+    // counters and spans are worth reading.
+    telemetry_flags.Dump();
     return 1;
   }
   if (!WriteFile(argv[3], *compressed)) {
@@ -107,10 +198,19 @@ int Compress(int argc, char** argv) {
                    .c_str(),
                stats.improvable ? "improvable" : "undetermined",
                stats.mean_htc_fraction * 100.0);
+  if (!telemetry_flags.Dump()) return 1;
   return 0;
 }
 
-int Decompress(char** argv) {
+int Decompress(int argc, char** argv) {
+  TelemetryFlags telemetry_flags;
+  for (int i = 4; i < argc; ++i) {
+    if (!telemetry_flags.Parse(argv[i])) {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (telemetry_flags.parse_error) return 2;
   Bytes input;
   if (!ReadFile(argv[2], &input)) {
     std::fprintf(stderr, "cannot read '%s'\n", argv[2]);
@@ -121,14 +221,22 @@ int Decompress(char** argv) {
       IsobarCompressor::Decompress(input, DecompressOptions{}, &stats);
   if (!restored.ok()) {
     std::fprintf(stderr, "%s\n", restored.status().ToString().c_str());
+    // A corrupt container is exactly when the telemetry (e.g. the
+    // pipeline.checksum_failures counter) is worth reading.
+    telemetry_flags.Dump();
     return 1;
   }
   if (!WriteFile(argv[3], *restored)) {
     std::fprintf(stderr, "cannot write '%s'\n", argv[3]);
     return 1;
   }
-  std::fprintf(stderr, "%zu -> %zu bytes at %.1f MB/s (checksums verified)\n",
-               input.size(), restored->size(), stats.decompression_mbps());
+  std::fprintf(stderr,
+               "%zu -> %zu bytes at %.1f MB/s (checksums verified; "
+               "parse %.3fs, decode %.3fs, scatter %.3fs)\n",
+               input.size(), restored->size(), stats.decompression_mbps(),
+               stats.parse_seconds, stats.decode_seconds,
+               stats.scatter_seconds);
+  if (!telemetry_flags.Dump()) return 1;
   return 0;
 }
 
@@ -222,7 +330,9 @@ int Verify(char** argv) {
 
 int main(int argc, char** argv) {
   if (argc >= 4 && std::strcmp(argv[1], "c") == 0) return Compress(argc, argv);
-  if (argc == 4 && std::strcmp(argv[1], "d") == 0) return Decompress(argv);
+  if (argc >= 4 && std::strcmp(argv[1], "d") == 0) {
+    return Decompress(argc, argv);
+  }
   if (argc == 3 && std::strcmp(argv[1], "info") == 0) return Info(argv);
   if (argc == 3 && std::strcmp(argv[1], "verify") == 0) return Verify(argv);
   return Usage(argv[0]);

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# CI driver: build and run the test suite in the configurations that
+# matter — an optimized Release build (what users run) and an
+# AddressSanitizer build (what catches memory bugs the tests would
+# otherwise miss). Usage:
+#
+#   scripts/ci.sh                # Release + ASan
+#   scripts/ci.sh release        # one configuration only
+#   scripts/ci.sh asan
+#   scripts/ci.sh ubsan          # optional extra configuration
+#
+# Each configuration builds into its own directory (build-ci-<name>) so
+# repeat runs are incremental and never disturb a developer's ./build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1"
+  shift
+  local dir="build-ci-${name}"
+  echo "=== [${name}] configure ==="
+  cmake -B "${dir}" -S . "$@"
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [${name}] test ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  echo "=== [${name}] OK ==="
+}
+
+release() {
+  run_config release \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DISOBAR_WERROR=ON
+}
+
+asan() {
+  run_config asan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DISOBAR_SANITIZE=address \
+    -DISOBAR_BUILD_BENCHMARKS=OFF
+}
+
+ubsan() {
+  run_config ubsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DISOBAR_SANITIZE=undefined \
+    -DISOBAR_BUILD_BENCHMARKS=OFF
+}
+
+if [ "$#" -eq 0 ]; then
+  release
+  asan
+else
+  for config in "$@"; do
+    case "${config}" in
+      release) release ;;
+      asan) asan ;;
+      ubsan) ubsan ;;
+      *)
+        echo "unknown configuration '${config}' (release|asan|ubsan)" >&2
+        exit 2
+        ;;
+    esac
+  done
+fi

@@ -8,41 +8,124 @@
 #include "compressors/lzss_codec.h"
 #include "compressors/rle_codec.h"
 #include "compressors/zlib_codec.h"
+#include "telemetry/metrics.h"
+#include "util/stopwatch.h"
 
 namespace isobar {
+namespace {
 
-Result<const Codec*> GetCodec(CodecId id) {
+/// Decorates a codec with per-codec telemetry: call, byte, and time
+/// counters named `codec.<name>.{compress,decompress}_*` plus a latency
+/// histogram per direction. With telemetry disabled the wrapper costs one
+/// relaxed atomic load per call on top of the virtual dispatch it already
+/// shares with the wrapped codec.
+class InstrumentedCodec final : public Codec {
+ public:
+  explicit InstrumentedCodec(const Codec& inner)
+      : inner_(inner),
+        prefix_("codec." + std::string(inner.name())),
+        compress_calls_(telemetry::GetCounter(prefix_ + ".compress_calls")),
+        compress_input_bytes_(
+            telemetry::GetCounter(prefix_ + ".compress_input_bytes")),
+        compress_output_bytes_(
+            telemetry::GetCounter(prefix_ + ".compress_output_bytes")),
+        compress_errors_(telemetry::GetCounter(prefix_ + ".compress_errors")),
+        compress_nanos_(
+            telemetry::GetHistogram(prefix_ + ".compress_nanos")),
+        decompress_calls_(
+            telemetry::GetCounter(prefix_ + ".decompress_calls")),
+        decompress_input_bytes_(
+            telemetry::GetCounter(prefix_ + ".decompress_input_bytes")),
+        decompress_output_bytes_(
+            telemetry::GetCounter(prefix_ + ".decompress_output_bytes")),
+        decompress_errors_(
+            telemetry::GetCounter(prefix_ + ".decompress_errors")),
+        decompress_nanos_(
+            telemetry::GetHistogram(prefix_ + ".decompress_nanos")) {}
+
+  CodecId id() const override { return inner_.id(); }
+
+  Status Compress(ByteSpan input, Bytes* out) const override {
+    if (!telemetry::Enabled()) return inner_.Compress(input, out);
+    compress_calls_.Increment();
+    compress_input_bytes_.Add(input.size());
+    Stopwatch timer;
+    Status status = inner_.Compress(input, out);
+    compress_nanos_.Observe(static_cast<uint64_t>(timer.ElapsedNanos()));
+    if (status.ok()) {
+      compress_output_bytes_.Add(out->size());
+    } else {
+      compress_errors_.Increment();
+    }
+    return status;
+  }
+
+  Status Decompress(ByteSpan input, size_t original_size,
+                    Bytes* out) const override {
+    if (!telemetry::Enabled()) {
+      return inner_.Decompress(input, original_size, out);
+    }
+    decompress_calls_.Increment();
+    decompress_input_bytes_.Add(input.size());
+    Stopwatch timer;
+    Status status = inner_.Decompress(input, original_size, out);
+    decompress_nanos_.Observe(static_cast<uint64_t>(timer.ElapsedNanos()));
+    if (status.ok()) {
+      decompress_output_bytes_.Add(out->size());
+    } else {
+      decompress_errors_.Increment();
+    }
+    return status;
+  }
+
+ private:
+  const Codec& inner_;
+  const std::string prefix_;
+  telemetry::Counter& compress_calls_;
+  telemetry::Counter& compress_input_bytes_;
+  telemetry::Counter& compress_output_bytes_;
+  telemetry::Counter& compress_errors_;
+  telemetry::Histogram& compress_nanos_;
+  telemetry::Counter& decompress_calls_;
+  telemetry::Counter& decompress_input_bytes_;
+  telemetry::Counter& decompress_output_bytes_;
+  telemetry::Counter& decompress_errors_;
+  telemetry::Histogram& decompress_nanos_;
+};
+
+template <typename CodecT>
+const Codec* Instrumented() {
   // Function-local static references: constructed on first use, never
   // destroyed (trivial-destruction rule for static storage duration).
+  static const Codec& codec = []() -> const Codec& {
+    const CodecT& raw = *new CodecT();
+    if constexpr (telemetry::kCompiledIn) {
+      return *new InstrumentedCodec(raw);
+    } else {
+      return raw;
+    }
+  }();
+  return &codec;
+}
+
+}  // namespace
+
+Result<const Codec*> GetCodec(CodecId id) {
   switch (id) {
-    case CodecId::kStored: {
-      static const StoredCodec& codec = *new StoredCodec();
-      return &codec;
-    }
-    case CodecId::kZlib: {
-      static const ZlibCodec& codec = *new ZlibCodec();
-      return &codec;
-    }
-    case CodecId::kBzip2: {
-      static const Bzip2Codec& codec = *new Bzip2Codec();
-      return &codec;
-    }
-    case CodecId::kRle: {
-      static const RleCodec& codec = *new RleCodec();
-      return &codec;
-    }
-    case CodecId::kLzss: {
-      static const LzssCodec& codec = *new LzssCodec();
-      return &codec;
-    }
-    case CodecId::kHuffman: {
-      static const HuffmanCodec& codec = *new HuffmanCodec();
-      return &codec;
-    }
-    case CodecId::kBwt: {
-      static const BwtCodec& codec = *new BwtCodec();
-      return &codec;
-    }
+    case CodecId::kStored:
+      return Instrumented<StoredCodec>();
+    case CodecId::kZlib:
+      return Instrumented<ZlibCodec>();
+    case CodecId::kBzip2:
+      return Instrumented<Bzip2Codec>();
+    case CodecId::kRle:
+      return Instrumented<RleCodec>();
+    case CodecId::kLzss:
+      return Instrumented<LzssCodec>();
+    case CodecId::kHuffman:
+      return Instrumented<HuffmanCodec>();
+    case CodecId::kBwt:
+      return Instrumented<BwtCodec>();
   }
   return Status::NotFound("unknown codec id " +
                           std::to_string(static_cast<int>(id)));

@@ -1,5 +1,8 @@
 #include "core/analyzer.h"
 
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+
 namespace isobar {
 
 int AnalysisResult::compressible_columns() const {
@@ -29,9 +32,23 @@ Result<AnalysisResult> Analyzer::Analyze(ByteSpan data, size_t width) const {
     return Status::InvalidArgument(
         "data must be a non-empty multiple of the element width");
   }
+  telemetry::ScopedSpan span("chunk.analyze");
+  static telemetry::Counter& calls = telemetry::GetCounter("analyzer.calls");
+  static telemetry::Counter& bytes = telemetry::GetCounter("analyzer.bytes");
+  calls.Increment();
+  bytes.Add(data.size());
+
   ColumnHistogramSet histograms(width);
   ISOBAR_RETURN_NOT_OK(histograms.Update(data));
-  return Classify(histograms);
+  Result<AnalysisResult> result = Classify(histograms);
+  if (result.ok()) {
+    static telemetry::Counter& improvable =
+        telemetry::GetCounter("analyzer.improvable_verdicts");
+    static telemetry::Counter& undetermined =
+        telemetry::GetCounter("analyzer.undetermined_verdicts");
+    (result->improvable() ? improvable : undetermined).Increment();
+  }
+  return result;
 }
 
 Result<AnalysisResult> Analyzer::Classify(

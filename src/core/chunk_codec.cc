@@ -1,6 +1,9 @@
 #include "core/chunk_codec.h"
 
 #include "core/partitioner.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+#include "telemetry/trace_export.h"
 #include "util/crc32c.h"
 #include "util/stopwatch.h"
 
@@ -15,14 +18,18 @@ uint64_t FullMask(size_t width) {
 
 Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
                    Linearization linearization, ByteSpan chunk, size_t width,
-                   Bytes* out, CompressionStats* stats) {
+                   Bytes* out, CompressionStats* stats,
+                   uint64_t trace_pipeline_id) {
   const uint64_t full_mask = FullMask(width);
+  telemetry::ScopedSpan chunk_span("compress.chunk");
+  const size_t record_base = out->size();
 
   Stopwatch analysis_timer;
   ISOBAR_ASSIGN_OR_RETURN(AnalysisResult analysis,
                           analyzer.Analyze(chunk, width));
+  const double analysis_seconds = analysis_timer.ElapsedSeconds();
   if (stats != nullptr) {
-    stats->analysis_seconds += analysis_timer.ElapsedSeconds();
+    stats->analysis_seconds += analysis_seconds;
     if (analysis.improvable()) {
       ++stats->improvable_chunks;
       stats->improvable = true;
@@ -42,34 +49,39 @@ Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
   Bytes gathered;
   ByteSpan raw_section;
   Partition partition;
+  double partition_seconds = 0.0;
   if (analysis.improvable()) {
     Stopwatch partition_timer;
     ISOBAR_RETURN_NOT_OK(PartitionData(chunk, width,
                                        analysis.compressible_mask,
                                        linearization, &partition));
-    if (stats != nullptr) {
-      stats->partition_seconds += partition_timer.ElapsedSeconds();
-    }
+    partition_seconds = partition_timer.ElapsedSeconds();
     gathered = std::move(partition.compressible);
     raw_section = ByteSpan(partition.incompressible);
   } else {
     // Undetermined (Alg. 1 lines 2-3): the whole chunk goes to the
     // solver, still in the EUPA-chosen linearization.
     chunk_header.flags |= container::kChunkUndetermined;
+    telemetry::ScopedSpan gather_span("chunk.partition");
     Stopwatch partition_timer;
     ISOBAR_RETURN_NOT_OK(
         GatherColumns(chunk, width, full_mask, linearization, &gathered));
-    if (stats != nullptr) {
-      stats->partition_seconds += partition_timer.ElapsedSeconds();
-    }
+    partition_seconds = partition_timer.ElapsedSeconds();
   }
+  if (stats != nullptr) stats->partition_seconds += partition_seconds;
 
   Bytes compressed;
-  Stopwatch codec_timer;
-  ISOBAR_RETURN_NOT_OK(codec.Compress(gathered, &compressed));
-  if (stats != nullptr) stats->codec_seconds += codec_timer.ElapsedSeconds();
+  double codec_seconds = 0.0;
+  {
+    telemetry::ScopedSpan solve_span("chunk.solve");
+    Stopwatch codec_timer;
+    ISOBAR_RETURN_NOT_OK(codec.Compress(gathered, &compressed));
+    codec_seconds = codec_timer.ElapsedSeconds();
+  }
+  if (stats != nullptr) stats->codec_seconds += codec_seconds;
 
-  if (compressed.size() >= gathered.size()) {
+  const bool stored_raw = compressed.size() >= gathered.size();
+  if (stored_raw) {
     // The solver expanded its input (possible on pure noise): store the
     // gathered bytes verbatim so the container never grows the section.
     chunk_header.flags |= container::kChunkStoredRaw;
@@ -84,15 +96,46 @@ Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
     out->insert(out->end(), compressed.begin(), compressed.end());
   }
   out->insert(out->end(), raw_section.begin(), raw_section.end());
+
+  static telemetry::Counter& chunks_encoded =
+      telemetry::GetCounter("pipeline.chunks_encoded");
+  static telemetry::Counter& input_bytes =
+      telemetry::GetCounter("pipeline.chunk_input_bytes");
+  static telemetry::Counter& output_bytes =
+      telemetry::GetCounter("pipeline.chunk_output_bytes");
+  chunks_encoded.Increment();
+  input_bytes.Add(chunk.size());
+  output_bytes.Add(out->size() - record_base);
+
+  auto& recorder = telemetry::TraceRecorder::Global();
+  if (trace_pipeline_id != 0 && recorder.enabled()) {
+    telemetry::ChunkTrace trace;
+    trace.element_count = chunk_header.element_count;
+    trace.input_bytes = chunk.size();
+    trace.output_bytes = out->size() - record_base;
+    trace.improvable = analysis.improvable();
+    trace.stored_raw = stored_raw;
+    trace.compressible_mask = analysis.compressible_mask;
+    trace.htc_fraction = analysis.htc_byte_fraction();
+    trace.solver_input_bytes = gathered.size();
+    trace.solver_output_bytes = chunk_header.compressed_size;
+    trace.raw_bytes = raw_section.size();
+    trace.analysis_seconds = analysis_seconds;
+    trace.partition_seconds = partition_seconds;
+    trace.codec_seconds = codec_seconds;
+    recorder.RecordChunk(trace_pipeline_id, std::move(trace));
+  }
   return Status::OK();
 }
 
 Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
                    const Codec& codec, Linearization linearization,
                    size_t width, uint64_t max_elements, bool verify_checksums,
-                   Bytes* out) {
+                   Bytes* out, DecompressionStats* stats) {
   const uint64_t full_mask = FullMask(width);
+  telemetry::ScopedSpan chunk_span("decompress.chunk");
 
+  Stopwatch parse_timer;
   ISOBAR_ASSIGN_OR_RETURN(
       container::ChunkHeader chunk_header,
       container::ParseChunkHeader(container_bytes, offset));
@@ -121,20 +164,30 @@ Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
   if (chunk_header.raw_size != expected_raw) {
     return Status::Corruption("container: raw section size mismatch");
   }
+  if (stats != nullptr) stats->parse_seconds += parse_timer.ElapsedSeconds();
 
   Bytes decoded;
   ByteSpan packed;
-  if (chunk_header.flags & container::kChunkStoredRaw) {
-    if (compressed_section.size() != expected_packed) {
-      return Status::Corruption("container: stored section size mismatch");
+  {
+    telemetry::ScopedSpan decode_span("chunk.decode");
+    Stopwatch decode_timer;
+    if (chunk_header.flags & container::kChunkStoredRaw) {
+      if (compressed_section.size() != expected_packed) {
+        return Status::Corruption("container: stored section size mismatch");
+      }
+      packed = compressed_section;
+    } else {
+      ISOBAR_RETURN_NOT_OK(
+          codec.Decompress(compressed_section, expected_packed, &decoded));
+      packed = ByteSpan(decoded);
     }
-    packed = compressed_section;
-  } else {
-    ISOBAR_RETURN_NOT_OK(
-        codec.Decompress(compressed_section, expected_packed, &decoded));
-    packed = ByteSpan(decoded);
+    if (stats != nullptr) {
+      stats->decode_seconds += decode_timer.ElapsedSeconds();
+    }
   }
 
+  telemetry::ScopedSpan scatter_span("chunk.scatter");
+  Stopwatch scatter_timer;
   const size_t chunk_base = out->size();
   out->resize(chunk_base + n * width);
   MutableByteSpan dest(out->data() + chunk_base, n * width);
@@ -146,9 +199,22 @@ Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
   if (verify_checksums) {
     const uint32_t crc = crc32c::Extend(0, out->data() + chunk_base, n * width);
     if (crc != chunk_header.crc32c) {
+      static telemetry::Counter& crc_failures =
+          telemetry::GetCounter("pipeline.checksum_failures");
+      crc_failures.Increment();
       return Status::Corruption("container: chunk checksum mismatch");
     }
   }
+  if (stats != nullptr) {
+    // Checksum verification is part of the merge stage's bill: it touches
+    // the same reconstructed bytes while they are still cache-hot.
+    stats->scatter_seconds += scatter_timer.ElapsedSeconds();
+    ++stats->chunk_count;
+  }
+
+  static telemetry::Counter& chunks_decoded =
+      telemetry::GetCounter("pipeline.chunks_decoded");
+  chunks_decoded.Increment();
   return Status::OK();
 }
 

@@ -17,20 +17,24 @@ namespace isobar {
 /// Analyzes, partitions, and solver-compresses one chunk, appending its
 /// container record ([chunk header][solver bytes][raw noise bytes]) to
 /// `*out`. Timing and verdict fields of `*stats` are accumulated (may be
-/// null).
+/// null). When `trace_pipeline_id` is nonzero and tracing is on, a
+/// telemetry::ChunkTrace record (verdict, partition map, stage timings,
+/// byte accounting) is appended to that pipeline's trace.
 Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
                    Linearization linearization, ByteSpan chunk, size_t width,
-                   Bytes* out, CompressionStats* stats);
+                   Bytes* out, CompressionStats* stats,
+                   uint64_t trace_pipeline_id = 0);
 
 /// Parses the chunk record at `*offset` in `container_bytes`, reverses the
 /// pipeline, and appends the reconstructed elements to `*out`, advancing
 /// `*offset` past the record. `max_elements` is the container header's
 /// nominal chunk size; a record claiming more elements is corrupt (the
-/// bound keeps untrusted counts from driving allocations).
+/// bound keeps untrusted counts from driving allocations). Per-stage
+/// timing fields of `*stats` are accumulated (may be null).
 Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
                    const Codec& codec, Linearization linearization,
                    size_t width, uint64_t max_elements, bool verify_checksums,
-                   Bytes* out);
+                   Bytes* out, DecompressionStats* stats = nullptr);
 
 }  // namespace isobar
 

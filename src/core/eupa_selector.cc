@@ -4,6 +4,8 @@
 
 #include "compressors/registry.h"
 #include "linearize/transpose.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
 
@@ -71,7 +73,15 @@ Result<EupaDecision> EupaSelector::Select(ByteSpan data, size_t width,
     return decision;
   }
 
+  telemetry::ScopedSpan span("eupa.select");
+  static telemetry::Counter& selections =
+      telemetry::GetCounter("eupa.selections");
+  selections.Increment();
+
   const Bytes sample = DrawSample(data, width, options_);
+  static telemetry::Counter& sample_bytes =
+      telemetry::GetCounter("eupa.sample_bytes");
+  sample_bytes.Add(sample.size());
 
   std::vector<CodecId> codecs = options_.forced_codec
                                     ? std::vector<CodecId>{*options_.forced_codec}
@@ -104,6 +114,9 @@ Result<EupaDecision> EupaSelector::Select(ByteSpan data, size_t width,
                        : static_cast<double>(gathered.size()) /
                              static_cast<double>(compressed.size());
       decision.evaluations.push_back(eval);
+      static telemetry::Counter& measured =
+          telemetry::GetCounter("eupa.candidates_measured");
+      measured.Increment();
     }
   }
 

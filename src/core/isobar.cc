@@ -1,9 +1,13 @@
 #include "core/isobar.h"
 
 #include <algorithm>
+#include <string>
 
 #include "compressors/registry.h"
 #include "core/chunk_codec.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+#include "telemetry/trace_export.h"
 #include "util/stopwatch.h"
 
 namespace isobar {
@@ -11,6 +15,27 @@ namespace {
 
 uint64_t FullMask(size_t width) {
   return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+// Opens a pipeline trace for a freshly made EUPA decision and records the
+// candidate evidence; returns 0 when tracing is off.
+uint64_t BeginPipelineTrace(const EupaDecision& decision, size_t width) {
+  auto& recorder = telemetry::TraceRecorder::Global();
+  if (!recorder.enabled()) return 0;
+  const uint64_t id = recorder.BeginPipeline(
+      std::string(CodecIdToString(decision.codec)),
+      std::string(LinearizationToString(decision.linearization)),
+      std::string(PreferenceToString(decision.preference)), width);
+  for (const CandidateEvaluation& eval : decision.evaluations) {
+    telemetry::CandidateTrace candidate;
+    candidate.codec = std::string(CodecIdToString(eval.codec));
+    candidate.linearization =
+        std::string(LinearizationToString(eval.linearization));
+    candidate.ratio = eval.ratio;
+    candidate.throughput_mbps = eval.throughput_mbps;
+    recorder.RecordCandidate(id, std::move(candidate));
+  }
+  return id;
 }
 
 }  // namespace
@@ -39,6 +64,15 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
 
   *stats = CompressionStats{};
   stats->input_bytes = data.size();
+  telemetry::ScopedSpan compress_span("compress");
+  static telemetry::Counter& compress_calls =
+      telemetry::GetCounter("pipeline.compress_calls");
+  static telemetry::Counter& compress_input =
+      telemetry::GetCounter("pipeline.compress_input_bytes");
+  static telemetry::Counter& compress_output =
+      telemetry::GetCounter("pipeline.compress_output_bytes");
+  compress_calls.Increment();
+  compress_input.Add(data.size());
   Stopwatch total_timer;
 
   const Analyzer analyzer(options_.analyzer);
@@ -76,6 +110,7 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
     }
   }
   stats->decision = decision;
+  const uint64_t trace_id = BeginPipelineTrace(decision, width);
 
   ISOBAR_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(decision.codec));
 
@@ -94,25 +129,46 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
   header.chunk_elements = options_.chunk_elements;
   header.chunk_count = chunker.chunk_count();
   container::AppendHeader(header, &out);
+  const size_t header_bytes = out.size();
 
   for (uint64_t ci = 0; ci < chunker.chunk_count(); ++ci) {
     ISOBAR_RETURN_NOT_OK(EncodeChunk(analyzer, *codec, decision.linearization,
-                                     chunker.chunk(ci), width, &out, stats));
+                                     chunker.chunk(ci), width, &out, stats,
+                                     trace_id));
   }
 
   stats->output_bytes = out.size();
   stats->total_seconds = total_timer.ElapsedSeconds();
+  compress_output.Add(out.size());
+  telemetry::TraceRecorder::Global().EndPipeline(trace_id, data.size(),
+                                                 out.size(), header_bytes);
   return out;
 }
 
 Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
                                            const DecompressOptions& options,
                                            DecompressionStats* stats) {
+  telemetry::ScopedSpan decompress_span("decompress");
+  static telemetry::Counter& decompress_calls =
+      telemetry::GetCounter("pipeline.decompress_calls");
+  static telemetry::Counter& decompress_input =
+      telemetry::GetCounter("pipeline.decompress_input_bytes");
+  static telemetry::Counter& decompress_output =
+      telemetry::GetCounter("pipeline.decompress_output_bytes");
+  decompress_calls.Increment();
+  decompress_input.Add(container_bytes.size());
+
+  DecompressionStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = DecompressionStats{};
+
   Stopwatch total_timer;
+  Stopwatch parse_timer;
   size_t offset = 0;
   ISOBAR_ASSIGN_OR_RETURN(container::Header header,
                           container::ParseHeader(container_bytes, &offset));
   ISOBAR_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(header.codec));
+  stats->parse_seconds += parse_timer.ElapsedSeconds();
 
   const size_t width = header.width;
   Bytes out;
@@ -133,7 +189,7 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
     ISOBAR_RETURN_NOT_OK(DecodeChunk(container_bytes, &offset, *codec,
                                      header.linearization, width,
                                      header.chunk_elements,
-                                     options.verify_checksums, &out));
+                                     options.verify_checksums, &out, stats));
     ++chunks_read;
   }
 
@@ -145,11 +201,10 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
     return Status::Corruption("container: element count mismatch");
   }
 
-  if (stats != nullptr) {
-    stats->input_bytes = container_bytes.size();
-    stats->output_bytes = out.size();
-    stats->total_seconds = total_timer.ElapsedSeconds();
-  }
+  stats->input_bytes = container_bytes.size();
+  stats->output_bytes = out.size();
+  stats->total_seconds = total_timer.ElapsedSeconds();
+  decompress_output.Add(out.size());
   return out;
 }
 

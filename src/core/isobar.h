@@ -74,6 +74,13 @@ struct DecompressOptions {
 struct DecompressionStats {
   uint64_t input_bytes = 0;
   uint64_t output_bytes = 0;
+  uint64_t chunk_count = 0;
+
+  /// Wall-clock decomposition of the decompression pipeline (seconds),
+  /// mirroring the compression side's analysis/partition/codec split.
+  double parse_seconds = 0.0;    ///< Container and chunk header parsing.
+  double decode_seconds = 0.0;   ///< Solver decode of the packed section.
+  double scatter_seconds = 0.0;  ///< Scatter-merge + checksum verification.
   double total_seconds = 0.0;
 
   /// Decompression throughput in output MB/s (the paper's TP_D).

@@ -1,5 +1,8 @@
 #include "core/partitioner.h"
 
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+
 namespace isobar {
 
 Status PartitionData(ByteSpan data, size_t width, uint64_t compressible_mask,
@@ -16,6 +19,8 @@ Status PartitionData(ByteSpan data, size_t width, uint64_t compressible_mask,
     return Status::InvalidArgument("mask has bits beyond element width");
   }
 
+  telemetry::ScopedSpan span("chunk.partition");
+
   out->width = width;
   out->element_count = data.size() / width;
   out->compressible_mask = compressible_mask;
@@ -29,6 +34,15 @@ Status PartitionData(ByteSpan data, size_t width, uint64_t compressible_mask,
                                      full_mask & ~compressible_mask,
                                      Linearization::kRow,
                                      &out->incompressible));
+
+  static telemetry::Counter& calls = telemetry::GetCounter("partitioner.calls");
+  static telemetry::Counter& compressible_bytes =
+      telemetry::GetCounter("partitioner.compressible_bytes");
+  static telemetry::Counter& incompressible_bytes =
+      telemetry::GetCounter("partitioner.incompressible_bytes");
+  calls.Increment();
+  compressible_bytes.Add(out->compressible.size());
+  incompressible_bytes.Add(out->incompressible.size());
   return Status::OK();
 }
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include <string>
+
 #include "compressors/registry.h"
 #include "core/chunk_codec.h"
 #include "core/eupa_selector.h"
+#include "telemetry/trace_export.h"
 #include "util/stopwatch.h"
 
 namespace isobar {
@@ -55,6 +58,22 @@ Status IsobarStreamWriter::EnsurePipeline(ByteSpan training_data) {
     }
   }
   stats_.decision = decision_;
+  auto& recorder = telemetry::TraceRecorder::Global();
+  if (recorder.enabled()) {
+    trace_id_ = recorder.BeginPipeline(
+        std::string(CodecIdToString(decision_.codec)),
+        std::string(LinearizationToString(decision_.linearization)),
+        std::string(PreferenceToString(decision_.preference)), width_);
+    for (const CandidateEvaluation& eval : decision_.evaluations) {
+      telemetry::CandidateTrace candidate;
+      candidate.codec = std::string(CodecIdToString(eval.codec));
+      candidate.linearization =
+          std::string(LinearizationToString(eval.linearization));
+      candidate.ratio = eval.ratio;
+      candidate.throughput_mbps = eval.throughput_mbps;
+      recorder.RecordCandidate(trace_id_, std::move(candidate));
+    }
+  }
   ISOBAR_ASSIGN_OR_RETURN(codec_, GetCodec(decision_.codec));
 
   container::Header header;
@@ -71,6 +90,7 @@ Status IsobarStreamWriter::EnsurePipeline(ByteSpan training_data) {
   container::AppendHeader(header, &encoded);
   ISOBAR_RETURN_NOT_OK(sink_->Write(encoded));
   stats_.output_bytes += encoded.size();
+  header_bytes_ = encoded.size();
   header_written_ = true;
   return Status::OK();
 }
@@ -80,7 +100,8 @@ Status IsobarStreamWriter::EmitChunk(ByteSpan chunk) {
   const Analyzer analyzer(options_.analyzer);
   Bytes record;
   ISOBAR_RETURN_NOT_OK(EncodeChunk(analyzer, *codec_, decision_.linearization,
-                                   chunk, width_, &record, &stats_));
+                                   chunk, width_, &record, &stats_,
+                                   trace_id_));
   ISOBAR_RETURN_NOT_OK(sink_->Write(record));
   stats_.output_bytes += record.size();
   return Status::OK();
@@ -134,6 +155,8 @@ Status IsobarStreamWriter::Finish() {
   ISOBAR_RETURN_NOT_OK(EnsurePipeline({}));
   finished_ = true;
   stats_.total_seconds += timer.ElapsedSeconds();
+  telemetry::TraceRecorder::Global().EndPipeline(
+      trace_id_, stats_.input_bytes, stats_.output_bytes, header_bytes_);
   return Status::OK();
 }
 

@@ -46,6 +46,10 @@ class IsobarStreamWriter {
   /// first chunk — or Finish() — forced it).
   const CompressionStats& stats() const { return stats_; }
 
+  /// Telemetry pipeline-trace id of this stream (0 when tracing was off
+  /// at pipeline start).
+  uint64_t trace_id() const { return trace_id_; }
+
  private:
   Status EnsurePipeline(ByteSpan training_data);
   Status EmitChunk(ByteSpan chunk);
@@ -61,6 +65,8 @@ class IsobarStreamWriter {
   const Codec* codec_ = nullptr;
   EupaDecision decision_;
   CompressionStats stats_;
+  uint64_t trace_id_ = 0;
+  uint64_t header_bytes_ = 0;
 };
 
 /// Chunk-at-a-time reader for both batch and streamed ISOBAR containers.

@@ -1,0 +1,155 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+namespace isobar::telemetry {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  if constexpr (kCompiledIn) {
+    internal::g_enabled.store(enabled, std::memory_order_relaxed);
+  } else {
+    (void)enabled;
+  }
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  return 64 - __builtin_clzll(value);  // in [1, 64]; bucket 64 clamps below
+}
+
+void Histogram::Observe(uint64_t value) {
+  if (!Enabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  const int b = std::min(BucketFor(value), kBuckets - 1);
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  const uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : v;
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+const CounterSnapshot* MetricsSnapshot::FindCounter(
+    std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot Delta(const MetricsSnapshot& before,
+                      const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& c : after.counters) {
+    const CounterSnapshot* prev = before.FindCounter(c.name);
+    const uint64_t base = prev == nullptr ? 0 : prev->value;
+    delta.counters.push_back({c.name, c.value >= base ? c.value - base : 0});
+  }
+  for (const auto& h : after.histograms) {
+    const HistogramSnapshot* prev = before.FindHistogram(h.name);
+    HistogramSnapshot d = h;
+    if (prev != nullptr) {
+      d.count = h.count >= prev->count ? h.count - prev->count : 0;
+      d.sum = h.sum >= prev->sum ? h.sum - prev->sum : 0;
+      for (size_t b = 0; b < d.buckets.size() && b < prev->buckets.size();
+           ++b) {
+        d.buckets[b] = h.buckets[b] >= prev->buckets[b]
+                           ? h.buckets[b] - prev->buckets[b]
+                           : 0;
+      }
+    }
+    delta.histograms.push_back(std::move(d));
+  }
+  return delta;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Never destroyed: instruments may be touched from static destructors.
+  static MetricsRegistry& registry = *new MetricsRegistry();
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter.value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = histogram.count();
+    h.sum = histogram.sum();
+    h.min = histogram.min();
+    h.max = histogram.max();
+    h.buckets.resize(Histogram::kBuckets);
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      h.buckets[b] = histogram.bucket(b);
+    }
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter.Reset();
+  for (auto& [name, histogram] : histograms_) histogram.Reset();
+}
+
+}  // namespace isobar::telemetry

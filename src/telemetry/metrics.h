@@ -1,0 +1,158 @@
+#ifndef ISOBAR_TELEMETRY_METRICS_H_
+#define ISOBAR_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace isobar::telemetry {
+
+/// Compile-time kill switch: configure with -DISOBAR_TELEMETRY=OFF to
+/// define ISOBAR_TELEMETRY_DISABLED and compile every record path down to
+/// a constant-false branch the optimizer removes.
+#ifdef ISOBAR_TELEMETRY_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// Runtime toggle. Off by default: a single relaxed atomic load guards
+/// every hot-path record, so a pipeline that never enables telemetry pays
+/// one predictable branch per instrumentation site.
+inline bool Enabled() {
+  if constexpr (!kCompiledIn) return false;
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool enabled);
+
+/// Monotonic named counter. Thread-safe; increments are relaxed (totals
+/// are exact, ordering between counters is not guaranteed mid-run).
+class Counter {
+ public:
+  void Add(uint64_t n) {
+    if (Enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Lock-free histogram over power-of-two buckets: bucket b counts samples
+/// v with 2^(b-1) <= v < 2^b (bucket 0 counts v == 0). Used for latency
+/// (nanoseconds) and size (bytes) distributions; also tracks count, sum,
+/// min and max exactly.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Observe(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Minimum observed value; 0 when empty.
+  uint64_t min() const;
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+  uint64_t bucket(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+  /// Index of the bucket `value` falls into.
+  static int BucketFor(uint64_t value);
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Point-in-time copy of one counter / histogram, used for export and for
+/// before/after diffing around a measured region.
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;  ///< kBuckets entries.
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;      ///< sorted by name
+  std::vector<HistogramSnapshot> histograms;  ///< sorted by name
+
+  const CounterSnapshot* FindCounter(std::string_view name) const;
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
+};
+
+/// Counter/histogram deltas of `after` relative to `before` (entries
+/// missing from `before` are taken whole). Histogram min/max are copied
+/// from `after` — extrema do not subtract.
+MetricsSnapshot Delta(const MetricsSnapshot& before,
+                      const MetricsSnapshot& after);
+
+/// Process-wide registry of named metrics. Instruments are created on
+/// first use and live for the process lifetime, so hot paths cache the
+/// returned reference in a function-local static and never touch the map
+/// again:
+///
+///   static telemetry::Counter& calls =
+///       telemetry::MetricsRegistry::Global().counter("analyzer.calls");
+///   calls.Increment();
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Get-or-create. References stay valid forever.
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered instrument (names stay registered).
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  // std::map: stable addresses, deterministic (sorted) export order.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Convenience: the global registry's instruments.
+inline Counter& GetCounter(std::string_view name) {
+  return MetricsRegistry::Global().counter(name);
+}
+inline Histogram& GetHistogram(std::string_view name) {
+  return MetricsRegistry::Global().histogram(name);
+}
+
+}  // namespace isobar::telemetry
+
+#endif  // ISOBAR_TELEMETRY_METRICS_H_

@@ -1,0 +1,92 @@
+#ifndef ISOBAR_TELEMETRY_SPAN_H_
+#define ISOBAR_TELEMETRY_SPAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace isobar::telemetry {
+
+/// One finished span, as kept by the bounded in-memory span log.
+struct SpanRecord {
+  uint64_t id = 0;         ///< process-unique, 1-based
+  uint64_t parent_id = 0;  ///< 0 for a root span
+  int depth = 0;           ///< 0 for a root span
+  std::string name;
+  int64_t start_nanos = 0;  ///< monotonic, relative to process start
+  int64_t duration_nanos = 0;
+};
+
+/// Process-wide log of finished spans, bounded so that arbitrarily long
+/// runs cannot grow memory without limit: once `capacity` records are
+/// held, further spans still aggregate into their histograms but are not
+/// logged individually (the `telemetry.spans_dropped` counter tracks how
+/// many).
+class SpanLog {
+ public:
+  static SpanLog& Global();
+
+  void set_capacity(size_t capacity);
+  size_t capacity() const;
+
+  void Append(SpanRecord record);
+  std::vector<SpanRecord> Snapshot() const;
+  void Clear();
+
+ private:
+  SpanLog() = default;
+
+  mutable std::mutex mutex_;
+  size_t capacity_ = 8192;
+  std::vector<SpanRecord> records_;
+};
+
+/// RAII wall-clock span covering one pipeline stage. Spans nest through a
+/// thread-local stack, giving each record its parent and depth — the
+/// hierarchy is pipeline → chunk → stage, e.g.:
+///
+///   compress
+///   ├── eupa.select
+///   └── compress.chunk            (one per chunk)
+///       ├── chunk.analyze
+///       ├── chunk.partition
+///       └── chunk.solve
+///
+/// On destruction the duration is observed into the global histogram
+/// `span.<name>.nanos` and the record appended to the SpanLog. When
+/// telemetry is disabled at construction the span is inert (one relaxed
+/// atomic load; no clock read).
+///
+/// `name` must outlive the span; instrumentation sites pass string
+/// literals.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+  /// Nanoseconds since construction (0 for an inert span).
+  int64_t ElapsedNanos() const;
+
+ private:
+  bool active_ = false;
+  std::string_view name_;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  int depth_ = 0;
+  int64_t start_nanos_ = 0;
+};
+
+/// Monotonic nanoseconds since the first telemetry use in this process;
+/// the time base of SpanRecord::start_nanos.
+int64_t MonotonicNanos();
+
+}  // namespace isobar::telemetry
+
+#endif  // ISOBAR_TELEMETRY_SPAN_H_

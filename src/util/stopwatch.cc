@@ -1,11 +1,17 @@
 #include "util/stopwatch.h"
 
+#include <algorithm>
+
 namespace isobar {
 
 double Stopwatch::ThroughputMBps(size_t bytes) const {
-  const double secs = ElapsedSeconds();
-  if (secs <= 0.0) return 0.0;
-  return static_cast<double>(bytes) / 1e6 / secs;
+  if (bytes == 0) return 0.0;
+  // Clamp to one tick: a measurable amount of work done faster than the
+  // clock resolution reports the fastest representable rate instead of the
+  // nonsensical 0 MB/s (which a caller would read as "no throughput").
+  const int64_t nanos = std::max<int64_t>(ElapsedNanos(), 1);
+  // bytes / 1e6 [MB] / (nanos / 1e9 [s]) = bytes * 1e3 / nanos.
+  return static_cast<double>(bytes) * 1e3 / static_cast<double>(nanos);
 }
 
 }  // namespace isobar

@@ -3,11 +3,13 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 
 namespace isobar {
 
 /// Monotonic wall-clock stopwatch used by the benchmark harness to report
-/// throughput in the paper's units (MB/s, with MB = 1e6 bytes).
+/// throughput in the paper's units (MB/s, with MB = 1e6 bytes) and by the
+/// telemetry span layer for nanosecond-granular stage timing.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
@@ -20,8 +22,20 @@ class Stopwatch {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  /// Integer nanoseconds elapsed since construction or the last Reset();
+  /// never negative. This is the unit the telemetry span layer records.
+  int64_t ElapsedNanos() const {
+    const int64_t nanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count();
+    return nanos < 0 ? 0 : nanos;
+  }
+
   /// Throughput in MB/s (1 MB = 1e6 bytes) for `bytes` processed since the
-  /// last Reset(). Returns 0 when elapsed time is not measurable.
+  /// last Reset(). Returns 0 for zero bytes. For intervals too short for
+  /// the clock to resolve, the elapsed time is clamped to one clock tick
+  /// (1 ns) so a nonzero amount of work never reports 0 MB/s.
   double ThroughputMBps(size_t bytes) const;
 
  private:

@@ -3,6 +3,8 @@
 #include "compressors/registry.h"
 #include "core/isobar.h"
 #include "datagen/registry.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_export.h"
 #include "util/random.h"
 
 namespace isobar {
@@ -96,6 +98,130 @@ TEST(IsobarPipelineTest, AnalysisThroughputIsMeasured) {
   EXPECT_GT(stats.analysis_seconds, 0.0);
   EXPECT_GT(stats.analysis_mbps(), 0.0);
   EXPECT_GT(stats.compression_mbps(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry invariants: the observability layer must agree with the
+// pipeline's own statistics byte for byte.
+
+class PipelineTelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!telemetry::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+    telemetry::SetEnabled(true);
+    telemetry::TraceRecorder::Global().SetEnabled(true);
+    telemetry::MetricsRegistry::Global().ResetAll();
+    telemetry::SpanLog::Global().Clear();
+    telemetry::TraceRecorder::Global().Clear();
+  }
+
+  void TearDown() override {
+    if (!telemetry::kCompiledIn) return;
+    telemetry::SetEnabled(false);
+    telemetry::TraceRecorder::Global().SetEnabled(false);
+    telemetry::MetricsRegistry::Global().ResetAll();
+    telemetry::SpanLog::Global().Clear();
+    telemetry::TraceRecorder::Global().Clear();
+  }
+
+  uint64_t CounterValue(const char* name) {
+    const telemetry::MetricsSnapshot snapshot =
+        telemetry::MetricsRegistry::Global().Snapshot();
+    const telemetry::CounterSnapshot* c = snapshot.FindCounter(name);
+    return c == nullptr ? 0 : c->value;
+  }
+};
+
+TEST_F(PipelineTelemetryTest, StageSecondsSumWithinTotal) {
+  auto dataset = Generate("flash_velx", 300000);
+  ASSERT_TRUE(dataset.ok());
+  CompressOptions options;
+  options.chunk_elements = 100000;
+  const IsobarCompressor compressor(options);
+  CompressionStats stats;
+  auto compressed = compressor.Compress(dataset->bytes(), 8, &stats);
+  ASSERT_TRUE(compressed.ok());
+
+  // The staged decomposition never exceeds the end-to-end wall clock.
+  EXPECT_LE(stats.analysis_seconds + stats.partition_seconds +
+                stats.codec_seconds,
+            stats.total_seconds);
+
+  DecompressionStats dstats;
+  auto restored =
+      IsobarCompressor::Decompress(*compressed, DecompressOptions{}, &dstats);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(dstats.chunk_count, stats.chunk_count);
+  EXPECT_EQ(dstats.input_bytes, compressed->size());
+  EXPECT_EQ(dstats.output_bytes, dataset->data.size());
+  EXPECT_GT(dstats.decode_seconds, 0.0);
+  EXPECT_GT(dstats.scatter_seconds, 0.0);
+  EXPECT_LE(dstats.parse_seconds + dstats.decode_seconds +
+                dstats.scatter_seconds,
+            dstats.total_seconds);
+}
+
+TEST_F(PipelineTelemetryTest, CountersMatchCompressionStats) {
+  auto dataset = Generate("flash_velx", 300000);
+  ASSERT_TRUE(dataset.ok());
+  CompressOptions options;
+  options.chunk_elements = 100000;
+  const IsobarCompressor compressor(options);
+  CompressionStats stats;
+  auto compressed = compressor.Compress(dataset->bytes(), 8, &stats);
+  ASSERT_TRUE(compressed.ok());
+
+  EXPECT_EQ(CounterValue("pipeline.compress_calls"), 1u);
+  EXPECT_EQ(CounterValue("pipeline.compress_input_bytes"), stats.input_bytes);
+  EXPECT_EQ(CounterValue("pipeline.compress_output_bytes"),
+            stats.output_bytes);
+  EXPECT_EQ(CounterValue("pipeline.chunks_encoded"), stats.chunk_count);
+  EXPECT_EQ(CounterValue("pipeline.chunk_input_bytes"), stats.input_bytes);
+  // The analyzer also runs once on the EUPA training probe, so its verdict
+  // count can exceed the per-chunk tally by exactly that one probe.
+  EXPECT_GE(CounterValue("analyzer.improvable_verdicts"),
+            stats.improvable_chunks);
+  EXPECT_EQ(CounterValue("analyzer.calls"), stats.chunk_count + 1);
+
+  auto restored = IsobarCompressor::Decompress(*compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(CounterValue("pipeline.decompress_calls"), 1u);
+  EXPECT_EQ(CounterValue("pipeline.chunks_decoded"), stats.chunk_count);
+  EXPECT_EQ(CounterValue("pipeline.checksum_failures"), 0u);
+}
+
+TEST_F(PipelineTelemetryTest, TraceByteTotalsMatchContainer) {
+  auto dataset = Generate("gts_phi_l", 250000);
+  ASSERT_TRUE(dataset.ok());
+  CompressOptions options;
+  options.chunk_elements = 100000;
+  const IsobarCompressor compressor(options);
+  CompressionStats stats;
+  auto compressed = compressor.Compress(dataset->bytes(), 8, &stats);
+  ASSERT_TRUE(compressed.ok());
+
+  const std::vector<telemetry::PipelineTrace> pipelines =
+      telemetry::TraceRecorder::Global().Snapshot();
+  ASSERT_EQ(pipelines.size(), 1u);
+  const telemetry::PipelineTrace& p = pipelines[0];
+  EXPECT_TRUE(p.finished);
+  EXPECT_EQ(p.input_bytes, stats.input_bytes);
+  EXPECT_EQ(p.output_bytes, stats.output_bytes);
+  EXPECT_EQ(p.output_bytes, compressed->size());
+  EXPECT_EQ(p.chunks.size(), stats.chunk_count);
+
+  // The acceptance invariant: per-chunk byte accounting reconstructs the
+  // container's totals exactly (chunk records plus the one header).
+  uint64_t chunk_in = 0, chunk_out = 0;
+  for (const telemetry::ChunkTrace& chunk : p.chunks) {
+    chunk_in += chunk.input_bytes;
+    chunk_out += chunk.output_bytes;
+  }
+  EXPECT_EQ(chunk_in, p.input_bytes);
+  EXPECT_EQ(chunk_out + p.header_bytes, p.output_bytes);
+
+  // EUPA evidence rides along on the trace.
+  EXPECT_EQ(p.candidates.size(), stats.decision.evaluations.size());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <set>
 
@@ -205,6 +207,41 @@ TEST(StopwatchTest, ThroughputZeroBytesIsZero) {
   Stopwatch sw;
   EXPECT_GE(sw.ThroughputMBps(0), 0.0);
   EXPECT_EQ(sw.ThroughputMBps(0), 0.0);
+}
+
+TEST(StopwatchTest, ThroughputFiniteOnShortInterval) {
+  // Querying immediately after construction can see a ~0ns interval; the
+  // elapsed time is clamped to 1ns so the result must stay finite (no
+  // division by zero) and positive for a non-zero byte count.
+  for (int i = 0; i < 100; ++i) {
+    Stopwatch sw;
+    const double mbps = sw.ThroughputMBps(1024);
+    EXPECT_TRUE(std::isfinite(mbps));
+    EXPECT_GT(mbps, 0.0);
+  }
+}
+
+TEST(StopwatchTest, ElapsedNanosMonotonicAndMatchesSeconds) {
+  Stopwatch sw;
+  const int64_t a = sw.ElapsedNanos();
+  EXPECT_GE(a, 0);
+  // Burn a little time so the two clock reads are distinguishable.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const int64_t b = sw.ElapsedNanos();
+  EXPECT_GE(b, a);
+  const double seconds = sw.ElapsedSeconds();
+  EXPECT_GE(seconds * 1e9, static_cast<double>(b) * 0.5);
+}
+
+TEST(StopwatchTest, ResetRestartsTheClock) {
+  Stopwatch sw;
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const int64_t before = sw.ElapsedNanos();
+  sw.Reset();
+  const int64_t after = sw.ElapsedNanos();
+  EXPECT_LE(after, before);
 }
 
 }  // namespace
