@@ -1,7 +1,19 @@
 // Component microbenchmarks (google-benchmark): the per-stage throughputs
 // behind the end-to-end numbers of Tables II/V/IX — analyzer, transposes,
 // CRC, solvers, and the FPC/fpzip baselines.
+//
+// A thread-sweep mode measures the parallel chunk pipeline: pass
+// --threads=1,2,4,8 (the default sweep) to emit one
+// BM_IsobarCompressMT/BM_IsobarDecompressMT row per thread count, each
+// labeled "threads=N". The flag is consumed here, before google-benchmark
+// parses the remaining arguments.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "compressors/registry.h"
 #include "core/analyzer.h"
@@ -193,5 +205,99 @@ void BM_HistogramUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramUpdate);
 
+// --- Thread sweep: end-to-end pipeline throughput vs worker count, on a
+// dataset wide enough (4 chunks) that the chunk fan-out has work to steal.
+
+constexpr size_t kSweepElements = 1'500'000;
+
+void BM_IsobarCompressMT(benchmark::State& state, uint32_t threads) {
+  const Dataset dataset = HardDataset(kSweepElements);
+  CompressOptions options;
+  options.eupa.preference = Preference::kSpeed;
+  options.num_threads = threads;
+  const IsobarCompressor compressor(options);
+  for (auto _ : state) {
+    auto out = compressor.Compress(dataset.bytes(), 8);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+  state.SetLabel("threads=" + std::to_string(threads));
+}
+
+void BM_IsobarDecompressMT(benchmark::State& state, uint32_t threads) {
+  const Dataset dataset = HardDataset(kSweepElements);
+  CompressOptions options;
+  options.eupa.preference = Preference::kSpeed;
+  const IsobarCompressor compressor(options);
+  auto compressed = compressor.Compress(dataset.bytes(), 8);
+  DecompressOptions decompress_options;
+  decompress_options.num_threads = threads;
+  for (auto _ : state) {
+    auto out = IsobarCompressor::Decompress(*compressed, decompress_options);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+  state.SetLabel("threads=" + std::to_string(threads));
+}
+
 }  // namespace
+
+/// Registers one compress + one decompress benchmark per swept thread
+/// count; rows appear as BM_IsobarCompressMT/threads:N.
+void RegisterThreadSweep(const std::vector<uint32_t>& sweep) {
+  for (uint32_t threads : sweep) {
+    benchmark::RegisterBenchmark(
+        ("BM_IsobarCompressMT/threads:" + std::to_string(threads)).c_str(),
+        [threads](benchmark::State& state) {
+          BM_IsobarCompressMT(state, threads);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_IsobarDecompressMT/threads:" + std::to_string(threads)).c_str(),
+        [threads](benchmark::State& state) {
+          BM_IsobarDecompressMT(state, threads);
+        });
+  }
+}
+
 }  // namespace isobar
+
+int main(int argc, char** argv) {
+  // Consume --threads=<comma list> before google-benchmark rejects it as
+  // an unknown flag.
+  std::vector<uint32_t> sweep = {1, 2, 4, 8};
+  int kept = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      sweep.clear();
+      const char* cursor = argv[i] + 10;
+      while (*cursor != '\0') {
+        char* end = nullptr;
+        const unsigned long value = std::strtoul(cursor, &end, 10);
+        if (end == cursor || value == 0) {
+          std::fprintf(stderr,
+                       "--threads expects a comma-separated list of "
+                       "positive thread counts, e.g. --threads=1,2,4,8\n");
+          return 1;
+        }
+        sweep.push_back(static_cast<uint32_t>(value));
+        cursor = (*end == ',') ? end + 1 : end;
+      }
+      if (sweep.empty()) {
+        std::fprintf(stderr, "--threads list must not be empty\n");
+        return 1;
+      }
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  isobar::RegisterThreadSweep(sweep);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

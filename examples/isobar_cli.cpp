@@ -4,11 +4,12 @@
 //
 //   ./isobar_cli c <input> <output.isobar> [--width=8] [--pref=speed|ratio]
 //                 [--codec=zlib|bzip2|rle|lzss] [--lin=row|column]
-//                 [--tau=1.42] [--chunk=375000]
+//                 [--tau=1.42] [--chunk=375000] [--threads=N]
 //                 [--metrics-json=<path>] [--metrics-csv=<path>]
 //                 [--trace=<path>]
-//   ./isobar_cli d <input.isobar> <output> [--metrics-json=<path>]
-//                 [--metrics-csv=<path>] [--trace=<path>]
+//   ./isobar_cli d <input.isobar> <output> [--threads=N]
+//                 [--metrics-json=<path>] [--metrics-csv=<path>]
+//                 [--trace=<path>]
 //   ./isobar_cli info <input.isobar>
 //   ./isobar_cli verify <input.isobar>
 //
@@ -121,11 +122,15 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s c <input> <output.isobar> [--width=8] [--pref=speed|ratio]\n"
       "          [--codec=zlib|bzip2|rle|lzss] [--lin=row|column]\n"
-      "          [--tau=1.42] [--chunk=375000]\n"
+      "          [--tau=1.42] [--chunk=375000] [--threads=N]\n"
       "          [--metrics-json=<path>] [--metrics-csv=<path>]\n"
       "          [--trace=<path>]\n"
-      "       %s d <input.isobar> <output> [--metrics-json=<path>]\n"
-      "          [--metrics-csv=<path>] [--trace=<path>]\n"
+      "       %s d <input.isobar> <output> [--threads=N]\n"
+      "          [--metrics-json=<path>] [--metrics-csv=<path>]\n"
+      "          [--trace=<path>]\n"
+      "--threads=N uses N worker threads for the chunk pipeline (0 = one\n"
+      "per hardware thread, the default; 1 = serial). Output is identical\n"
+      "for every thread count.\n"
       "       %s info <input.isobar>\n"
       "       %s verify <input.isobar>\n",
       argv0, argv0, argv0, argv0);
@@ -161,6 +166,9 @@ int Compress(int argc, char** argv) {
       options.analyzer.tau = std::atof(arg + 6);
     } else if (std::strncmp(arg, "--chunk=", 8) == 0) {
       options.chunk_elements = std::strtoull(arg + 8, nullptr, 10);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      options.num_threads =
+          static_cast<uint32_t>(std::strtoul(arg + 10, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg);
       return 2;
@@ -204,9 +212,16 @@ int Compress(int argc, char** argv) {
 
 int Decompress(int argc, char** argv) {
   TelemetryFlags telemetry_flags;
+  DecompressOptions options;
   for (int i = 4; i < argc; ++i) {
-    if (!telemetry_flags.Parse(argv[i])) {
-      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+    const char* arg = argv[i];
+    if (telemetry_flags.Parse(arg)) {
+      continue;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      options.num_threads =
+          static_cast<uint32_t>(std::strtoul(arg + 10, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg);
       return 2;
     }
   }
@@ -217,8 +232,7 @@ int Decompress(int argc, char** argv) {
     return 1;
   }
   DecompressionStats stats;
-  auto restored =
-      IsobarCompressor::Decompress(input, DecompressOptions{}, &stats);
+  auto restored = IsobarCompressor::Decompress(input, options, &stats);
   if (!restored.ok()) {
     std::fprintf(stderr, "%s\n", restored.status().ToString().c_str());
     // A corrupt container is exactly when the telemetry (e.g. the

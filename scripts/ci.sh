@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
 # CI driver: build and run the test suite in the configurations that
-# matter — an optimized Release build (what users run) and an
+# matter — an optimized Release build (what users run), an
 # AddressSanitizer build (what catches memory bugs the tests would
-# otherwise miss). Usage:
+# otherwise miss), and a ThreadSanitizer build that runs the whole suite
+# with the chunk pipeline forced multi-threaded. Usage:
 #
-#   scripts/ci.sh                # Release + ASan
-#   scripts/ci.sh release        # one configuration only
+#   scripts/ci.sh                  # Release + ASan + TSan
+#   scripts/ci.sh release          # one configuration only
 #   scripts/ci.sh asan
-#   scripts/ci.sh ubsan          # optional extra configuration
+#   scripts/ci.sh tsan
+#   scripts/ci.sh ubsan            # optional extra configuration
+#   scripts/ci.sh asan -R telemetry  # extra args are forwarded to ctest
+#
+# The tsan configuration exports ISOBAR_TEST_THREADS (default 4) so every
+# test that leaves num_threads at 0 exercises the parallel pipeline under
+# the race detector; set ISOBAR_TEST_THREADS yourself to override the
+# worker count.
 #
 # Each configuration builds into its own directory (build-ci-<name>) so
 # repeat runs are incremental and never disturb a developer's ./build.
@@ -16,6 +24,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+# Arguments that are not configuration names are passed through to ctest
+# (e.g. `scripts/ci.sh asan -R telemetry`).
+CONFIGS=()
+CTEST_ARGS=()
 
 run_config() {
   local name="$1"
@@ -26,7 +39,16 @@ run_config() {
   echo "=== [${name}] build ==="
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== [${name}] test ==="
-  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  if [ "${name}" = "tsan" ]; then
+    # Force the chunk pipeline multi-threaded for every test that leaves
+    # the thread count at its default, so TSan actually sees the races.
+    ISOBAR_TEST_THREADS="${ISOBAR_TEST_THREADS:-4}" \
+      ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+        ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
+  else
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+      ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
+  fi
   echo "=== [${name}] OK ==="
 }
 
@@ -43,6 +65,13 @@ asan() {
     -DISOBAR_BUILD_BENCHMARKS=OFF
 }
 
+tsan() {
+  run_config tsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DISOBAR_SANITIZE=thread \
+    -DISOBAR_BUILD_BENCHMARKS=OFF
+}
+
 ubsan() {
   run_config ubsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -50,19 +79,17 @@ ubsan() {
     -DISOBAR_BUILD_BENCHMARKS=OFF
 }
 
-if [ "$#" -eq 0 ]; then
-  release
-  asan
-else
-  for config in "$@"; do
-    case "${config}" in
-      release) release ;;
-      asan) asan ;;
-      ubsan) ubsan ;;
-      *)
-        echo "unknown configuration '${config}' (release|asan|ubsan)" >&2
-        exit 2
-        ;;
-    esac
-  done
+for arg in "$@"; do
+  case "${arg}" in
+    release|asan|tsan|ubsan) CONFIGS+=("${arg}") ;;
+    *) CTEST_ARGS+=("${arg}") ;;
+  esac
+done
+
+if [ "${#CONFIGS[@]}" -eq 0 ]; then
+  CONFIGS=(release asan tsan)
 fi
+
+for config in "${CONFIGS[@]}"; do
+  "${config}"
+done

@@ -19,7 +19,8 @@ uint64_t FullMask(size_t width) {
 Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
                    Linearization linearization, ByteSpan chunk, size_t width,
                    Bytes* out, CompressionStats* stats,
-                   uint64_t trace_pipeline_id) {
+                   uint64_t trace_pipeline_id,
+                   telemetry::ChunkTrace* trace_out) {
   const uint64_t full_mask = FullMask(width);
   telemetry::ScopedSpan chunk_span("compress.chunk");
   const size_t record_base = out->size();
@@ -123,33 +124,35 @@ Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
     trace.analysis_seconds = analysis_seconds;
     trace.partition_seconds = partition_seconds;
     trace.codec_seconds = codec_seconds;
-    recorder.RecordChunk(trace_pipeline_id, std::move(trace));
+    if (trace_out != nullptr) {
+      // Parallel pipeline: hand the record to the caller, whose writer
+      // stitches worker traces back into chunk order.
+      *trace_out = std::move(trace);
+    } else {
+      recorder.RecordChunk(trace_pipeline_id, std::move(trace));
+    }
   }
   return Status::OK();
 }
 
-Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
-                   const Codec& codec, Linearization linearization,
-                   size_t width, uint64_t max_elements, bool verify_checksums,
-                   Bytes* out, DecompressionStats* stats) {
+void MergeChunkStats(const CompressionStats& chunk, CompressionStats* total) {
+  total->analysis_seconds += chunk.analysis_seconds;
+  total->partition_seconds += chunk.partition_seconds;
+  total->codec_seconds += chunk.codec_seconds;
+  total->improvable_chunks += chunk.improvable_chunks;
+  if (chunk.improvable) total->improvable = true;
+  total->mean_htc_fraction +=
+      (chunk.mean_htc_fraction - total->mean_htc_fraction) /
+      static_cast<double>(total->chunk_count + 1);
+  ++total->chunk_count;
+}
+
+Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
+                          ByteSpan compressed_section, ByteSpan raw_section,
+                          const Codec& codec, Linearization linearization,
+                          size_t width, bool verify_checksums,
+                          MutableByteSpan dest, DecompressionStats* stats) {
   const uint64_t full_mask = FullMask(width);
-  telemetry::ScopedSpan chunk_span("decompress.chunk");
-
-  Stopwatch parse_timer;
-  ISOBAR_ASSIGN_OR_RETURN(
-      container::ChunkHeader chunk_header,
-      container::ParseChunkHeader(container_bytes, offset));
-  if (chunk_header.element_count > max_elements) {
-    return Status::Corruption(
-        "container: chunk claims more elements than the header's chunk size");
-  }
-  const ByteSpan compressed_section =
-      container_bytes.subspan(*offset, chunk_header.compressed_size);
-  *offset += chunk_header.compressed_size;
-  const ByteSpan raw_section =
-      container_bytes.subspan(*offset, chunk_header.raw_size);
-  *offset += chunk_header.raw_size;
-
   const bool undetermined =
       (chunk_header.flags & container::kChunkUndetermined) != 0;
   const uint64_t mask =
@@ -158,13 +161,15 @@ Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
     return Status::Corruption("container: chunk mask exceeds element width");
   }
   const uint64_t n = chunk_header.element_count;
+  if (dest.size() != n * width) {
+    return Status::Internal("chunk payload: destination size mismatch");
+  }
   const size_t selected = static_cast<size_t>(PopcountMask(mask, width));
   const size_t expected_packed = n * selected;
   const size_t expected_raw = n * (width - selected);
   if (chunk_header.raw_size != expected_raw) {
     return Status::Corruption("container: raw section size mismatch");
   }
-  if (stats != nullptr) stats->parse_seconds += parse_timer.ElapsedSeconds();
 
   Bytes decoded;
   ByteSpan packed;
@@ -188,16 +193,13 @@ Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
 
   telemetry::ScopedSpan scatter_span("chunk.scatter");
   Stopwatch scatter_timer;
-  const size_t chunk_base = out->size();
-  out->resize(chunk_base + n * width);
-  MutableByteSpan dest(out->data() + chunk_base, n * width);
   ISOBAR_RETURN_NOT_OK(
       ScatterColumns(packed, width, mask, linearization, dest));
   ISOBAR_RETURN_NOT_OK(ScatterColumns(raw_section, width, full_mask & ~mask,
                                       Linearization::kRow, dest));
 
   if (verify_checksums) {
-    const uint32_t crc = crc32c::Extend(0, out->data() + chunk_base, n * width);
+    const uint32_t crc = crc32c::Extend(0, dest.data(), dest.size());
     if (crc != chunk_header.crc32c) {
       static telemetry::Counter& crc_failures =
           telemetry::GetCounter("pipeline.checksum_failures");
@@ -216,6 +218,37 @@ Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
       telemetry::GetCounter("pipeline.chunks_decoded");
   chunks_decoded.Increment();
   return Status::OK();
+}
+
+Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
+                   const Codec& codec, Linearization linearization,
+                   size_t width, uint64_t max_elements, bool verify_checksums,
+                   Bytes* out, DecompressionStats* stats) {
+  telemetry::ScopedSpan chunk_span("decompress.chunk");
+
+  Stopwatch parse_timer;
+  ISOBAR_ASSIGN_OR_RETURN(
+      container::ChunkHeader chunk_header,
+      container::ParseChunkHeader(container_bytes, offset));
+  if (chunk_header.element_count > max_elements) {
+    return Status::Corruption(
+        "container: chunk claims more elements than the header's chunk size");
+  }
+  const ByteSpan compressed_section =
+      container_bytes.subspan(*offset, chunk_header.compressed_size);
+  *offset += chunk_header.compressed_size;
+  const ByteSpan raw_section =
+      container_bytes.subspan(*offset, chunk_header.raw_size);
+  *offset += chunk_header.raw_size;
+  if (stats != nullptr) stats->parse_seconds += parse_timer.ElapsedSeconds();
+
+  const size_t chunk_base = out->size();
+  out->resize(chunk_base + chunk_header.element_count * width);
+  MutableByteSpan dest(out->data() + chunk_base,
+                       chunk_header.element_count * width);
+  return DecodeChunkPayload(chunk_header, compressed_section, raw_section,
+                            codec, linearization, width, verify_checksums,
+                            dest, stats);
 }
 
 }  // namespace isobar

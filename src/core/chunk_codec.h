@@ -6,6 +6,7 @@
 #include "core/container.h"
 #include "core/isobar.h"
 #include "linearize/transpose.h"
+#include "telemetry/trace_export.h"
 #include "util/bytes.h"
 #include "util/status.h"
 
@@ -19,11 +20,16 @@ namespace isobar {
 /// `*out`. Timing and verdict fields of `*stats` are accumulated (may be
 /// null). When `trace_pipeline_id` is nonzero and tracing is on, a
 /// telemetry::ChunkTrace record (verdict, partition map, stage timings,
-/// byte accounting) is appended to that pipeline's trace.
+/// byte accounting) is appended to that pipeline's trace — unless
+/// `trace_out` is non-null, in which case the record is written there
+/// instead of into the global recorder. Parallel pipelines use the
+/// out-param so a single writer can stitch worker-produced traces back
+/// into chunk order.
 Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
                    Linearization linearization, ByteSpan chunk, size_t width,
                    Bytes* out, CompressionStats* stats,
-                   uint64_t trace_pipeline_id = 0);
+                   uint64_t trace_pipeline_id = 0,
+                   telemetry::ChunkTrace* trace_out = nullptr);
 
 /// Parses the chunk record at `*offset` in `container_bytes`, reverses the
 /// pipeline, and appends the reconstructed elements to `*out`, advancing
@@ -35,6 +41,28 @@ Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
                    const Codec& codec, Linearization linearization,
                    size_t width, uint64_t max_elements, bool verify_checksums,
                    Bytes* out, DecompressionStats* stats = nullptr);
+
+/// Folds one chunk's stats contribution into a pipeline total, in chunk
+/// order, using the same incremental running-mean arithmetic EncodeChunk
+/// applies in place — so totals merged from per-worker stats are identical
+/// to the serial path's for every thread count. `chunk` must describe
+/// exactly one chunk (its mean_htc_fraction is that chunk's fraction).
+void MergeChunkStats(const CompressionStats& chunk, CompressionStats* total);
+
+/// The payload half of DecodeChunk: reverses one already-parsed chunk
+/// record into `dest`, which must be exactly
+/// `chunk_header.element_count * width` bytes. `compressed_section` and
+/// `raw_section` are the record's two payload slices (the caller advanced
+/// past them using the header's sizes). Decode/scatter timing fields of
+/// `*stats` are accumulated (may be null). Writes only through `dest`, so
+/// independent chunk records can be decoded concurrently into disjoint
+/// regions of one output buffer.
+Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
+                          ByteSpan compressed_section, ByteSpan raw_section,
+                          const Codec& codec, Linearization linearization,
+                          size_t width, bool verify_checksums,
+                          MutableByteSpan dest,
+                          DecompressionStats* stats = nullptr);
 
 }  // namespace isobar
 

@@ -1,7 +1,11 @@
 #include "core/isobar.h"
 
 #include <algorithm>
+#include <deque>
+#include <future>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "compressors/registry.h"
 #include "core/chunk_codec.h"
@@ -9,6 +13,7 @@
 #include "telemetry/span.h"
 #include "telemetry/trace_export.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace isobar {
 namespace {
@@ -16,6 +21,15 @@ namespace {
 uint64_t FullMask(size_t width) {
   return width >= 64 ? ~0ull : ((1ull << width) - 1);
 }
+
+/// One chunk's encode result, produced on a worker and consumed by the
+/// (single) container writer.
+struct EncodedChunk {
+  Status status;
+  Bytes record;
+  CompressionStats stats;
+  telemetry::ChunkTrace trace;
+};
 
 // Opens a pipeline trace for a freshly made EUPA decision and records the
 // candidate evidence; returns 0 when tracing is off.
@@ -131,10 +145,52 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
   container::AppendHeader(header, &out);
   const size_t header_bytes = out.size();
 
-  for (uint64_t ci = 0; ci < chunker.chunk_count(); ++ci) {
-    ISOBAR_RETURN_NOT_OK(EncodeChunk(analyzer, *codec, decision.linearization,
-                                     chunker.chunk(ci), width, &out, stats,
-                                     trace_id));
+  const size_t num_threads = ResolveNumThreads(options_.num_threads);
+  if (num_threads <= 1 || chunker.chunk_count() <= 1) {
+    for (uint64_t ci = 0; ci < chunker.chunk_count(); ++ci) {
+      ISOBAR_RETURN_NOT_OK(EncodeChunk(analyzer, *codec,
+                                       decision.linearization,
+                                       chunker.chunk(ci), width, &out, stats,
+                                       trace_id));
+    }
+  } else {
+    // Fan each chunk's analyze→partition→solve out as a pool task; this
+    // thread stays the single writer, appending records in chunk order.
+    // The in-flight window bounds memory at O(threads) encoded chunks
+    // instead of O(file).
+    auto& recorder = telemetry::TraceRecorder::Global();
+    const bool tracing = trace_id != 0;
+    ThreadPool pool(num_threads);
+    const size_t window = 2 * num_threads;
+    std::deque<std::future<EncodedChunk>> in_flight;
+    uint64_t next_chunk = 0;
+    auto submit_next = [&] {
+      const ByteSpan chunk = chunker.chunk(next_chunk++);
+      in_flight.push_back(
+          pool.Submit([&analyzer, &codec, &decision, chunk, width, trace_id,
+                       tracing]() -> EncodedChunk {
+            EncodedChunk encoded;
+            encoded.status = EncodeChunk(
+                analyzer, *codec, decision.linearization, chunk, width,
+                &encoded.record, &encoded.stats, trace_id,
+                tracing ? &encoded.trace : nullptr);
+            return encoded;
+          }));
+    };
+    while (next_chunk < chunker.chunk_count() && in_flight.size() < window) {
+      submit_next();
+    }
+    while (!in_flight.empty()) {
+      EncodedChunk encoded = in_flight.front().get();
+      in_flight.pop_front();
+      if (next_chunk < chunker.chunk_count()) submit_next();
+      // On error the early return destroys `pool`, which drains the
+      // remaining queued tasks before the chunker and codec go away.
+      ISOBAR_RETURN_NOT_OK(encoded.status);
+      out.insert(out.end(), encoded.record.begin(), encoded.record.end());
+      MergeChunkStats(encoded.stats, stats);
+      if (tracing) recorder.RecordChunk(trace_id, std::move(encoded.trace));
+    }
   }
 
   stats->output_bytes = out.size();
@@ -183,22 +239,101 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
   // Counted containers (batch writer) carry the chunk total; streamed
   // containers use the kUnknownCount sentinel and run to the end.
   const bool counted = header.chunk_count != container::kUnknownCount;
-  uint64_t chunks_read = 0;
-  while (counted ? chunks_read < header.chunk_count
-                 : offset < container_bytes.size()) {
-    ISOBAR_RETURN_NOT_OK(DecodeChunk(container_bytes, &offset, *codec,
-                                     header.linearization, width,
-                                     header.chunk_elements,
-                                     options.verify_checksums, &out, stats));
-    ++chunks_read;
-  }
+  const size_t num_threads = ResolveNumThreads(options.num_threads);
+  if (num_threads <= 1) {
+    uint64_t chunks_read = 0;
+    while (counted ? chunks_read < header.chunk_count
+                   : offset < container_bytes.size()) {
+      ISOBAR_RETURN_NOT_OK(DecodeChunk(container_bytes, &offset, *codec,
+                                       header.linearization, width,
+                                       header.chunk_elements,
+                                       options.verify_checksums, &out, stats));
+      ++chunks_read;
+    }
+    if (offset != container_bytes.size()) {
+      return Status::Corruption("container: trailing bytes after last chunk");
+    }
+    if (header.element_count != container::kUnknownCount &&
+        out.size() != header.element_count * width) {
+      return Status::Corruption("container: element count mismatch");
+    }
+  } else {
+    // Serial parse pass: chunk records are self-delimiting, so one cheap
+    // header walk yields every record's payload slices and its (disjoint)
+    // destination range in the output buffer.
+    struct ChunkWork {
+      container::ChunkHeader header;
+      ByteSpan compressed;
+      ByteSpan raw;
+      size_t out_offset = 0;
+    };
+    std::vector<ChunkWork> chunks;
+    if (counted) {
+      // The count is untrusted; each record is at least a chunk header, so
+      // the buffer bounds how many records a reserve may assume.
+      chunks.reserve(static_cast<size_t>(std::min<uint64_t>(
+          header.chunk_count,
+          container_bytes.size() / container::kChunkHeaderSize + 1)));
+    }
+    size_t out_bytes = 0;
+    while (counted ? chunks.size() < header.chunk_count
+                   : offset < container_bytes.size()) {
+      telemetry::ScopedSpan chunk_span("decompress.chunk");
+      Stopwatch chunk_parse_timer;
+      ChunkWork work;
+      ISOBAR_ASSIGN_OR_RETURN(
+          work.header, container::ParseChunkHeader(container_bytes, &offset));
+      if (work.header.element_count > header.chunk_elements) {
+        return Status::Corruption(
+            "container: chunk claims more elements than the header's chunk "
+            "size");
+      }
+      work.compressed =
+          container_bytes.subspan(offset, work.header.compressed_size);
+      offset += work.header.compressed_size;
+      work.raw = container_bytes.subspan(offset, work.header.raw_size);
+      offset += work.header.raw_size;
+      work.out_offset = out_bytes;
+      out_bytes += work.header.element_count * width;
+      chunks.push_back(work);
+      stats->parse_seconds += chunk_parse_timer.ElapsedSeconds();
+    }
+    if (offset != container_bytes.size()) {
+      return Status::Corruption("container: trailing bytes after last chunk");
+    }
+    if (header.element_count != container::kUnknownCount &&
+        out_bytes != header.element_count * width) {
+      return Status::Corruption("container: element count mismatch");
+    }
 
-  if (offset != container_bytes.size()) {
-    return Status::Corruption("container: trailing bytes after last chunk");
-  }
-  if (header.element_count != container::kUnknownCount &&
-      out.size() != header.element_count * width) {
-    return Status::Corruption("container: element count mismatch");
+    // Fan the payload work (decode → scatter → CRC) out across the pool;
+    // every chunk writes only its own disjoint slice of `out`.
+    out.resize(out_bytes);
+    ThreadPool pool(num_threads);
+    std::vector<std::future<std::pair<Status, DecompressionStats>>> results;
+    results.reserve(chunks.size());
+    for (const ChunkWork& work : chunks) {
+      results.push_back(pool.Submit(
+          [&work, &codec, &header, &out, width,
+           verify = options.verify_checksums]() {
+            DecompressionStats chunk_stats;
+            MutableByteSpan dest(out.data() + work.out_offset,
+                                 work.header.element_count * width);
+            Status status = DecodeChunkPayload(
+                work.header, work.compressed, work.raw, *codec,
+                header.linearization, width, verify, dest, &chunk_stats);
+            return std::make_pair(std::move(status), chunk_stats);
+          }));
+    }
+    for (auto& result : results) {
+      auto [status, chunk_stats] = result.get();
+      // The early return destroys `pool` first, draining outstanding
+      // tasks before `chunks` and `out` leave scope.
+      ISOBAR_RETURN_NOT_OK(status);
+      stats->decode_seconds += chunk_stats.decode_seconds;
+      stats->scatter_seconds += chunk_stats.scatter_seconds;
+      stats->chunk_count += chunk_stats.chunk_count;
+    }
   }
 
   stats->input_bytes = container_bytes.size();

@@ -20,6 +20,14 @@ struct CompressOptions {
   /// Elements per chunk (§II.D). The default follows the paper's Fig. 8
   /// finding that ratios settle at ~375k doubles (≈3 MB).
   uint64_t chunk_elements = kDefaultChunkElements;
+
+  /// Worker threads for the chunk pipeline. 0 resolves to
+  /// std::thread::hardware_concurrency() (or the ISOBAR_TEST_THREADS
+  /// environment variable — the CI hook that forces multi-threaded runs
+  /// under TSan); 1 takes the serial path. The container produced is
+  /// byte-identical for every thread count: chunks are encoded
+  /// independently and assembled in chunk order.
+  uint32_t num_threads = 0;
 };
 
 /// Instrumentation of one Compress() run; everything the paper's tables
@@ -40,7 +48,10 @@ struct CompressionStats {
   /// ("HTC Bytes (%)" of Table IV, as a fraction).
   double mean_htc_fraction = 0.0;
 
-  /// Wall-clock decomposition of the pipeline (seconds).
+  /// Wall-clock decomposition of the pipeline (seconds). Stage fields are
+  /// summed over chunks; with num_threads > 1 chunks run concurrently, so
+  /// the stage sum is aggregate worker time and may exceed total_seconds
+  /// (wall clock) by up to the thread count.
   double analysis_seconds = 0.0;   ///< ISOBAR-analyzer + EUPA sampling.
   double partition_seconds = 0.0;  ///< Gather/linearize.
   double codec_seconds = 0.0;      ///< Solver time.
@@ -69,6 +80,11 @@ struct CompressionStats {
 struct DecompressOptions {
   /// Verify each chunk's CRC-32C against the reconstructed bytes.
   bool verify_checksums = true;
+
+  /// Worker threads for chunk decode (same resolution rules as
+  /// CompressOptions::num_threads). Chunk records are parsed serially,
+  /// then decoded concurrently into disjoint regions of the output.
+  uint32_t num_threads = 0;
 };
 
 struct DecompressionStats {
@@ -78,6 +94,8 @@ struct DecompressionStats {
 
   /// Wall-clock decomposition of the decompression pipeline (seconds),
   /// mirroring the compression side's analysis/partition/codec split.
+  /// As with CompressionStats, the per-stage sum is aggregate worker time
+  /// under num_threads > 1 and may exceed total_seconds.
   double parse_seconds = 0.0;    ///< Container and chunk header parsing.
   double decode_seconds = 0.0;   ///< Solver decode of the packed section.
   double scatter_seconds = 0.0;  ///< Scatter-merge + checksum verification.

@@ -30,6 +30,7 @@ IsobarStreamWriter::IsobarStreamWriter(CompressOptions options, size_t width,
     init_status_ = Status::InvalidArgument("sink must not be null");
   }
   stats_.decision.preference = options_.eupa.preference;
+  num_threads_ = ResolveNumThreads(options_.num_threads);
 }
 
 Status IsobarStreamWriter::EnsurePipeline(ByteSpan training_data) {
@@ -97,13 +98,51 @@ Status IsobarStreamWriter::EnsurePipeline(ByteSpan training_data) {
 
 Status IsobarStreamWriter::EmitChunk(ByteSpan chunk) {
   ISOBAR_RETURN_NOT_OK(EnsurePipeline(chunk));
-  const Analyzer analyzer(options_.analyzer);
-  Bytes record;
-  ISOBAR_RETURN_NOT_OK(EncodeChunk(analyzer, *codec_, decision_.linearization,
-                                   chunk, width_, &record, &stats_,
-                                   trace_id_));
-  ISOBAR_RETURN_NOT_OK(sink_->Write(record));
-  stats_.output_bytes += record.size();
+  if (num_threads_ <= 1) {
+    const Analyzer analyzer(options_.analyzer);
+    Bytes record;
+    ISOBAR_RETURN_NOT_OK(EncodeChunk(analyzer, *codec_,
+                                     decision_.linearization, chunk, width_,
+                                     &record, &stats_, trace_id_));
+    ISOBAR_RETURN_NOT_OK(sink_->Write(record));
+    stats_.output_bytes += record.size();
+    return Status::OK();
+  }
+
+  // Pipelined producer/consumer: the encode runs on the pool while this
+  // thread returns to the producer. The caller's buffer is only valid for
+  // this call, so the task owns a copy of the chunk bytes. codec_,
+  // decision_, and trace_id_ are frozen by EnsurePipeline above, before
+  // any task can observe them.
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_threads_);
+  Bytes owned(chunk.begin(), chunk.end());
+  in_flight_.push_back(
+      pool_->Submit([this, owned = std::move(owned)]() -> EncodedRecord {
+        EncodedRecord encoded;
+        const Analyzer analyzer(options_.analyzer);
+        encoded.status = EncodeChunk(
+            analyzer, *codec_, decision_.linearization, owned, width_,
+            &encoded.record, &encoded.stats, trace_id_,
+            trace_id_ != 0 ? &encoded.trace : nullptr);
+        return encoded;
+      }));
+  if (in_flight_.size() >= 2 * num_threads_) {
+    return DrainOne();
+  }
+  return Status::OK();
+}
+
+Status IsobarStreamWriter::DrainOne() {
+  EncodedRecord encoded = in_flight_.front().get();
+  in_flight_.pop_front();
+  ISOBAR_RETURN_NOT_OK(encoded.status);
+  ISOBAR_RETURN_NOT_OK(sink_->Write(encoded.record));
+  stats_.output_bytes += encoded.record.size();
+  MergeChunkStats(encoded.stats, &stats_);
+  if (trace_id_ != 0) {
+    telemetry::TraceRecorder::Global().RecordChunk(trace_id_,
+                                                   std::move(encoded.trace));
+  }
   return Status::OK();
 }
 
@@ -153,6 +192,11 @@ Status IsobarStreamWriter::Finish() {
   }
   // A stream with no data at all still needs a valid (empty) container.
   ISOBAR_RETURN_NOT_OK(EnsurePipeline({}));
+  // Retire the pipelined tail before sealing the stream.
+  while (!in_flight_.empty()) {
+    ISOBAR_RETURN_NOT_OK(DrainOne());
+  }
+  pool_.reset();
   finished_ = true;
   stats_.total_seconds += timer.ElapsedSeconds();
   telemetry::TraceRecorder::Global().EndPipeline(

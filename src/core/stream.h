@@ -1,12 +1,18 @@
 #ifndef ISOBAR_CORE_STREAM_H_
 #define ISOBAR_CORE_STREAM_H_
 
+#include <deque>
+#include <future>
+#include <memory>
+
 #include "compressors/codec.h"
 #include "core/container.h"
 #include "core/isobar.h"
 #include "io/sink.h"
+#include "telemetry/trace_export.h"
 #include "util/bytes.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace isobar {
 
@@ -23,6 +29,14 @@ namespace isobar {
 /// stream. The EUPA decision is made once, on the first full chunk (or on
 /// the tail data at Finish() for sub-chunk streams), mirroring the batch
 /// compressor's training-sample phase.
+///
+/// With CompressOptions::num_threads resolving above 1, the writer runs a
+/// pipelined producer/consumer: Append() hands full chunks to a work pool
+/// and returns while they encode, and completed records are written to the
+/// sink in chunk order as the (bounded) in-flight window fills — so the
+/// emitted container is byte-identical to the serial writer's. At most
+/// 2 x threads chunks are in flight; the writer is not itself thread-safe
+/// (one producer thread drives Append/Finish).
 class IsobarStreamWriter {
  public:
   /// `sink` must outlive the writer.
@@ -51,8 +65,19 @@ class IsobarStreamWriter {
   uint64_t trace_id() const { return trace_id_; }
 
  private:
+  /// One chunk's encode result, produced on a pool worker and written to
+  /// the sink by the producer thread in FIFO (= chunk) order.
+  struct EncodedRecord {
+    Status status;
+    Bytes record;
+    CompressionStats stats;
+    telemetry::ChunkTrace trace;
+  };
+
   Status EnsurePipeline(ByteSpan training_data);
   Status EmitChunk(ByteSpan chunk);
+  /// Waits for the oldest in-flight chunk and writes it out.
+  Status DrainOne();
 
   CompressOptions options_;
   size_t width_;
@@ -67,6 +92,13 @@ class IsobarStreamWriter {
   CompressionStats stats_;
   uint64_t trace_id_ = 0;
   uint64_t header_bytes_ = 0;
+
+  // Pipelined path (num_threads_ > 1). pool_ is declared last so its
+  // destructor drains outstanding tasks while the members they reference
+  // are still alive.
+  size_t num_threads_ = 1;
+  std::deque<std::future<EncodedRecord>> in_flight_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Chunk-at-a-time reader for both batch and streamed ISOBAR containers.

@@ -1,0 +1,122 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace isobar {
+namespace {
+
+/// Hard ceiling on worker counts so a typo'd --threads=100000 cannot
+/// exhaust process resources.
+constexpr size_t kMaxThreads = 256;
+
+// Identifies the pool (and worker slot) owning the current thread, so
+// Submit from inside a task can use the worker-local LIFO fast path.
+thread_local ThreadPool* t_pool = nullptr;
+thread_local size_t t_worker_index = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, std::min(num_threads, kMaxThreads));
+  queues_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { RunWorker(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::Push(std::function<void()> task) {
+  if (t_pool == this) {
+    // Spawned from inside a worker: front of the own deque (LIFO).
+    WorkerQueue& queue = *queues_[t_worker_index];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    queue.tasks.push_front(std::move(task));
+  } else {
+    size_t target;
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      target = next_queue_;
+      next_queue_ = (next_queue_ + 1) % queues_.size();
+    }
+    WorkerQueue& queue = *queues_[target];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    queue.tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    ++queued_;
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(size_t index, std::function<void()>* task) {
+  {
+    WorkerQueue& own = *queues_[index];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of a sibling's deque, scanning from the next
+  // worker around the ring.
+  for (size_t i = 1; i < queues_.size(); ++i) {
+    WorkerQueue& victim = *queues_[(index + i) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::RunWorker(size_t index) {
+  t_pool = this;
+  t_worker_index = index;
+  for (;;) {
+    std::function<void()> task;
+    if (TryPop(index, &task)) {
+      {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        --queued_;
+      }
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (queued_ > 0) continue;  // lost a pop race; retry immediately
+    if (stop_) return;
+    wake_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (queued_ == 0 && stop_) return;
+  }
+}
+
+size_t ResolveNumThreads(uint32_t requested) {
+  if (requested > 0) {
+    return std::min<size_t>(requested, kMaxThreads);
+  }
+  if (const char* env = std::getenv("ISOBAR_TEST_THREADS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 0) return std::min<size_t>(value, kMaxThreads);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<size_t>(hw, kMaxThreads);
+}
+
+}  // namespace isobar

@@ -1,0 +1,101 @@
+#ifndef ISOBAR_UTIL_THREAD_POOL_H_
+#define ISOBAR_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace isobar {
+
+/// Fixed-size thread pool with per-worker deques and work stealing, sized
+/// for the chunk pipeline: a handful of CPU-bound tasks in flight per
+/// worker, submitted either from outside the pool (the pipeline's writer
+/// loop) or from inside a running task.
+///
+/// Scheduling discipline:
+///  * External submissions are distributed round-robin across the worker
+///    deques (appended at the back), so a burst of chunk tasks spreads
+///    over the pool without a contended central queue.
+///  * A task submitted from inside a worker goes to the *front* of that
+///    worker's own deque (LIFO — the spawning task's data is still
+///    cache-hot).
+///  * A worker pops from the front of its own deque; when that is empty it
+///    steals from the *back* of a sibling's deque (the task least likely
+///    to be in the sibling's cache).
+///
+/// With a single worker this degrades to strict FIFO execution of external
+/// submissions. Tasks run to completion; the pool never aborts a running
+/// task. Destruction drains every queued task first, then joins.
+///
+/// Exceptions thrown by a task are captured into the future returned by
+/// Submit (the worker thread never terminates the process).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains all queued tasks, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Schedules `fn` and returns a future for its result. `fn` must be
+  /// invocable with no arguments; its return value (or exception) is
+  /// delivered through the future.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // std::function requires copyable callables; packaged_task is move-only,
+    // so it rides behind a shared_ptr.
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Push([task] { (*task)(); });
+    return future;
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void Push(std::function<void()> task);
+  void RunWorker(size_t index);
+  bool TryPop(size_t index, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  // Sleep/wake protocol: queued_ counts tasks sitting in some deque (not
+  // yet popped). It is only mutated under wake_mutex_, so a worker that
+  // observes queued_ == 0 while holding the lock can safely sleep.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  size_t queued_ = 0;
+  bool stop_ = false;
+  size_t next_queue_ = 0;  ///< round-robin cursor, guarded by wake_mutex_
+};
+
+/// Resolves a user-facing thread-count option to an actual worker count:
+///   requested > 0   — that many threads (clamped to a sane maximum);
+///   requested == 0  — the ISOBAR_TEST_THREADS environment variable if set
+///                     to a positive integer (the CI hook that forces the
+///                     test suite multi-threaded under TSan), otherwise
+///                     std::thread::hardware_concurrency() (at least 1).
+size_t ResolveNumThreads(uint32_t requested);
+
+}  // namespace isobar
+
+#endif  // ISOBAR_UTIL_THREAD_POOL_H_

@@ -20,6 +20,9 @@ TEST(IsobarPipelineTest, StatsReflectImprovableDataset) {
   ASSERT_TRUE(dataset.ok());
   CompressOptions options;
   options.chunk_elements = 100000;
+  // Serial pipeline: the total >= codec_seconds bound below assumes the
+  // per-stage sums are wall-clock, not aggregate worker time.
+  options.num_threads = 1;
   const IsobarCompressor compressor(options);
   CompressionStats stats;
   auto compressed = compressor.Compress(dataset->bytes(), 8, &stats);
@@ -137,6 +140,10 @@ TEST_F(PipelineTelemetryTest, StageSecondsSumWithinTotal) {
   ASSERT_TRUE(dataset.ok());
   CompressOptions options;
   options.chunk_elements = 100000;
+  // The wall-clock containment below only holds for the serial pipeline:
+  // with workers, stage sums are aggregate thread time and may exceed the
+  // end-to-end total (see parallel_pipeline_test.cc for that bound).
+  options.num_threads = 1;
   const IsobarCompressor compressor(options);
   CompressionStats stats;
   auto compressed = compressor.Compress(dataset->bytes(), 8, &stats);
@@ -147,9 +154,10 @@ TEST_F(PipelineTelemetryTest, StageSecondsSumWithinTotal) {
                 stats.codec_seconds,
             stats.total_seconds);
 
+  DecompressOptions doptions;
+  doptions.num_threads = 1;
   DecompressionStats dstats;
-  auto restored =
-      IsobarCompressor::Decompress(*compressed, DecompressOptions{}, &dstats);
+  auto restored = IsobarCompressor::Decompress(*compressed, doptions, &dstats);
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(dstats.chunk_count, stats.chunk_count);
   EXPECT_EQ(dstats.input_bytes, compressed->size());

@@ -1,0 +1,161 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace isobar {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&done] { ++done; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitDeliversReturnValues) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesFifoOrder) {
+  // With one worker, external submissions degrade to strict FIFO: each
+  // task lands at the back of the only deque and the worker pops fronts.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::mutex mutex;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i, &order, &mutex] {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, WorkStealingSpreadsSkewedLoad) {
+  // One externally-submitted task fans 32 subtasks into its own worker's
+  // deque; the only way another thread runs one is by stealing. Each
+  // subtask is slow enough that a 4-worker pool will steal long before
+  // the spawner drains its own queue.
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> executors;
+  std::atomic<int> done{0};
+  pool.Submit([&pool, &mutex, &executors, &done] {
+      std::vector<std::future<void>> subtasks;
+      for (int i = 0; i < 32; ++i) {
+        subtasks.push_back(pool.Submit([&mutex, &executors, &done] {
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            executors.insert(std::this_thread::get_id());
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          ++done;
+        }));
+      }
+      for (auto& f : subtasks) f.get();
+    }).get();
+  EXPECT_EQ(done.load(), 32);
+  // All 32 ran; under any sane scheduling at least one was stolen.
+  EXPECT_GE(executors.size(), 2u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future =
+      pool.Submit([]() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+
+  // The worker survives the throwing task and keeps serving.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ++done;
+      });
+    }
+    // Destruction must complete every queued task before joining.
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, ClampsDegenerateSizes) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+}
+
+class ResolveNumThreadsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* env = std::getenv("ISOBAR_TEST_THREADS");
+    if (env != nullptr) saved_ = env;
+    unsetenv("ISOBAR_TEST_THREADS");
+  }
+  void TearDown() override {
+    if (saved_.empty()) {
+      unsetenv("ISOBAR_TEST_THREADS");
+    } else {
+      setenv("ISOBAR_TEST_THREADS", saved_.c_str(), 1);
+    }
+  }
+  std::string saved_;
+};
+
+TEST_F(ResolveNumThreadsTest, ExplicitRequestWins) {
+  EXPECT_EQ(ResolveNumThreads(3), 3u);
+  setenv("ISOBAR_TEST_THREADS", "7", 1);
+  EXPECT_EQ(ResolveNumThreads(3), 3u);  // env only applies to requested==0
+}
+
+TEST_F(ResolveNumThreadsTest, EnvHookDrivesDefault) {
+  setenv("ISOBAR_TEST_THREADS", "5", 1);
+  EXPECT_EQ(ResolveNumThreads(0), 5u);
+}
+
+TEST_F(ResolveNumThreadsTest, InvalidEnvFallsBackToHardware) {
+  setenv("ISOBAR_TEST_THREADS", "not-a-number", 1);
+  EXPECT_GE(ResolveNumThreads(0), 1u);
+  setenv("ISOBAR_TEST_THREADS", "0", 1);
+  EXPECT_GE(ResolveNumThreads(0), 1u);
+}
+
+TEST_F(ResolveNumThreadsTest, CapsRunawayRequests) {
+  EXPECT_LE(ResolveNumThreads(1000000), 256u);
+  setenv("ISOBAR_TEST_THREADS", "99999", 1);
+  EXPECT_LE(ResolveNumThreads(0), 256u);
+}
+
+}  // namespace
+}  // namespace isobar
