@@ -8,8 +8,13 @@
 //                 [--metrics-json=<path>] [--metrics-csv=<path>]
 //                 [--trace=<path>]
 //   ./isobar_cli d <input.isobar> <output> [--threads=N]
+//                 [--salvage=skip|zero-fill]
 //                 [--metrics-json=<path>] [--metrics-csv=<path>]
 //                 [--trace=<path>]
+//
+// --salvage decodes damaged containers best-effort: a chunk that fails to
+// parse, decode, or checksum is skipped (or replaced with zero bytes)
+// instead of aborting, and a per-chunk damage report is printed.
 //   ./isobar_cli info <input.isobar>
 //   ./isobar_cli verify <input.isobar>
 //
@@ -126,11 +131,15 @@ int Usage(const char* argv0) {
       "          [--metrics-json=<path>] [--metrics-csv=<path>]\n"
       "          [--trace=<path>]\n"
       "       %s d <input.isobar> <output> [--threads=N]\n"
+      "          [--salvage=skip|zero-fill]\n"
       "          [--metrics-json=<path>] [--metrics-csv=<path>]\n"
       "          [--trace=<path>]\n"
       "--threads=N uses N worker threads for the chunk pipeline (0 = one\n"
       "per hardware thread, the default; 1 = serial). Output is identical\n"
       "for every thread count.\n"
+      "--salvage recovers what it can from a damaged container: bad\n"
+      "chunks are skipped (or zero-filled) and reported instead of\n"
+      "aborting the decode.\n"
       "       %s info <input.isobar>\n"
       "       %s verify <input.isobar>\n",
       argv0, argv0, argv0, argv0);
@@ -220,6 +229,10 @@ int Decompress(int argc, char** argv) {
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       options.num_threads =
           static_cast<uint32_t>(std::strtoul(arg + 10, nullptr, 10));
+    } else if (std::strcmp(arg, "--salvage=skip") == 0) {
+      options.on_chunk_error = ChunkErrorPolicy::kSkip;
+    } else if (std::strcmp(arg, "--salvage=zero-fill") == 0) {
+      options.on_chunk_error = ChunkErrorPolicy::kZeroFill;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg);
       return 2;
@@ -232,6 +245,9 @@ int Decompress(int argc, char** argv) {
     return 1;
   }
   DecompressionStats stats;
+  SalvageReport report;
+  const bool salvaging = options.on_chunk_error != ChunkErrorPolicy::kFail;
+  if (salvaging) options.salvage_report = &report;
   auto restored = IsobarCompressor::Decompress(input, options, &stats);
   if (!restored.ok()) {
     std::fprintf(stderr, "%s\n", restored.status().ToString().c_str());
@@ -243,6 +259,26 @@ int Decompress(int argc, char** argv) {
   if (!WriteFile(argv[3], *restored)) {
     std::fprintf(stderr, "cannot write '%s'\n", argv[3]);
     return 1;
+  }
+  if (salvaging && !report.clean()) {
+    std::fprintf(stderr,
+                 "salvage: %llu of %llu chunks recovered (%llu skipped, "
+                 "%llu zero-filled); %llu bytes recovered, %llu lost%s\n",
+                 static_cast<unsigned long long>(report.chunks_recovered),
+                 static_cast<unsigned long long>(report.chunks_total),
+                 static_cast<unsigned long long>(report.chunks_skipped),
+                 static_cast<unsigned long long>(report.chunks_zero_filled),
+                 static_cast<unsigned long long>(report.bytes_recovered),
+                 static_cast<unsigned long long>(report.bytes_lost),
+                 report.truncated_tail ? "; tail framing destroyed" : "");
+    for (const auto& damaged : report.damaged) {
+      // The error already names the chunk and container offset.
+      std::fprintf(stderr, "  [%s] %s\n",
+                   damaged.action == ChunkErrorPolicy::kZeroFill
+                       ? "zero-filled"
+                       : "skipped",
+                   damaged.error.ToString().c_str());
+    }
   }
   std::fprintf(stderr,
                "%zu -> %zu bytes at %.1f MB/s (checksums verified; "

@@ -1,0 +1,116 @@
+// Fuzz entry point for the container decode path: every input is fed to
+// IsobarCompressor::Decompress and IsobarStreamReader under all three
+// ChunkErrorPolicy values. The invariant is bounded, crash-free behaviour
+// for arbitrary bytes — any failure must surface as a clean Status.
+//
+// With clang the target links against libFuzzer (-fsanitize=fuzzer, see
+// fuzz/CMakeLists.txt). Other toolchains build the same source as a
+// standalone replay driver: each argument is a corpus file or directory,
+// and every file runs through the fuzz body once — the CI smoke mode for
+// containers without clang.
+#include <cstddef>
+#include <cstdint>
+
+#include "core/container.h"
+#include "core/isobar.h"
+#include "core/stream.h"
+#include "util/bytes.h"
+
+namespace {
+
+// Large inputs only slow exploration down, and a small container can
+// legally declare huge chunks — cap what one iteration may allocate.
+constexpr size_t kMaxInputBytes = 1 << 16;
+constexpr uint64_t kMaxDeclaredChunkBytes = 1 << 20;
+
+void DecodeEveryPolicy(isobar::ByteSpan container) {
+  using isobar::ChunkErrorPolicy;
+  for (ChunkErrorPolicy policy : {ChunkErrorPolicy::kFail,
+                                  ChunkErrorPolicy::kSkip,
+                                  ChunkErrorPolicy::kZeroFill}) {
+    isobar::DecompressOptions options;
+    options.num_threads = 1;
+    options.on_chunk_error = policy;
+    isobar::SalvageReport report;
+    options.salvage_report = &report;
+    auto batch = isobar::IsobarCompressor::Decompress(container, options);
+    (void)batch;
+
+    isobar::IsobarStreamReader reader(container, options);
+    if (reader.Init().ok()) {
+      isobar::Bytes chunk;
+      for (;;) {
+        auto more = reader.NextChunk(&chunk);
+        if (!more.ok() || !*more) break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInputBytes) return 0;
+  const isobar::ByteSpan container(data, size);
+  // Skip inputs whose (validated) header still declares chunks big enough
+  // to turn one iteration into an allocation benchmark.
+  size_t offset = 0;
+  auto header = isobar::container::ParseHeader(container, &offset);
+  if (header.ok() &&
+      header->chunk_elements * header->width > kMaxDeclaredChunkBytes) {
+    return 0;
+  }
+  DecodeEveryPolicy(container);
+  return 0;
+}
+
+#ifndef ISOBAR_HAVE_LIBFUZZER
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+int RunOne(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot read " << path << "\n";
+    return 1;
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " <corpus-file-or-dir>...\n";
+    return 2;
+  }
+  int failures = 0;
+  size_t cases = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        failures += RunOne(entry.path());
+        ++cases;
+      }
+    } else {
+      failures += RunOne(arg);
+      ++cases;
+    }
+  }
+  std::cout << "replayed " << cases << " corpus case(s)\n";
+  return failures == 0 ? 0 : 1;
+}
+
+#endif  // ISOBAR_HAVE_LIBFUZZER

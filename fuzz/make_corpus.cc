@@ -1,0 +1,106 @@
+// Seed-corpus generator for decompress_fuzzer: writes a handful of small,
+// structurally diverse containers (batch, streamed, and deliberately
+// damaged variants) into the directory given as argv[1]. Seeding with
+// real containers lets the fuzzer start past the magic/header checks
+// instead of rediscovering the format one byte at a time.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/isobar.h"
+#include "core/stream.h"
+#include "datagen/registry.h"
+#include "io/fault_injection.h"
+#include "io/sink.h"
+#include "util/bytes.h"
+
+namespace isobar {
+namespace {
+
+bool WriteFile(const std::filesystem::path& dir, const std::string& name,
+               const Bytes& bytes) {
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::cerr << "cannot write " << (dir / name) << "\n";
+    return false;
+  }
+  return true;
+}
+
+Result<Bytes> BatchContainer() {
+  ISOBAR_ASSIGN_OR_RETURN(const DatasetSpec* spec,
+                          FindDatasetSpec("s3d_vmag"));
+  ISOBAR_ASSIGN_OR_RETURN(auto dataset, GenerateDataset(*spec, 3000));
+  CompressOptions options;
+  options.chunk_elements = 1000;
+  options.eupa.sample_elements = 512;
+  const IsobarCompressor compressor(options);
+  return compressor.Compress(dataset.bytes(), dataset.width());
+}
+
+Result<Bytes> StreamedContainer() {
+  ISOBAR_ASSIGN_OR_RETURN(const DatasetSpec* spec,
+                          FindDatasetSpec("msg_sweep3d"));
+  ISOBAR_ASSIGN_OR_RETURN(auto dataset, GenerateDataset(*spec, 2500));
+  CompressOptions options;
+  options.chunk_elements = 1000;
+  options.eupa.sample_elements = 512;
+  options.num_threads = 1;
+  Bytes container;
+  MemorySink sink(&container);
+  IsobarStreamWriter writer(options, dataset.width(), &sink);
+  ISOBAR_RETURN_NOT_OK(writer.Append(dataset.bytes()));
+  ISOBAR_RETURN_NOT_OK(writer.Finish());
+  return container;
+}
+
+int Run(const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+
+  auto batch = BatchContainer();
+  auto streamed = StreamedContainer();
+  if (!batch.ok() || !streamed.ok()) {
+    std::cerr << "corpus generation failed: "
+              << (!batch.ok() ? batch.status() : streamed.status()).ToString()
+              << "\n";
+    return 1;
+  }
+
+  bool ok = WriteFile(dir, "batch.isbr", *batch) &&
+            WriteFile(dir, "streamed.isbr", *streamed);
+
+  // Damaged variants exercising each salvage path: a flipped payload bit
+  // (checksum stage), a smashed chunk header (header stage), and a
+  // truncated tail (framing destroyed).
+  Bytes flipped = *batch;
+  FlipBits(&flipped, flipped.size() / 2, 0x20);
+  ok = ok && WriteFile(dir, "payload-bitflip.isbr", flipped);
+
+  Bytes smashed = *batch;
+  SmashBytes(&smashed, 40, 8, 0xFF);  // First chunk header's element count.
+  ok = ok && WriteFile(dir, "header-smash.isbr", smashed);
+
+  Bytes truncated = *batch;
+  TruncateBytes(&truncated, truncated.size() * 3 / 4);
+  ok = ok && WriteFile(dir, "truncated.isbr", truncated);
+
+  Bytes tiny;
+  ok = ok && WriteFile(dir, "empty.isbr", tiny);
+
+  if (ok) std::cout << "wrote 6 corpus seeds to " << dir << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace isobar
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: " << argv[0] << " <output-dir>\n";
+    return 2;
+  }
+  return isobar::Run(argv[1]);
+}

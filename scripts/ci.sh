@@ -10,6 +10,8 @@
 #   scripts/ci.sh asan
 #   scripts/ci.sh tsan
 #   scripts/ci.sh ubsan            # optional extra configuration
+#   scripts/ci.sh fuzz             # fuzz smoke: corpus replay (+ short
+#                                  # libFuzzer run when clang is available)
 #   scripts/ci.sh asan -R telemetry  # extra args are forwarded to ctest
 #
 # The tsan configuration exports ISOBAR_TEST_THREADS (default 4) so every
@@ -79,9 +81,42 @@ ubsan() {
     -DISOBAR_BUILD_BENCHMARKS=OFF
 }
 
+# Fuzz smoke: build the decompress fuzzer (ASan-instrumented), generate
+# the seed corpus with make_corpus, and replay it. With clang — the only
+# compiler shipping libFuzzer — also run a short time-boxed fuzz session;
+# with other compilers the target is a plain replay driver, which still
+# exercises every corpus seed through all three chunk-error policies.
+fuzz() {
+  local name=fuzz
+  local dir="build-ci-${name}"
+  local fuzz_seconds="${ISOBAR_FUZZ_SECONDS:-30}"
+  echo "=== [${name}] configure ==="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DISOBAR_FUZZ=ON \
+    -DISOBAR_SANITIZE=address \
+    -DISOBAR_BUILD_TESTS=OFF \
+    -DISOBAR_BUILD_BENCHMARKS=OFF \
+    -DISOBAR_BUILD_EXAMPLES=OFF
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j "${JOBS}" --target decompress_fuzzer make_corpus
+  echo "=== [${name}] corpus ==="
+  "${dir}/fuzz/make_corpus" "${dir}/corpus"
+  echo "=== [${name}] replay ==="
+  if "${dir}/fuzz/decompress_fuzzer" -help=1 >/dev/null 2>&1; then
+    # libFuzzer binary: corpus replay plus a bounded fuzzing session.
+    "${dir}/fuzz/decompress_fuzzer" -runs=0 "${dir}/corpus"
+    "${dir}/fuzz/decompress_fuzzer" -max_total_time="${fuzz_seconds}" \
+      -max_len=65536 "${dir}/corpus"
+  else
+    "${dir}/fuzz/decompress_fuzzer" "${dir}/corpus"
+  fi
+  echo "=== [${name}] OK ==="
+}
+
 for arg in "$@"; do
   case "${arg}" in
-    release|asan|tsan|ubsan) CONFIGS+=("${arg}") ;;
+    release|asan|tsan|ubsan|fuzz) CONFIGS+=("${arg}") ;;
     *) CTEST_ARGS+=("${arg}") ;;
   esac
 done

@@ -193,7 +193,9 @@ Status HuffmanCodec::Decompress(ByteSpan input, size_t original_size,
     return Status::OK();
   }
   if (flags & kFlagSingleSymbol) {
-    if (input.size() != 2) {
+    // The encoder emits kFlagEmpty for empty input, never a single-symbol
+    // stream claiming zero bytes — such a stream is forged or damaged.
+    if (input.size() != 2 || original_size == 0) {
       return Status::Corruption("huffman: malformed single-symbol stream");
     }
     out->assign(original_size, input[1]);

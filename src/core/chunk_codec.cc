@@ -1,5 +1,7 @@
 #include "core/chunk_codec.h"
 
+#include <string>
+
 #include "core/partitioner.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
@@ -135,23 +137,40 @@ Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
   return Status::OK();
 }
 
+Status AnnotateChunkError(const Status& status, uint64_t chunk_index,
+                          uint64_t byte_offset) {
+  if (status.ok()) return status;
+  return Status(status.code(),
+                "chunk " + std::to_string(chunk_index) +
+                    " (container offset " + std::to_string(byte_offset) +
+                    "): " + status.message());
+}
+
 void MergeChunkStats(const CompressionStats& chunk, CompressionStats* total) {
   total->analysis_seconds += chunk.analysis_seconds;
   total->partition_seconds += chunk.partition_seconds;
   total->codec_seconds += chunk.codec_seconds;
   total->improvable_chunks += chunk.improvable_chunks;
   if (chunk.improvable) total->improvable = true;
-  total->mean_htc_fraction +=
-      (chunk.mean_htc_fraction - total->mean_htc_fraction) /
-      static_cast<double>(total->chunk_count + 1);
-  ++total->chunk_count;
+  // Weighted running mean: a contribution of k chunks moves the total by
+  // k/(n+k) of the gap. With k == 1 this is exactly the serial per-chunk
+  // update, so parallel merges stay bit-identical to the serial path.
+  if (chunk.chunk_count > 0) {
+    total->mean_htc_fraction +=
+        (chunk.mean_htc_fraction - total->mean_htc_fraction) *
+        static_cast<double>(chunk.chunk_count) /
+        static_cast<double>(total->chunk_count + chunk.chunk_count);
+  }
+  total->chunk_count += chunk.chunk_count;
 }
 
 Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
                           ByteSpan compressed_section, ByteSpan raw_section,
                           const Codec& codec, Linearization linearization,
                           size_t width, bool verify_checksums,
-                          MutableByteSpan dest, DecompressionStats* stats) {
+                          MutableByteSpan dest, DecompressionStats* stats,
+                          ChunkFailureStage* failed_stage) {
+  if (failed_stage != nullptr) *failed_stage = ChunkFailureStage::kPayload;
   const uint64_t full_mask = FullMask(width);
   const bool undetermined =
       (chunk_header.flags & container::kChunkUndetermined) != 0;
@@ -204,6 +223,7 @@ Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
       static telemetry::Counter& crc_failures =
           telemetry::GetCounter("pipeline.checksum_failures");
       crc_failures.Increment();
+      if (failed_stage != nullptr) *failed_stage = ChunkFailureStage::kChecksum;
       return Status::Corruption("container: chunk checksum mismatch");
     }
   }
@@ -223,17 +243,24 @@ Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
 Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
                    const Codec& codec, Linearization linearization,
                    size_t width, uint64_t max_elements, bool verify_checksums,
-                   Bytes* out, DecompressionStats* stats) {
+                   Bytes* out, DecompressionStats* stats,
+                   uint64_t chunk_index, ChunkFailureStage* failed_stage,
+                   container::ChunkHeader* header_out) {
   telemetry::ScopedSpan chunk_span("decompress.chunk");
+  if (failed_stage != nullptr) *failed_stage = ChunkFailureStage::kHeader;
+  const size_t record_offset = *offset;
 
   Stopwatch parse_timer;
-  ISOBAR_ASSIGN_OR_RETURN(
-      container::ChunkHeader chunk_header,
-      container::ParseChunkHeader(container_bytes, offset));
-  if (chunk_header.element_count > max_elements) {
-    return Status::Corruption(
-        "container: chunk claims more elements than the header's chunk size");
+  auto parsed = container::ParseChunkHeader(container_bytes, offset);
+  if (!parsed.ok()) {
+    return AnnotateChunkError(parsed.status(), chunk_index, record_offset);
   }
+  const container::ChunkHeader chunk_header = *parsed;
+  if (header_out != nullptr) *header_out = chunk_header;
+  // The section sizes are bounds-checked by ParseChunkHeader, so the
+  // record's extent is known even when its element count is corrupt:
+  // advance past the payload before validating, keeping later records
+  // reachable for salvage-mode callers.
   const ByteSpan compressed_section =
       container_bytes.subspan(*offset, chunk_header.compressed_size);
   *offset += chunk_header.compressed_size;
@@ -241,14 +268,26 @@ Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
       container_bytes.subspan(*offset, chunk_header.raw_size);
   *offset += chunk_header.raw_size;
   if (stats != nullptr) stats->parse_seconds += parse_timer.ElapsedSeconds();
+  if (chunk_header.element_count > max_elements) {
+    return AnnotateChunkError(
+        Status::Corruption("container: chunk claims more elements than the "
+                           "header's chunk size"),
+        chunk_index, record_offset);
+  }
 
   const size_t chunk_base = out->size();
   out->resize(chunk_base + chunk_header.element_count * width);
   MutableByteSpan dest(out->data() + chunk_base,
                        chunk_header.element_count * width);
-  return DecodeChunkPayload(chunk_header, compressed_section, raw_section,
-                            codec, linearization, width, verify_checksums,
-                            dest, stats);
+  Status status = DecodeChunkPayload(chunk_header, compressed_section,
+                                     raw_section, codec, linearization, width,
+                                     verify_checksums, dest, stats,
+                                     failed_stage);
+  if (!status.ok()) {
+    out->resize(chunk_base);  // Drop partially scattered bytes.
+    return AnnotateChunkError(status, chunk_index, record_offset);
+  }
+  return status;
 }
 
 }  // namespace isobar

@@ -31,22 +31,46 @@ Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
                    uint64_t trace_pipeline_id = 0,
                    telemetry::ChunkTrace* trace_out = nullptr);
 
+/// Prefixes a failed `status` with the failing record's position —
+/// "chunk 17 (container offset 123456): ..." — so corruption reports name
+/// the record to inspect on storage. OK statuses pass through untouched.
+Status AnnotateChunkError(const Status& status, uint64_t chunk_index,
+                          uint64_t byte_offset);
+
 /// Parses the chunk record at `*offset` in `container_bytes`, reverses the
 /// pipeline, and appends the reconstructed elements to `*out`, advancing
 /// `*offset` past the record. `max_elements` is the container header's
 /// nominal chunk size; a record claiming more elements is corrupt (the
 /// bound keeps untrusted counts from driving allocations). Per-stage
 /// timing fields of `*stats` are accumulated (may be null).
+///
+/// `chunk_index` is only used to annotate error messages with the failing
+/// record's position. On failure `*failed_stage` (when non-null) reports
+/// which decode stage rejected the record. Whether the record's extent was
+/// established is signalled by `*offset`: when it did not move the framing
+/// is destroyed and nothing past the record is reachable; when it advanced
+/// past the damaged record (element-count, payload, and checksum failures)
+/// the caller may salvage the chunks that follow. On header/element-count
+/// failures `*out`
+/// is untouched; on payload/checksum failures the appended bytes are
+/// truncated back off before returning. `*header_out` (when non-null) is
+/// filled with the parsed chunk header as soon as parsing succeeds, even
+/// when a later stage rejects the record — salvage callers use it to
+/// account for the damaged chunk's declared shape.
 Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
                    const Codec& codec, Linearization linearization,
                    size_t width, uint64_t max_elements, bool verify_checksums,
-                   Bytes* out, DecompressionStats* stats = nullptr);
+                   Bytes* out, DecompressionStats* stats = nullptr,
+                   uint64_t chunk_index = 0,
+                   ChunkFailureStage* failed_stage = nullptr,
+                   container::ChunkHeader* header_out = nullptr);
 
-/// Folds one chunk's stats contribution into a pipeline total, in chunk
-/// order, using the same incremental running-mean arithmetic EncodeChunk
-/// applies in place — so totals merged from per-worker stats are identical
-/// to the serial path's for every thread count. `chunk` must describe
-/// exactly one chunk (its mean_htc_fraction is that chunk's fraction).
+/// Folds a stats contribution covering `chunk.chunk_count` chunks into a
+/// pipeline total, in chunk order. mean_htc_fraction merges weighted by
+/// chunk count; for single-chunk contributions the arithmetic reduces to
+/// the same incremental running-mean update EncodeChunk applies in place,
+/// so totals merged from per-worker stats are bit-identical to the serial
+/// path's for every thread count.
 void MergeChunkStats(const CompressionStats& chunk, CompressionStats* total);
 
 /// The payload half of DecodeChunk: reverses one already-parsed chunk
@@ -56,13 +80,16 @@ void MergeChunkStats(const CompressionStats& chunk, CompressionStats* total);
 /// past them using the header's sizes). Decode/scatter timing fields of
 /// `*stats` are accumulated (may be null). Writes only through `dest`, so
 /// independent chunk records can be decoded concurrently into disjoint
-/// regions of one output buffer.
+/// regions of one output buffer. On failure `dest` may hold partially
+/// scattered bytes (salvage callers re-zero it) and `*failed_stage` (when
+/// non-null) reports whether the payload or its checksum was rejected.
 Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
                           ByteSpan compressed_section, ByteSpan raw_section,
                           const Codec& codec, Linearization linearization,
                           size_t width, bool verify_checksums,
                           MutableByteSpan dest,
-                          DecompressionStats* stats = nullptr);
+                          DecompressionStats* stats = nullptr,
+                          ChunkFailureStage* failed_stage = nullptr);
 
 }  // namespace isobar
 

@@ -23,21 +23,24 @@ std::string_view PreferenceToString(Preference preference) {
 
 EupaSelector::EupaSelector(EupaOptions options) : options_(std::move(options)) {}
 
-namespace {
-
-// Draws up to `sample_elements` elements as `runs` contiguous runs at
-// deterministic offsets, concatenated element-aligned.
-Bytes DrawSample(ByteSpan data, size_t width, const EupaOptions& options) {
+Bytes DrawTrainingSample(ByteSpan data, size_t width,
+                         const EupaOptions& options) {
   const uint64_t n = data.size() / width;
   const uint64_t want = std::min<uint64_t>(options.sample_elements, n);
   if (want == n) return Bytes(data.begin(), data.end());
 
   const uint64_t runs = std::max<uint64_t>(1, options.sample_runs);
-  const uint64_t per_run = std::max<uint64_t>(1, want / runs);
+  // Spread the division remainder over the first `want % runs` runs so the
+  // sample totals exactly `want` elements; flooring every run undershoots
+  // by up to runs-1 elements, starving the probe of its budget.
+  const uint64_t base_run = want / runs;
+  const uint64_t extra_runs = want % runs;
   Bytes sample;
   sample.reserve(want * width);
   Xoshiro256 rng(options.seed);
   for (uint64_t r = 0; r < runs && sample.size() < want * width; ++r) {
+    const uint64_t per_run =
+        std::max<uint64_t>(1, base_run + (r < extra_runs ? 1 : 0));
     const uint64_t max_start = n - per_run;
     const uint64_t start = max_start == 0 ? 0 : rng.NextBounded(max_start + 1);
     const uint8_t* p = data.data() + start * width;
@@ -47,8 +50,6 @@ Bytes DrawSample(ByteSpan data, size_t width, const EupaOptions& options) {
   }
   return sample;
 }
-
-}  // namespace
 
 Result<EupaDecision> EupaSelector::Select(ByteSpan data, size_t width,
                                           uint64_t compressible_mask) const {
@@ -78,7 +79,7 @@ Result<EupaDecision> EupaSelector::Select(ByteSpan data, size_t width,
       telemetry::GetCounter("eupa.selections");
   selections.Increment();
 
-  const Bytes sample = DrawSample(data, width, options_);
+  const Bytes sample = DrawTrainingSample(data, width, options_);
   static telemetry::Counter& sample_bytes =
       telemetry::GetCounter("eupa.sample_bytes");
   sample_bytes.Add(sample.size());

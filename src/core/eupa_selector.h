@@ -66,6 +66,16 @@ struct EupaDecision {
   std::vector<CandidateEvaluation> evaluations;
 };
 
+/// Draws up to `options.sample_elements` elements from `data` (elements of
+/// `width` bytes) as `options.sample_runs` contiguous element-aligned runs
+/// at deterministic pseudo-random offsets, concatenated. When the input
+/// holds at least sample_elements elements the sample is exactly
+/// sample_elements long — the division remainder is spread over the first
+/// runs instead of being floored away. Select() uses this internally;
+/// exposed so the sampling contract stays testable.
+Bytes DrawTrainingSample(ByteSpan data, size_t width,
+                         const EupaOptions& options);
+
 /// Deterministic selector choosing the (solver × linearization) pipeline
 /// that best serves the end user's preference, by measuring each candidate
 /// on a training sample of the compressible partition.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <future>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -201,6 +202,58 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
   return out;
 }
 
+namespace {
+
+/// One parsed chunk record of the decode plan: payload slices, destination
+/// range, and (in salvage mode) any header-stage damage verdict.
+struct ChunkWork {
+  container::ChunkHeader header;
+  uint64_t index = 0;
+  uint64_t byte_offset = 0;  ///< Record start in the container.
+  ByteSpan compressed;
+  ByteSpan raw;
+  size_t out_offset = 0;
+  uint64_t dest_elements = 0;  ///< Output elements this record accounts for.
+  bool damaged = false;        ///< Header-stage damage found while parsing.
+  Status error;                ///< Set when damaged.
+};
+
+/// Appends a damaged-chunk entry to `report` (when non-null) and, for the
+/// salvaging policies, bumps the salvage telemetry counters. With action
+/// kFail the entry only documents the chunk that aborted the decode.
+void RecordSalvage(SalvageReport* report, const ChunkWork& work,
+                   ChunkFailureStage stage, ChunkErrorPolicy action,
+                   const Status& error, uint64_t output_offset,
+                   uint64_t lost_bytes) {
+  if (action != ChunkErrorPolicy::kFail) {
+    static telemetry::Counter& salvaged =
+        telemetry::GetCounter("pipeline.chunks_salvaged");
+    static telemetry::Counter& zero_filled =
+        telemetry::GetCounter("pipeline.chunks_zero_filled");
+    salvaged.Increment();
+    if (action == ChunkErrorPolicy::kZeroFill) zero_filled.Increment();
+  }
+  if (report == nullptr) return;
+  ChunkSalvageRecord record;
+  record.chunk_index = work.index;
+  record.byte_offset = work.byte_offset;
+  record.element_count = work.header.element_count;
+  record.output_offset = output_offset;
+  record.lost_bytes = lost_bytes;
+  record.stage = stage;
+  record.action = action;
+  record.error = error;
+  report->damaged.push_back(std::move(record));
+  if (action == ChunkErrorPolicy::kZeroFill) {
+    ++report->chunks_zero_filled;
+  } else if (action == ChunkErrorPolicy::kSkip) {
+    ++report->chunks_skipped;
+  }
+  report->bytes_lost += lost_bytes;
+}
+
+}  // namespace
+
 Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
                                            const DecompressOptions& options,
                                            DecompressionStats* stats) {
@@ -217,6 +270,10 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
   DecompressionStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = DecompressionStats{};
+  const ChunkErrorPolicy policy = options.on_chunk_error;
+  const bool salvage = policy != ChunkErrorPolicy::kFail;
+  SalvageReport* report = options.salvage_report;
+  if (report != nullptr) *report = SalvageReport{};
 
   Stopwatch total_timer;
   Stopwatch parse_timer;
@@ -227,112 +284,209 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
   stats->parse_seconds += parse_timer.ElapsedSeconds();
 
   const size_t width = header.width;
-  Bytes out;
-  if (header.element_count != container::kUnknownCount) {
-    // Pre-size from the (bounded-checked) header, but never trust an
-    // untrusted count for more than one chunk's worth of upfront memory.
-    out.reserve(static_cast<size_t>(
-        std::min<uint64_t>(header.element_count * width,
-                           container::kMaxChunkBytes)));
-  }
-
   // Counted containers (batch writer) carry the chunk total; streamed
   // containers use the kUnknownCount sentinel and run to the end.
   const bool counted = header.chunk_count != container::kUnknownCount;
-  const size_t num_threads = ResolveNumThreads(options.num_threads);
-  if (num_threads <= 1) {
-    uint64_t chunks_read = 0;
-    while (counted ? chunks_read < header.chunk_count
-                   : offset < container_bytes.size()) {
-      ISOBAR_RETURN_NOT_OK(DecodeChunk(container_bytes, &offset, *codec,
-                                       header.linearization, width,
-                                       header.chunk_elements,
-                                       options.verify_checksums, &out, stats));
-      ++chunks_read;
-    }
-    if (offset != container_bytes.size()) {
-      return Status::Corruption("container: trailing bytes after last chunk");
-    }
-    if (header.element_count != container::kUnknownCount &&
-        out.size() != header.element_count * width) {
-      return Status::Corruption("container: element count mismatch");
-    }
-  } else {
-    // Serial parse pass: chunk records are self-delimiting, so one cheap
-    // header walk yields every record's payload slices and its (disjoint)
-    // destination range in the output buffer.
-    struct ChunkWork {
-      container::ChunkHeader header;
-      ByteSpan compressed;
-      ByteSpan raw;
-      size_t out_offset = 0;
-    };
-    std::vector<ChunkWork> chunks;
-    if (counted) {
-      // The count is untrusted; each record is at least a chunk header, so
-      // the buffer bounds how many records a reserve may assume.
-      chunks.reserve(static_cast<size_t>(std::min<uint64_t>(
-          header.chunk_count,
-          container_bytes.size() / container::kChunkHeaderSize + 1)));
-    }
-    size_t out_bytes = 0;
-    while (counted ? chunks.size() < header.chunk_count
-                   : offset < container_bytes.size()) {
-      telemetry::ScopedSpan chunk_span("decompress.chunk");
-      Stopwatch chunk_parse_timer;
-      ChunkWork work;
-      ISOBAR_ASSIGN_OR_RETURN(
-          work.header, container::ParseChunkHeader(container_bytes, &offset));
-      if (work.header.element_count > header.chunk_elements) {
-        return Status::Corruption(
-            "container: chunk claims more elements than the header's chunk "
-            "size");
-      }
-      work.compressed =
-          container_bytes.subspan(offset, work.header.compressed_size);
-      offset += work.header.compressed_size;
-      work.raw = container_bytes.subspan(offset, work.header.raw_size);
-      offset += work.header.raw_size;
-      work.out_offset = out_bytes;
-      out_bytes += work.header.element_count * width;
-      chunks.push_back(work);
-      stats->parse_seconds += chunk_parse_timer.ElapsedSeconds();
-    }
-    if (offset != container_bytes.size()) {
-      return Status::Corruption("container: trailing bytes after last chunk");
-    }
-    if (header.element_count != container::kUnknownCount &&
-        out_bytes != header.element_count * width) {
-      return Status::Corruption("container: element count mismatch");
-    }
 
-    // Fan the payload work (decode → scatter → CRC) out across the pool;
-    // every chunk writes only its own disjoint slice of `out`.
-    out.resize(out_bytes);
-    ThreadPool pool(num_threads);
-    std::vector<std::future<std::pair<Status, DecompressionStats>>> results;
+  // --- Parse pass: chunk records are self-delimiting, so one cheap
+  // header walk yields every record's payload slices and its (disjoint)
+  // destination range in the output buffer. Damage found here is either
+  // contained (the record still delimits itself: bad element count) or
+  // fatal to the tail (framing destroyed: header unparseable or section
+  // sizes running past the container).
+  std::vector<ChunkWork> chunks;
+  if (counted) {
+    // The count is untrusted; each record is at least a chunk header, so
+    // the buffer bounds how many records a reserve may assume.
+    chunks.reserve(static_cast<size_t>(std::min<uint64_t>(
+        header.chunk_count,
+        container_bytes.size() / container::kChunkHeaderSize + 1)));
+  }
+  size_t out_bytes = 0;
+  bool tail_lost = false;
+  while (counted ? chunks.size() < header.chunk_count
+                 : offset < container_bytes.size()) {
+    Stopwatch chunk_parse_timer;
+    ChunkWork work;
+    work.index = chunks.size();
+    work.byte_offset = offset;
+    auto parsed = container::ParseChunkHeader(container_bytes, &offset);
+    if (!parsed.ok()) {
+      const Status annotated =
+          AnnotateChunkError(parsed.status(), work.index, work.byte_offset);
+      // Record framing is gone: the rest of the container cannot be
+      // delimited, so everything from here on is lost.
+      work.error = annotated;
+      RecordSalvage(report, work, ChunkFailureStage::kHeader, policy,
+                    annotated, out_bytes, 0);
+      if (report != nullptr) report->truncated_tail = true;
+      if (!salvage) return annotated;
+      tail_lost = true;
+      break;
+    }
+    work.header = *parsed;
+    work.compressed =
+        container_bytes.subspan(offset, work.header.compressed_size);
+    offset += work.header.compressed_size;
+    work.raw = container_bytes.subspan(offset, work.header.raw_size);
+    offset += work.header.raw_size;
+    if (work.header.element_count > header.chunk_elements) {
+      const Status annotated = AnnotateChunkError(
+          Status::Corruption("container: chunk claims more elements than "
+                             "the header's chunk size"),
+          work.index, work.byte_offset);
+      if (!salvage) {
+        RecordSalvage(report, work, ChunkFailureStage::kHeader, policy,
+                      annotated, out_bytes, 0);
+        return annotated;
+      }
+      // The record is still delimited by its (intact) section sizes; its
+      // element count is untrustworthy, so assume a full chunk — the
+      // common case for every record but the last.
+      work.damaged = true;
+      work.error = annotated;
+      work.dest_elements = policy == ChunkErrorPolicy::kZeroFill
+                               ? header.chunk_elements
+                               : 0;
+    } else {
+      work.dest_elements = work.header.element_count;
+    }
+    work.out_offset = out_bytes;
+    out_bytes += static_cast<size_t>(work.dest_elements) * width;
+    chunks.push_back(work);
+    stats->parse_seconds += chunk_parse_timer.ElapsedSeconds();
+  }
+  if (!tail_lost && offset != container_bytes.size()) {
+    if (!salvage) {
+      return Status::Corruption("container: trailing bytes after last chunk");
+    }
+    if (report != nullptr) {
+      report->trailing_bytes = container_bytes.size() - offset;
+    }
+  }
+  uint64_t declared_total = container::kUnknownCount;
+  if (header.element_count != container::kUnknownCount) {
+    declared_total = header.element_count * width;
+  }
+  const bool any_parse_damage =
+      tail_lost || std::any_of(chunks.begin(), chunks.end(),
+                               [](const ChunkWork& w) { return w.damaged; });
+  if (declared_total != container::kUnknownCount && !any_parse_damage &&
+      out_bytes != declared_total) {
+    // With every record intact the totals must reconcile, salvage mode or
+    // not; damaged parses expectedly break the sum.
+    return Status::Corruption("container: element count mismatch");
+  }
+
+  // --- Decode pass: fan the payload work (decode → scatter → CRC) out
+  // across the pool (or run it inline when serial); every chunk writes
+  // only its own disjoint slice of `out`. resize() zero-initializes, so a
+  // zero-filled chunk is simply one whose slice is never written (or is
+  // re-zeroed after a partial scatter).
+  Bytes out;
+  out.resize(out_bytes);
+  struct ChunkOutcome {
+    Status status;
+    ChunkFailureStage stage = ChunkFailureStage::kPayload;
+    DecompressionStats stats;
+  };
+  auto decode_one = [&](const ChunkWork& work) -> ChunkOutcome {
+    telemetry::ScopedSpan chunk_span("decompress.chunk");
+    ChunkOutcome outcome;
+    if (work.damaged) {
+      outcome.status = work.error;
+      outcome.stage = ChunkFailureStage::kHeader;
+      return outcome;
+    }
+    MutableByteSpan dest(out.data() + work.out_offset,
+                         static_cast<size_t>(work.dest_elements) * width);
+    outcome.status = DecodeChunkPayload(
+        work.header, work.compressed, work.raw, *codec, header.linearization,
+        width, options.verify_checksums, dest, &outcome.stats,
+        &outcome.stage);
+    if (!outcome.status.ok()) {
+      outcome.status =
+          AnnotateChunkError(outcome.status, work.index, work.byte_offset);
+    }
+    return outcome;
+  };
+
+  const size_t num_threads = ResolveNumThreads(options.num_threads);
+  std::vector<std::future<ChunkOutcome>> results;
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1 && chunks.size() > 1) {
+    pool = std::make_unique<ThreadPool>(num_threads);
     results.reserve(chunks.size());
     for (const ChunkWork& work : chunks) {
-      results.push_back(pool.Submit(
-          [&work, &codec, &header, &out, width,
-           verify = options.verify_checksums]() {
-            DecompressionStats chunk_stats;
-            MutableByteSpan dest(out.data() + work.out_offset,
-                                 work.header.element_count * width);
-            Status status = DecodeChunkPayload(
-                work.header, work.compressed, work.raw, *codec,
-                header.linearization, width, verify, dest, &chunk_stats);
-            return std::make_pair(std::move(status), chunk_stats);
-          }));
+      results.push_back(pool->Submit([&work, &decode_one] {
+        return decode_one(work);
+      }));
     }
-    for (auto& result : results) {
-      auto [status, chunk_stats] = result.get();
-      // The early return destroys `pool` first, draining outstanding
-      // tasks before `chunks` and `out` leave scope.
-      ISOBAR_RETURN_NOT_OK(status);
-      stats->decode_seconds += chunk_stats.decode_seconds;
-      stats->scatter_seconds += chunk_stats.scatter_seconds;
-      stats->chunk_count += chunk_stats.chunk_count;
+  }
+
+  // Consume outcomes in chunk order; damaged slices collapse (kSkip) or
+  // stay zeroed (kZeroFill). `removed` tracks ranges to erase so the
+  // compaction runs once, back to front, after the loop.
+  std::vector<std::pair<size_t, size_t>> removed;  // (offset, bytes)
+  uint64_t skipped_bytes_before = 0;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    const ChunkWork& work = chunks[i];
+    ChunkOutcome outcome =
+        pool != nullptr ? results[i].get() : decode_one(work);
+    if (report != nullptr) ++report->chunks_total;
+    if (outcome.status.ok()) {
+      stats->decode_seconds += outcome.stats.decode_seconds;
+      stats->scatter_seconds += outcome.stats.scatter_seconds;
+      stats->chunk_count += outcome.stats.chunk_count;
+      if (report != nullptr) {
+        ++report->chunks_recovered;
+        report->bytes_recovered +=
+            static_cast<uint64_t>(work.dest_elements) * width;
+      }
+      continue;
+    }
+    // On error under kFail the early return destroys `pool` first,
+    // draining outstanding tasks before `chunks` and `out` leave scope.
+    if (!salvage) {
+      RecordSalvage(report, work, outcome.stage, policy, outcome.status,
+                    work.out_offset, 0);
+      return outcome.status;
+    }
+    const size_t slice_bytes = static_cast<size_t>(work.dest_elements) * width;
+    const uint64_t salvage_offset = work.out_offset - skipped_bytes_before;
+    if (policy == ChunkErrorPolicy::kZeroFill) {
+      // A failed decode may have partially scattered into its slice.
+      std::fill(out.begin() + work.out_offset,
+                out.begin() + work.out_offset + slice_bytes, uint8_t{0});
+      RecordSalvage(report, work, outcome.stage, policy, outcome.status,
+                    salvage_offset, slice_bytes);
+    } else {
+      if (slice_bytes > 0) removed.emplace_back(work.out_offset, slice_bytes);
+      const uint64_t lost =
+          static_cast<uint64_t>(work.header.element_count <=
+                                        header.chunk_elements
+                                    ? work.header.element_count
+                                    : header.chunk_elements) *
+          width;
+      RecordSalvage(report, work, outcome.stage, policy, outcome.status,
+                    salvage_offset, lost);
+      skipped_bytes_before += slice_bytes;
+    }
+  }
+  for (auto it = removed.rbegin(); it != removed.rend(); ++it) {
+    out.erase(out.begin() + it->first, out.begin() + it->first + it->second);
+  }
+  if (salvage && policy == ChunkErrorPolicy::kZeroFill && tail_lost &&
+      declared_total != container::kUnknownCount &&
+      out.size() < declared_total) {
+    // Counted container with its tail framing destroyed: pad to the
+    // declared size so downstream readers still see a full-shape restart
+    // file, holes and all.
+    const uint64_t pad = declared_total - out.size();
+    out.resize(static_cast<size_t>(declared_total));
+    if (report != nullptr && !report->damaged.empty()) {
+      report->damaged.back().lost_bytes += pad;
+      report->bytes_lost += pad;
     }
   }
 

@@ -2,6 +2,7 @@
 #define ISOBAR_CORE_ISOBAR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/analyzer.h"
 #include "core/chunker.h"
@@ -77,6 +78,58 @@ struct CompressionStats {
   }
 };
 
+/// What the decoder does when one chunk record fails to parse, decode, or
+/// verify. Chunk records are self-delimiting and independently CRC'd, so
+/// damage that leaves a record's framing intact can be contained to that
+/// record — the rest of a multi-GB checkpoint is still recoverable.
+enum class ChunkErrorPolicy : uint8_t {
+  kFail = 0,      ///< Abort on the first bad chunk (default; historical behaviour).
+  kSkip = 1,      ///< Omit the chunk's elements from the output and continue.
+  kZeroFill = 2,  ///< Emit zero bytes in place of the chunk's elements.
+};
+
+/// Stage of the per-chunk decode pipeline that rejected a record.
+enum class ChunkFailureStage : uint8_t {
+  kHeader = 0,    ///< Chunk header unparseable or inconsistent with the container header.
+  kPayload = 1,   ///< Section geometry or solver decode failure.
+  kChecksum = 2,  ///< Reconstructed bytes fail the stored CRC-32C.
+};
+
+/// One damaged chunk as seen by a salvage-mode decode.
+struct ChunkSalvageRecord {
+  uint64_t chunk_index = 0;   ///< Position of the record in the container.
+  uint64_t byte_offset = 0;   ///< Container offset of the record's chunk header.
+  uint64_t element_count = 0; ///< Header-declared elements (best effort when the header itself is damaged).
+  uint64_t output_offset = 0; ///< First output byte the chunk covers (post-salvage layout).
+  uint64_t lost_bytes = 0;    ///< Output bytes skipped or zero-filled for this chunk.
+  ChunkFailureStage stage = ChunkFailureStage::kHeader;
+  ChunkErrorPolicy action = ChunkErrorPolicy::kFail;  ///< Policy applied.
+  Status error;               ///< The underlying failure, with chunk context.
+};
+
+/// Outcome of a salvage-mode decode: per-chunk verdicts plus byte-range
+/// accounting, enough for a restart pipeline to decide whether the holes
+/// are tolerable and to localize the damage on storage.
+struct SalvageReport {
+  uint64_t chunks_total = 0;        ///< Chunk records seen (intact + damaged).
+  uint64_t chunks_recovered = 0;    ///< Decoded and CRC-verified.
+  uint64_t chunks_skipped = 0;      ///< Dropped under kSkip.
+  uint64_t chunks_zero_filled = 0;  ///< Replaced with zeros under kZeroFill.
+  uint64_t bytes_recovered = 0;     ///< Output bytes from intact chunks.
+  uint64_t bytes_lost = 0;          ///< Output bytes skipped or zero-filled.
+  /// True when record framing was destroyed (a chunk header no longer
+  /// parses or its section sizes run past the container): everything from
+  /// that point on is unrecoverable without per-record resync markers.
+  bool truncated_tail = false;
+  /// Trailing bytes after the last counted chunk (counted containers only).
+  uint64_t trailing_bytes = 0;
+  std::vector<ChunkSalvageRecord> damaged;
+
+  /// True when every chunk decoded cleanly — the salvage run saw exactly
+  /// what a kFail run would have accepted.
+  bool clean() const { return damaged.empty() && !truncated_tail && trailing_bytes == 0; }
+};
+
 struct DecompressOptions {
   /// Verify each chunk's CRC-32C against the reconstructed bytes.
   bool verify_checksums = true;
@@ -85,6 +138,15 @@ struct DecompressOptions {
   /// CompressOptions::num_threads). Chunk records are parsed serially,
   /// then decoded concurrently into disjoint regions of the output.
   uint32_t num_threads = 0;
+
+  /// Per-chunk error policy. Under kSkip/kZeroFill, Decompress returns OK
+  /// with the damaged chunks elided or zeroed (see SalvageReport for what
+  /// was lost); only container-header damage still fails the whole call.
+  ChunkErrorPolicy on_chunk_error = ChunkErrorPolicy::kFail;
+
+  /// When non-null, filled with the per-chunk salvage outcome of the run
+  /// (also populated under kFail, where the first damaged chunk aborts).
+  SalvageReport* salvage_report = nullptr;
 };
 
 struct DecompressionStats {

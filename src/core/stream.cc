@@ -7,6 +7,7 @@
 #include "compressors/registry.h"
 #include "core/chunk_codec.h"
 #include "core/eupa_selector.h"
+#include "telemetry/metrics.h"
 #include "telemetry/trace_export.h"
 #include "util/stopwatch.h"
 
@@ -146,8 +147,22 @@ Status IsobarStreamWriter::DrainOne() {
   return Status::OK();
 }
 
+Status IsobarStreamWriter::Poison(Status status) {
+  if (!status.ok() && error_status_.ok()) {
+    error_status_ = status;
+    // The dropped record leaves a hole no later write can fill; retire
+    // (and discard) whatever is still in flight so a retried Finish()
+    // cannot silently append the chunks that followed the failure.
+    for (auto& record : in_flight_) record.wait();
+    in_flight_.clear();
+    pool_.reset();
+  }
+  return status;
+}
+
 Status IsobarStreamWriter::Append(ByteSpan data) {
   ISOBAR_RETURN_NOT_OK(init_status_);
+  ISOBAR_RETURN_NOT_OK(error_status_);
   if (finished_) {
     return Status::InvalidArgument("stream writer already finished");
   }
@@ -163,13 +178,13 @@ Status IsobarStreamWriter::Append(ByteSpan data) {
     pending_.insert(pending_.end(), data.begin(), data.begin() + take);
     consumed = take;
     if (pending_.size() == chunk_bytes) {
-      ISOBAR_RETURN_NOT_OK(EmitChunk(pending_));
+      ISOBAR_RETURN_NOT_OK(Poison(EmitChunk(pending_)));
       pending_.clear();
     }
   }
   // Emit full chunks straight from the caller's buffer (no copy).
   while (data.size() - consumed >= chunk_bytes) {
-    ISOBAR_RETURN_NOT_OK(EmitChunk(data.subspan(consumed, chunk_bytes)));
+    ISOBAR_RETURN_NOT_OK(Poison(EmitChunk(data.subspan(consumed, chunk_bytes))));
     consumed += chunk_bytes;
   }
   pending_.insert(pending_.end(), data.begin() + consumed, data.end());
@@ -179,22 +194,25 @@ Status IsobarStreamWriter::Append(ByteSpan data) {
 
 Status IsobarStreamWriter::Finish() {
   ISOBAR_RETURN_NOT_OK(init_status_);
+  ISOBAR_RETURN_NOT_OK(error_status_);
   if (finished_) return Status::OK();
   Stopwatch timer;
   if (pending_.size() % width_ != 0) {
+    // Not poisoned: nothing was dropped, and the caller can complete the
+    // element with a further Append() and Finish() again.
     return Status::InvalidArgument(
         "stream ends mid-element: appended bytes are not a multiple of the "
         "element width");
   }
   if (!pending_.empty()) {
-    ISOBAR_RETURN_NOT_OK(EmitChunk(pending_));
+    ISOBAR_RETURN_NOT_OK(Poison(EmitChunk(pending_)));
     pending_.clear();
   }
   // A stream with no data at all still needs a valid (empty) container.
-  ISOBAR_RETURN_NOT_OK(EnsurePipeline({}));
+  ISOBAR_RETURN_NOT_OK(Poison(EnsurePipeline({})));
   // Retire the pipelined tail before sealing the stream.
   while (!in_flight_.empty()) {
-    ISOBAR_RETURN_NOT_OK(DrainOne());
+    ISOBAR_RETURN_NOT_OK(Poison(DrainOne()));
   }
   pool_.reset();
   finished_ = true;
@@ -219,42 +237,152 @@ Result<bool> IsobarStreamReader::AtEnd() {
   if (!initialized_) {
     return Status::InvalidArgument("reader not initialized (call Init)");
   }
+  // A destroyed record framing ends the stream early under a salvaging
+  // policy; the loss is documented in report_.truncated_tail.
+  if (tail_lost_) return true;
+  const bool salvage =
+      options_.on_chunk_error != ChunkErrorPolicy::kFail;
   const bool counted = header_.chunk_count != container::kUnknownCount;
   const bool done = counted ? chunks_read_ == header_.chunk_count
                             : offset_ == container_.size();
   if (!done) return false;
   if (offset_ != container_.size()) {
-    return Status::Corruption("container: trailing bytes after last chunk");
+    if (!salvage) {
+      return Status::Corruption("container: trailing bytes after last chunk");
+    }
+    report_.trailing_bytes = container_.size() - offset_;
+    return true;
   }
   // Skipped chunks contribute their (header-declared) element counts, so
-  // the total stays verifiable even for seek-style access patterns.
+  // the total stays verifiable even for seek-style access patterns. When
+  // chunks were salvaged the totals expectedly disagree; the report
+  // already names what was lost.
   if (header_.element_count != container::kUnknownCount &&
-      elements_read_ != header_.element_count) {
+      elements_read_ != header_.element_count &&
+      !(salvage && !report_.damaged.empty())) {
     return Status::Corruption("container: element count mismatch");
   }
   return true;
 }
 
-Result<bool> IsobarStreamReader::NextChunk(Bytes* chunk) {
-  ISOBAR_ASSIGN_OR_RETURN(const bool done, AtEnd());
-  if (done) return false;
-  chunk->clear();
-  ISOBAR_RETURN_NOT_OK(DecodeChunk(container_, &offset_, *codec_,
-                                   header_.linearization, header_.width,
-                                   header_.chunk_elements,
-                                   options_.verify_checksums, chunk));
+bool IsobarStreamReader::SalvageDamagedChunk(
+    const container::ChunkHeader& chunk_header, bool framed, uint64_t index,
+    size_t record_offset, ChunkFailureStage stage, const Status& error,
+    Bytes* chunk) {
+  static telemetry::Counter& salvaged =
+      telemetry::GetCounter("pipeline.chunks_salvaged");
+  static telemetry::Counter& zero_filled =
+      telemetry::GetCounter("pipeline.chunks_zero_filled");
+  const bool zero_fill =
+      framed && options_.on_chunk_error == ChunkErrorPolicy::kZeroFill;
+  // An element count above the container's nominal chunk size is itself
+  // corrupt; assume a full chunk, the shape of every record but the last.
+  const uint64_t assumed_elements =
+      !framed ? 0
+              : std::min<uint64_t>(chunk_header.element_count,
+                                   header_.chunk_elements);
+  ChunkSalvageRecord record;
+  record.chunk_index = index;
+  record.byte_offset = record_offset;
+  record.element_count = chunk_header.element_count;
+  record.output_offset = elements_read_ * header_.width;
+  record.lost_bytes = assumed_elements * header_.width;
+  record.stage = stage;
+  record.action = zero_fill ? ChunkErrorPolicy::kZeroFill
+                            : ChunkErrorPolicy::kSkip;
+  record.error = error;
+  report_.damaged.push_back(std::move(record));
+  report_.bytes_lost += assumed_elements * header_.width;
+  salvaged.Increment();
+  if (!framed) {
+    // The record no longer delimits itself: nothing after it is reachable.
+    report_.damaged.back().action = options_.on_chunk_error;
+    tail_lost_ = true;
+    report_.truncated_tail = true;
+    return false;
+  }
+  ++report_.chunks_total;
   ++chunks_read_;
-  elements_read_ += chunk->size() / header_.width;
-  return true;
+  elements_read_ += assumed_elements;
+  if (zero_fill) {
+    ++report_.chunks_zero_filled;
+    zero_filled.Increment();
+    chunk->assign(static_cast<size_t>(assumed_elements * header_.width), 0);
+    return true;
+  }
+  ++report_.chunks_skipped;
+  return false;
+}
+
+Result<bool> IsobarStreamReader::NextChunk(Bytes* chunk) {
+  const bool salvage = options_.on_chunk_error != ChunkErrorPolicy::kFail;
+  for (;;) {
+    ISOBAR_ASSIGN_OR_RETURN(const bool done, AtEnd());
+    if (done) return false;
+    chunk->clear();
+    const uint64_t index = chunks_read_;
+    const size_t record_offset = offset_;
+    ChunkFailureStage stage = ChunkFailureStage::kHeader;
+    container::ChunkHeader chunk_header;
+    const Status status = DecodeChunk(
+        container_, &offset_, *codec_, header_.linearization, header_.width,
+        header_.chunk_elements, options_.verify_checksums, chunk, nullptr,
+        index, &stage, &chunk_header);
+    if (status.ok()) {
+      ++chunks_read_;
+      ++report_.chunks_total;
+      ++report_.chunks_recovered;
+      report_.bytes_recovered += chunk->size();
+      elements_read_ += chunk->size() / header_.width;
+      return true;
+    }
+    if (!salvage) return status;
+    // `framed`: DecodeChunk advanced past the record, so the stream can
+    // continue at the next one.
+    const bool framed = offset_ != record_offset;
+    if (SalvageDamagedChunk(chunk_header, framed, index, record_offset,
+                            stage, status, chunk)) {
+      return true;  // zero-filled stand-in chunk
+    }
+    // Skipped (or tail lost): poll the next record / end-of-stream.
+  }
 }
 
 Result<bool> IsobarStreamReader::SkipChunk() {
+  const bool salvage = options_.on_chunk_error != ChunkErrorPolicy::kFail;
   ISOBAR_ASSIGN_OR_RETURN(const bool done, AtEnd());
   if (done) return false;
-  ISOBAR_ASSIGN_OR_RETURN(container::ChunkHeader chunk_header,
-                          container::ParseChunkHeader(container_, &offset_));
+  const uint64_t index = chunks_read_;
+  const size_t record_offset = offset_;
+  auto parsed = container::ParseChunkHeader(container_, &offset_);
+  if (!parsed.ok()) {
+    const Status annotated =
+        AnnotateChunkError(parsed.status(), index, record_offset);
+    if (!salvage) return annotated;
+    Bytes unused;
+    SalvageDamagedChunk(container::ChunkHeader{}, /*framed=*/false, index,
+                        record_offset, ChunkFailureStage::kHeader, annotated,
+                        &unused);
+    return false;
+  }
+  const container::ChunkHeader chunk_header = *parsed;
   offset_ += chunk_header.compressed_size + chunk_header.raw_size;
+  // Validate before the declared count enters the running element total:
+  // a corrupt skipped record must not make the end-of-stream accounting
+  // pass (or fail) arbitrarily.
+  if (chunk_header.element_count > header_.chunk_elements) {
+    const Status annotated = AnnotateChunkError(
+        Status::Corruption("container: chunk claims more elements than the "
+                           "header's chunk size"),
+        index, record_offset);
+    if (!salvage) return annotated;
+    Bytes unused;
+    SalvageDamagedChunk(chunk_header, /*framed=*/true, index, record_offset,
+                        ChunkFailureStage::kHeader, annotated, &unused);
+    return true;
+  }
   ++chunks_read_;
+  ++report_.chunks_total;
   elements_read_ += chunk_header.element_count;
   return true;
 }

@@ -78,11 +78,16 @@ class IsobarStreamWriter {
   Status EmitChunk(ByteSpan chunk);
   /// Waits for the oldest in-flight chunk and writes it out.
   Status DrainOne();
+  /// Latches the first emit/drain failure: once a record has been dropped
+  /// the container has a hole, so every later Append/Finish must keep
+  /// failing instead of silently writing the chunks that followed it.
+  Status Poison(Status status);
 
   CompressOptions options_;
   size_t width_;
   ByteSink* sink_;
   Status init_status_;
+  Status error_status_;
 
   Bytes pending_;
   bool header_written_ = false;
@@ -126,15 +131,33 @@ class IsobarStreamReader {
   /// parsed, its payload skipped). Returns false when the container is
   /// exhausted. Chunk records are self-delimiting, so seeking to the
   /// n-th checkpoint of a long campaign costs O(n) header reads, not
-  /// O(n) decompressions.
+  /// O(n) decompressions. The header's element count is validated against
+  /// the container's nominal chunk size before it enters the running
+  /// element total, so a corrupt skipped record cannot poison the
+  /// end-of-stream accounting.
   Result<bool> SkipChunk();
 
-  /// Chunks consumed so far (decoded or skipped).
+  /// Chunks consumed so far (decoded, skipped, or salvaged).
   uint64_t chunks_read() const { return chunks_read_; }
+
+  /// Per-chunk salvage outcome accumulated so far. Only meaningful (i.e.
+  /// possibly non-clean) when DecompressOptions::on_chunk_error is kSkip
+  /// or kZeroFill; under those policies NextChunk absorbs a damaged
+  /// record — advancing past it (kSkip) or returning its zero-filled
+  /// shape (kZeroFill) — and a record whose framing is destroyed ends the
+  /// stream with truncated_tail set instead of an error.
+  const SalvageReport& salvage_report() const { return report_; }
 
  private:
   /// True when the container is exhausted; validates totals at the end.
   Result<bool> AtEnd();
+  /// Handles one damaged record under a salvaging policy. Returns true
+  /// when `*chunk` was zero-filled for the caller, false when the record
+  /// was skipped (or the tail lost) and the caller should re-poll.
+  bool SalvageDamagedChunk(const container::ChunkHeader& chunk_header,
+                           bool framed, uint64_t index, size_t record_offset,
+                           ChunkFailureStage stage, const Status& error,
+                           Bytes* chunk);
 
   ByteSpan container_;
   DecompressOptions options_;
@@ -144,6 +167,8 @@ class IsobarStreamReader {
   size_t offset_ = 0;
   uint64_t chunks_read_ = 0;
   uint64_t elements_read_ = 0;
+  SalvageReport report_;
+  bool tail_lost_ = false;
 };
 
 }  // namespace isobar

@@ -1,0 +1,45 @@
+#include "io/fault_injection.h"
+
+#include <algorithm>
+#include <string>
+
+namespace isobar {
+
+Status FaultInjectionSink::Write(ByteSpan data) {
+  if (tripped_ || bytes_ >= fail_at_byte_) {
+    tripped_ = true;
+    return Status::IOError("fault injection: sink failed at byte " +
+                           std::to_string(fail_at_byte_));
+  }
+  const uint64_t room = fail_at_byte_ - bytes_;
+  if (data.size() <= room) {
+    bytes_ += data.size();
+    if (next_ != nullptr) return next_->Write(data);
+    return Status::OK();
+  }
+  // Torn write: forward the prefix that "made it to storage", then fail.
+  tripped_ = true;
+  bytes_ += room;
+  if (next_ != nullptr) {
+    ISOBAR_RETURN_NOT_OK(next_->Write(data.subspan(0, room)));
+  }
+  return Status::IOError("fault injection: sink failed at byte " +
+                         std::to_string(fail_at_byte_));
+}
+
+void FlipBits(Bytes* data, size_t offset, uint8_t mask) {
+  if (offset >= data->size()) return;
+  (*data)[offset] ^= mask == 0 ? uint8_t{0x01} : mask;
+}
+
+void SmashBytes(Bytes* data, size_t offset, size_t count, uint8_t value) {
+  if (offset >= data->size()) return;
+  const size_t end = std::min(data->size(), offset + count);
+  std::fill(data->begin() + offset, data->begin() + end, value);
+}
+
+void TruncateBytes(Bytes* data, size_t new_size) {
+  if (new_size < data->size()) data->resize(new_size);
+}
+
+}  // namespace isobar

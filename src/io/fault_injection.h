@@ -1,0 +1,54 @@
+#ifndef ISOBAR_IO_FAULT_INJECTION_H_
+#define ISOBAR_IO_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+#include "io/sink.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar {
+
+/// Decorator that fails deterministically once `fail_at_byte` total bytes
+/// have passed through, forwarding everything before that point. Drives
+/// the streaming writer's error paths in tests: a write that straddles the
+/// fault boundary forwards the prefix (a torn record on storage) and then
+/// fails, which is how a full filesystem or a dying link actually behaves.
+class FaultInjectionSink final : public ByteSink {
+ public:
+  /// `next` may be null (discard forwarded bytes); otherwise must outlive
+  /// this sink. The first write reaching byte `fail_at_byte` (0 = fail
+  /// immediately) returns IOError; every later write fails too.
+  FaultInjectionSink(uint64_t fail_at_byte, ByteSink* next = nullptr)
+      : fail_at_byte_(fail_at_byte), next_(next) {}
+
+  uint64_t bytes_written() const { return bytes_; }
+  bool tripped() const { return tripped_; }
+
+  Status Write(ByteSpan data) override;
+
+ private:
+  uint64_t fail_at_byte_;
+  ByteSink* next_;
+  uint64_t bytes_ = 0;
+  bool tripped_ = false;
+};
+
+/// Deterministic byte-level mutations for corruption tests and fuzz corpus
+/// seeding. All are in-place on a caller-owned buffer and no-ops when the
+/// requested offset falls outside it.
+
+/// XORs `mask` into the byte at `offset` (mask 0 picks 0x01 so the call
+/// always changes the buffer).
+void FlipBits(Bytes* data, size_t offset, uint8_t mask = 0x01);
+
+/// Overwrites `count` bytes starting at `offset` with `value`, clamped to
+/// the buffer's end.
+void SmashBytes(Bytes* data, size_t offset, size_t count, uint8_t value);
+
+/// Truncates the buffer to `new_size` (no-op when already shorter).
+void TruncateBytes(Bytes* data, size_t new_size);
+
+}  // namespace isobar
+
+#endif  // ISOBAR_IO_FAULT_INJECTION_H_

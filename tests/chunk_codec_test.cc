@@ -128,6 +128,36 @@ TEST(ChunkCodecTest, WrongLinearizationFailsChecksum) {
   EXPECT_EQ(status.code(), StatusCode::kCorruption);
 }
 
+TEST(ChunkCodecTest, MergeChunkStatsWeightsByChunkCount) {
+  CompressionStats total;
+  total.chunk_count = 3;
+  total.mean_htc_fraction = 0.4;
+  CompressionStats chunk;
+  chunk.chunk_count = 1;
+  chunk.mean_htc_fraction = 0.2;
+  MergeChunkStats(chunk, &total);
+  EXPECT_EQ(total.chunk_count, 4u);
+  EXPECT_NEAR(total.mean_htc_fraction, 0.35, 1e-12);
+
+  // A worker's multi-chunk subtotal merges by weight — not as a single
+  // observation, which would skew the pipeline mean toward late workers.
+  CompressionStats left;
+  left.chunk_count = 2;
+  left.mean_htc_fraction = 0.3;
+  CompressionStats right;
+  right.chunk_count = 6;
+  right.mean_htc_fraction = 0.1;
+  MergeChunkStats(right, &left);
+  EXPECT_EQ(left.chunk_count, 8u);
+  EXPECT_NEAR(left.mean_htc_fraction, 0.15, 1e-12);  // (2*0.3 + 6*0.1) / 8
+
+  // Empty contributions change nothing.
+  const CompressionStats empty;
+  MergeChunkStats(empty, &left);
+  EXPECT_EQ(left.chunk_count, 8u);
+  EXPECT_NEAR(left.mean_htc_fraction, 0.15, 1e-12);
+}
+
 TEST(ChunkCodecTest, WrongCodecFailsCleanly) {
   const Analyzer analyzer;
   const Bytes chunk = MixedChunk(20000, 8);

@@ -132,6 +132,28 @@ TEST(EupaTest, InputValidation) {
   EXPECT_FALSE(EupaSelector(no_codecs).Select(Bytes(800, 1), 8, 0xFF).ok());
 }
 
+TEST(EupaTest, TrainingSampleDrawsExactBudget) {
+  const Bytes data = NoisyStructured(10000, 3);
+  EupaOptions options;
+  // 1000 % 3 != 0: the division remainder must be spread over runs, not
+  // floored away (which starved the probe by up to runs-1 elements).
+  options.sample_elements = 1000;
+  options.sample_runs = 3;
+  EXPECT_EQ(DrawTrainingSample(data, 8, options).size(), 1000u * 8);
+
+  options.sample_runs = 7;
+  EXPECT_EQ(DrawTrainingSample(data, 8, options).size(), 1000u * 8);
+
+  // More runs than wanted elements: still exact and element-aligned.
+  options.sample_elements = 5;
+  options.sample_runs = 8;
+  EXPECT_EQ(DrawTrainingSample(data, 8, options).size(), 5u * 8);
+
+  // Budget at or above the input: the whole input, verbatim.
+  options.sample_elements = 20000;
+  EXPECT_EQ(DrawTrainingSample(data, 8, options).size(), data.size());
+}
+
 TEST(EupaTest, SampleSmallerThanDataStillDecides) {
   const Bytes data = NoisyStructured(500000, 8);
   EupaOptions options;

@@ -108,6 +108,44 @@ TEST(ContainerFuzzTest, GarbageWithValidMagicNeverCrashes) {
   }
 }
 
+// Salvage-mode invariants under mutation: a salvaging decode must never
+// crash, and whenever it reports a clean run the output must be exact.
+TEST(ContainerFuzzTest, SalvagePoliciesSurviveMutation) {
+  Bytes plaintext;
+  const Bytes container = MakeContainer(&plaintext);
+  Xoshiro256 rng(555);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    Bytes mutated = container;
+    // Alternate single bit flips with multi-byte smears.
+    if (iteration % 2 == 0) {
+      mutated[rng.NextBounded(mutated.size())] ^=
+          static_cast<uint8_t>(1u << rng.NextBounded(8));
+    } else {
+      const int mutations = 2 + static_cast<int>(rng.NextBounded(8));
+      for (int m = 0; m < mutations; ++m) {
+        mutated[rng.NextBounded(mutated.size())] ^=
+            static_cast<uint8_t>(rng.Next());
+      }
+    }
+    for (ChunkErrorPolicy policy :
+         {ChunkErrorPolicy::kSkip, ChunkErrorPolicy::kZeroFill}) {
+      DecompressOptions options;
+      options.on_chunk_error = policy;
+      SalvageReport report;
+      options.salvage_report = &report;
+      auto result = IsobarCompressor::Decompress(mutated, options);
+      // Container-header damage still fails the whole call.
+      if (!result.ok()) continue;
+      EXPECT_EQ(report.chunks_total, report.chunks_recovered +
+                                         report.chunks_skipped +
+                                         report.chunks_zero_filled);
+      if (report.clean()) {
+        EXPECT_EQ(*result, plaintext);
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Standalone codec decoders under mutation.
 

@@ -114,6 +114,17 @@ TEST(HuffmanCodecTest, DeterministicOutput) {
   EXPECT_EQ(a, b);
 }
 
+TEST(HuffmanCodecTest, SingleSymbolClaimingZeroBytesIsCorruption) {
+  const HuffmanCodec codec;
+  // {flag=single-symbol, symbol} claiming zero original bytes: the
+  // encoder never produces this shape (empty input gets the empty flag),
+  // so it must be rejected as corruption rather than decoded as empty.
+  const Bytes forged = {0x02, 0x5C};
+  Bytes out;
+  const auto status = codec.Decompress(forged, 0, &out);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
 TEST(HuffmanCodecTest, TruncatedBitstreamIsCorruption) {
   const HuffmanCodec codec;
   const Bytes input = SkewedBytes(10000, 4);

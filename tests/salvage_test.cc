@@ -1,0 +1,527 @@
+// Corruption-resilience suite: salvage-mode decode (ChunkErrorPolicy
+// kSkip / kZeroFill) through both the batch decoder and the streaming
+// reader, the SalvageReport accounting, the fault-injection sink, and the
+// streaming writer's poisoned-after-failure contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/container.h"
+#include "core/isobar.h"
+#include "core/stream.h"
+#include "datagen/registry.h"
+#include "io/fault_injection.h"
+#include "io/sink.h"
+
+namespace isobar {
+namespace {
+
+constexpr uint64_t kChunkElements = 10000;
+constexpr uint64_t kTotalElements = 30000;  // Three full chunks.
+
+Bytes MakeContainer(Bytes* plaintext, size_t* width) {
+  auto spec = FindDatasetSpec("s3d_vmag");
+  EXPECT_TRUE(spec.ok());
+  auto dataset = GenerateDataset(**spec, kTotalElements);
+  EXPECT_TRUE(dataset.ok());
+  *plaintext = dataset->data;
+  *width = dataset->width();
+  CompressOptions options;
+  options.chunk_elements = kChunkElements;
+  options.eupa.sample_elements = 2048;
+  const IsobarCompressor compressor(options);
+  auto compressed = compressor.Compress(dataset->bytes(), dataset->width());
+  EXPECT_TRUE(compressed.ok());
+  return *compressed;
+}
+
+struct RecordRange {
+  size_t header_offset = 0;   // Chunk header start.
+  size_t payload_offset = 0;  // First payload byte.
+  size_t end_offset = 0;      // One past the record.
+};
+
+// Walks the container's (self-delimiting) records.
+std::vector<RecordRange> FindRecords(const Bytes& container) {
+  std::vector<RecordRange> records;
+  size_t offset = 0;
+  auto header = container::ParseHeader(container, &offset);
+  EXPECT_TRUE(header.ok());
+  while (offset < container.size()) {
+    RecordRange range;
+    range.header_offset = offset;
+    auto chunk = container::ParseChunkHeader(container, &offset);
+    EXPECT_TRUE(chunk.ok());
+    range.payload_offset = offset;
+    offset += chunk->compressed_size + chunk->raw_size;
+    range.end_offset = offset;
+    records.push_back(range);
+  }
+  return records;
+}
+
+// Flips one payload byte of chunk `index`, which the chunk CRC (or the
+// solver's own framing) must catch.
+Bytes CorruptPayload(const Bytes& container, size_t index) {
+  const auto records = FindRecords(container);
+  Bytes mutated = container;
+  const RecordRange& r = records[index];
+  FlipBits(&mutated, r.payload_offset + (r.end_offset - r.payload_offset) / 2,
+           0x20);
+  return mutated;
+}
+
+// Overwrites chunk `index`'s element_count field (first 8 bytes of the
+// chunk header) with a value far above the container's chunk size. The
+// section sizes stay intact, so the record still delimits itself.
+Bytes CorruptElementCount(const Bytes& container, size_t index) {
+  const auto records = FindRecords(container);
+  Bytes mutated = container;
+  SmashBytes(&mutated, records[index].header_offset, 8, 0xEE);
+  return mutated;
+}
+
+// ---------------------------------------------------------------------------
+// Batch decoder salvage.
+
+TEST(SalvageDecompressTest, ZeroFillContainsDamageToOneChunk) {
+  Bytes plaintext;
+  size_t width = 0;
+  const Bytes container = MakeContainer(&plaintext, &width);
+  const Bytes mutated = CorruptPayload(container, 1);
+  const size_t chunk_bytes = kChunkElements * width;
+
+  for (uint32_t threads : {1u, 8u}) {
+    DecompressOptions options;
+    options.num_threads = threads;
+    options.on_chunk_error = ChunkErrorPolicy::kZeroFill;
+    SalvageReport report;
+    options.salvage_report = &report;
+    auto result = IsobarCompressor::Decompress(mutated, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    ASSERT_EQ(result->size(), plaintext.size());
+    // Chunks 0 and 2 bit-exact, chunk 1 zeroed.
+    EXPECT_TRUE(std::equal(result->begin(), result->begin() + chunk_bytes,
+                           plaintext.begin()));
+    EXPECT_TRUE(std::all_of(result->begin() + chunk_bytes,
+                            result->begin() + 2 * chunk_bytes,
+                            [](uint8_t b) { return b == 0; }));
+    EXPECT_TRUE(std::equal(result->begin() + 2 * chunk_bytes, result->end(),
+                           plaintext.begin() + 2 * chunk_bytes));
+
+    EXPECT_EQ(report.chunks_total, 3u);
+    EXPECT_EQ(report.chunks_recovered, 2u);
+    EXPECT_EQ(report.chunks_zero_filled, 1u);
+    EXPECT_EQ(report.bytes_lost, chunk_bytes);
+    EXPECT_FALSE(report.truncated_tail);
+    ASSERT_EQ(report.damaged.size(), 1u);
+    EXPECT_EQ(report.damaged[0].chunk_index, 1u);
+    EXPECT_EQ(report.damaged[0].output_offset, chunk_bytes);
+    EXPECT_EQ(report.damaged[0].action, ChunkErrorPolicy::kZeroFill);
+    EXPECT_FALSE(report.damaged[0].error.ok());
+  }
+}
+
+TEST(SalvageDecompressTest, SkipElidesDamagedChunk) {
+  Bytes plaintext;
+  size_t width = 0;
+  const Bytes container = MakeContainer(&plaintext, &width);
+  const Bytes mutated = CorruptPayload(container, 1);
+  const size_t chunk_bytes = kChunkElements * width;
+
+  DecompressOptions options;
+  options.on_chunk_error = ChunkErrorPolicy::kSkip;
+  SalvageReport report;
+  options.salvage_report = &report;
+  auto result = IsobarCompressor::Decompress(mutated, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  ASSERT_EQ(result->size(), plaintext.size() - chunk_bytes);
+  EXPECT_TRUE(std::equal(result->begin(), result->begin() + chunk_bytes,
+                         plaintext.begin()));
+  EXPECT_TRUE(std::equal(result->begin() + chunk_bytes, result->end(),
+                         plaintext.begin() + 2 * chunk_bytes));
+
+  EXPECT_EQ(report.chunks_skipped, 1u);
+  EXPECT_EQ(report.chunks_recovered, 2u);
+  ASSERT_EQ(report.damaged.size(), 1u);
+  EXPECT_EQ(report.damaged[0].chunk_index, 1u);
+  // output_offset names where the hole is in the post-salvage layout.
+  EXPECT_EQ(report.damaged[0].output_offset, chunk_bytes);
+  EXPECT_EQ(report.damaged[0].action, ChunkErrorPolicy::kSkip);
+}
+
+TEST(SalvageDecompressTest, DefaultPolicyStillFailsWithChunkContext) {
+  Bytes plaintext;
+  size_t width = 0;
+  const Bytes container = MakeContainer(&plaintext, &width);
+  const Bytes mutated = CorruptPayload(container, 1);
+
+  SalvageReport report;
+  DecompressOptions options;
+  options.salvage_report = &report;
+  auto result = IsobarCompressor::Decompress(mutated, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  // The error names the damaged record.
+  EXPECT_NE(result.status().message().find("chunk 1"), std::string::npos)
+      << result.status().ToString();
+  ASSERT_EQ(report.damaged.size(), 1u);
+  EXPECT_EQ(report.damaged[0].chunk_index, 1u);
+  EXPECT_EQ(report.damaged[0].action, ChunkErrorPolicy::kFail);
+}
+
+TEST(SalvageDecompressTest, OutputIdenticalAcrossThreadCountsUnderSalvage) {
+  Bytes plaintext;
+  size_t width = 0;
+  const Bytes container = MakeContainer(&plaintext, &width);
+  const Bytes mutated = CorruptPayload(container, 2);
+
+  for (ChunkErrorPolicy policy :
+       {ChunkErrorPolicy::kSkip, ChunkErrorPolicy::kZeroFill}) {
+    DecompressOptions serial;
+    serial.num_threads = 1;
+    serial.on_chunk_error = policy;
+    DecompressOptions parallel = serial;
+    parallel.num_threads = 8;
+    auto a = IsobarCompressor::Decompress(mutated, serial);
+    auto b = IsobarCompressor::Decompress(mutated, parallel);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b);
+  }
+}
+
+TEST(SalvageDecompressTest, CorruptElementCountIsContainedDamage) {
+  Bytes plaintext;
+  size_t width = 0;
+  const Bytes container = MakeContainer(&plaintext, &width);
+  const Bytes mutated = CorruptElementCount(container, 1);
+  const size_t chunk_bytes = kChunkElements * width;
+
+  // kFail: hard error naming the chunk.
+  auto failed = IsobarCompressor::Decompress(mutated);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().message().find("chunk 1"), std::string::npos);
+
+  // kZeroFill: the record still delimits itself, so chunk 2 survives.
+  DecompressOptions options;
+  options.on_chunk_error = ChunkErrorPolicy::kZeroFill;
+  SalvageReport report;
+  options.salvage_report = &report;
+  auto result = IsobarCompressor::Decompress(mutated, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), plaintext.size());
+  EXPECT_TRUE(std::equal(result->begin() + 2 * chunk_bytes, result->end(),
+                         plaintext.begin() + 2 * chunk_bytes));
+  ASSERT_EQ(report.damaged.size(), 1u);
+  EXPECT_EQ(report.damaged[0].chunk_index, 1u);
+  EXPECT_EQ(report.damaged[0].stage, ChunkFailureStage::kHeader);
+}
+
+TEST(SalvageDecompressTest, DestroyedFramingLosesTheTail) {
+  Bytes plaintext;
+  size_t width = 0;
+  const Bytes container = MakeContainer(&plaintext, &width);
+  const auto records = FindRecords(container);
+  const size_t chunk_bytes = kChunkElements * width;
+  // Cut into the middle of chunk 1's payload: its header parses, but the
+  // declared sections now run past the buffer — framing destroyed.
+  Bytes mutated = container;
+  TruncateBytes(&mutated, records[1].payload_offset + 10);
+
+  DecompressOptions options;
+  options.on_chunk_error = ChunkErrorPolicy::kSkip;
+  SalvageReport report;
+  options.salvage_report = &report;
+  auto result = IsobarCompressor::Decompress(mutated, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Chunk 0 is all that survives.
+  ASSERT_EQ(result->size(), chunk_bytes);
+  EXPECT_TRUE(std::equal(result->begin(), result->end(), plaintext.begin()));
+  EXPECT_TRUE(report.truncated_tail);
+  ASSERT_EQ(report.damaged.size(), 1u);
+  EXPECT_EQ(report.damaged[0].chunk_index, 1u);
+
+  // Default policy still fails outright.
+  auto failed = IsobarCompressor::Decompress(mutated);
+  EXPECT_FALSE(failed.ok());
+}
+
+TEST(SalvageDecompressTest, CleanContainerYieldsCleanReport) {
+  Bytes plaintext;
+  size_t width = 0;
+  const Bytes container = MakeContainer(&plaintext, &width);
+  DecompressOptions options;
+  options.on_chunk_error = ChunkErrorPolicy::kZeroFill;
+  SalvageReport report;
+  options.salvage_report = &report;
+  auto result = IsobarCompressor::Decompress(container, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, plaintext);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.chunks_recovered, 3u);
+  EXPECT_EQ(report.bytes_recovered, plaintext.size());
+}
+
+// ---------------------------------------------------------------------------
+// Streaming reader salvage.
+
+TEST(SalvageStreamReaderTest, ZeroFillReturnsStandInChunk) {
+  Bytes plaintext;
+  size_t width = 0;
+  const Bytes container = MakeContainer(&plaintext, &width);
+  const Bytes mutated = CorruptPayload(container, 1);
+  const size_t chunk_bytes = kChunkElements * width;
+
+  DecompressOptions options;
+  options.on_chunk_error = ChunkErrorPolicy::kZeroFill;
+  IsobarStreamReader reader(mutated, options);
+  ASSERT_TRUE(reader.Init().ok());
+  std::vector<Bytes> chunks;
+  Bytes chunk;
+  for (;;) {
+    auto more = reader.NextChunk(&chunk);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    chunks.push_back(chunk);
+  }
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_TRUE(std::equal(chunks[0].begin(), chunks[0].end(),
+                         plaintext.begin()));
+  ASSERT_EQ(chunks[1].size(), chunk_bytes);
+  EXPECT_TRUE(std::all_of(chunks[1].begin(), chunks[1].end(),
+                          [](uint8_t b) { return b == 0; }));
+  EXPECT_TRUE(std::equal(chunks[2].begin(), chunks[2].end(),
+                         plaintext.begin() + 2 * chunk_bytes));
+
+  const SalvageReport& report = reader.salvage_report();
+  EXPECT_EQ(report.chunks_zero_filled, 1u);
+  EXPECT_EQ(report.chunks_recovered, 2u);
+  ASSERT_EQ(report.damaged.size(), 1u);
+  EXPECT_EQ(report.damaged[0].chunk_index, 1u);
+  // A payload flip is caught by the solver or by the CRC — never blamed
+  // on the (intact) chunk header.
+  EXPECT_NE(report.damaged[0].stage, ChunkFailureStage::kHeader);
+}
+
+TEST(SalvageStreamReaderTest, SkipAbsorbsDamagedChunk) {
+  Bytes plaintext;
+  size_t width = 0;
+  const Bytes container = MakeContainer(&plaintext, &width);
+  const Bytes mutated = CorruptPayload(container, 1);
+  const size_t chunk_bytes = kChunkElements * width;
+
+  DecompressOptions options;
+  options.on_chunk_error = ChunkErrorPolicy::kSkip;
+  IsobarStreamReader reader(mutated, options);
+  ASSERT_TRUE(reader.Init().ok());
+  std::vector<Bytes> chunks;
+  Bytes chunk;
+  for (;;) {
+    auto more = reader.NextChunk(&chunk);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    chunks.push_back(chunk);
+  }
+  // The damaged chunk is absorbed; its neighbours come through bit-exact.
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_TRUE(std::equal(chunks[0].begin(), chunks[0].end(),
+                         plaintext.begin()));
+  EXPECT_TRUE(std::equal(chunks[1].begin(), chunks[1].end(),
+                         plaintext.begin() + 2 * chunk_bytes));
+  EXPECT_EQ(reader.chunks_read(), 3u);
+  EXPECT_EQ(reader.salvage_report().chunks_skipped, 1u);
+}
+
+TEST(SalvageStreamReaderTest, DestroyedFramingEndsStream) {
+  Bytes plaintext;
+  size_t width = 0;
+  const Bytes container = MakeContainer(&plaintext, &width);
+  const auto records = FindRecords(container);
+  Bytes mutated = container;
+  TruncateBytes(&mutated, records[2].header_offset + 5);
+
+  DecompressOptions options;
+  options.on_chunk_error = ChunkErrorPolicy::kZeroFill;
+  IsobarStreamReader reader(mutated, options);
+  ASSERT_TRUE(reader.Init().ok());
+  Bytes chunk;
+  int delivered = 0;
+  for (;;) {
+    auto more = reader.NextChunk(&chunk);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    ++delivered;
+  }
+  EXPECT_EQ(delivered, 2);
+  EXPECT_TRUE(reader.salvage_report().truncated_tail);
+}
+
+TEST(SalvageStreamReaderTest, DefaultPolicyStillFails) {
+  Bytes plaintext;
+  size_t width = 0;
+  const Bytes container = MakeContainer(&plaintext, &width);
+  const Bytes mutated = CorruptPayload(container, 0);
+
+  IsobarStreamReader reader(mutated);
+  ASSERT_TRUE(reader.Init().ok());
+  Bytes chunk;
+  auto more = reader.NextChunk(&chunk);
+  ASSERT_FALSE(more.ok());
+  EXPECT_NE(more.status().message().find("chunk 0"), std::string::npos);
+}
+
+TEST(SalvageStreamReaderTest, SkipChunkRejectsOversizedElementCount) {
+  Bytes plaintext;
+  size_t width = 0;
+  const Bytes container = MakeContainer(&plaintext, &width);
+  const Bytes mutated = CorruptElementCount(container, 1);
+
+  // Default policy: the corrupt count is rejected before it can poison
+  // the running element total.
+  IsobarStreamReader reader(mutated);
+  ASSERT_TRUE(reader.Init().ok());
+  ASSERT_TRUE(*reader.SkipChunk());
+  auto second = reader.SkipChunk();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(second.status().message().find("chunk 1"), std::string::npos);
+
+  // Salvaging policy: the record is recorded as damaged and skipped over,
+  // and the stream still ends cleanly.
+  DecompressOptions options;
+  options.on_chunk_error = ChunkErrorPolicy::kSkip;
+  IsobarStreamReader salvager(mutated, options);
+  ASSERT_TRUE(salvager.Init().ok());
+  while (true) {
+    auto more = salvager.SkipChunk();
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+  }
+  EXPECT_EQ(salvager.chunks_read(), 3u);
+  ASSERT_EQ(salvager.salvage_report().damaged.size(), 1u);
+  EXPECT_EQ(salvager.salvage_report().damaged[0].chunk_index, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection sink + writer poisoning.
+
+TEST(FaultInjectionSinkTest, TearsWriteAtFaultByte) {
+  Bytes written;
+  MemorySink memory(&written);
+  FaultInjectionSink sink(4, &memory);
+  const Bytes data = {1, 2, 3, 4, 5, 6};
+  auto status = sink.Write(data);
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_TRUE(sink.tripped());
+  // The prefix "reached storage" before the fault.
+  EXPECT_EQ(written, Bytes({1, 2, 3, 4}));
+  // Every later write keeps failing.
+  EXPECT_FALSE(sink.Write(data).ok());
+  EXPECT_EQ(written.size(), 4u);
+}
+
+TEST(FaultInjectionSinkTest, ForwardsUntilFaultByte) {
+  Bytes written;
+  MemorySink memory(&written);
+  FaultInjectionSink sink(8, &memory);
+  EXPECT_TRUE(sink.Write(Bytes{1, 2, 3, 4}).ok());
+  EXPECT_TRUE(sink.Write(Bytes{5, 6, 7, 8}).ok());
+  EXPECT_FALSE(sink.tripped());
+  EXPECT_FALSE(sink.Write(Bytes{9}).ok());
+  EXPECT_TRUE(sink.tripped());
+  EXPECT_EQ(written.size(), 8u);
+}
+
+TEST(SalvageWriterTest, FinishStaysPoisonedAfterSinkFailure) {
+  auto spec = FindDatasetSpec("s3d_vmag");
+  ASSERT_TRUE(spec.ok());
+  auto dataset = GenerateDataset(**spec, 3000);
+  ASSERT_TRUE(dataset.ok());
+
+  CompressOptions options;
+  options.chunk_elements = 1000;
+  options.eupa.sample_elements = 512;
+  options.num_threads = 1;
+
+  Bytes written;
+  MemorySink memory(&written);
+  // Enough room for the container header and part of a record, then fail.
+  FaultInjectionSink sink(200, &memory);
+  IsobarStreamWriter writer(options, dataset->width(), &sink);
+
+  Status status = writer.Append(dataset->bytes());
+  if (status.ok()) status = writer.Finish();
+  ASSERT_EQ(status.code(), StatusCode::kIOError);
+
+  // A chunk has been dropped: the writer must keep failing instead of
+  // completing a container with a hole in it.
+  const Status retry = writer.Finish();
+  ASSERT_FALSE(retry.ok());
+  EXPECT_EQ(retry.code(), StatusCode::kIOError);
+  EXPECT_FALSE(writer.finished());
+  EXPECT_FALSE(writer.Append(dataset->bytes()).ok());
+}
+
+TEST(SalvageWriterTest, PipelinedWriterPoisonsToo) {
+  auto spec = FindDatasetSpec("s3d_vmag");
+  ASSERT_TRUE(spec.ok());
+  auto dataset = GenerateDataset(**spec, 8000);
+  ASSERT_TRUE(dataset.ok());
+
+  CompressOptions options;
+  options.chunk_elements = 1000;
+  options.eupa.sample_elements = 512;
+  options.num_threads = 4;
+
+  Bytes written;
+  MemorySink memory(&written);
+  FaultInjectionSink sink(500, &memory);
+  IsobarStreamWriter writer(options, dataset->width(), &sink);
+
+  Status status = writer.Append(dataset->bytes());
+  if (status.ok()) status = writer.Finish();
+  ASSERT_FALSE(status.ok());
+  EXPECT_FALSE(writer.Finish().ok());
+  EXPECT_FALSE(writer.finished());
+}
+
+// The torn container a failed writer leaves behind is exactly what
+// salvage mode exists for: everything before the fault is recoverable.
+TEST(SalvageWriterTest, TornContainerIsSalvageable) {
+  auto spec = FindDatasetSpec("s3d_vmag");
+  ASSERT_TRUE(spec.ok());
+  auto dataset = GenerateDataset(**spec, 5000);
+  ASSERT_TRUE(dataset.ok());
+
+  CompressOptions options;
+  options.chunk_elements = 1000;
+  options.eupa.sample_elements = 512;
+  options.num_threads = 1;
+
+  Bytes written;
+  MemorySink memory(&written);
+  FaultInjectionSink sink(3000, &memory);
+  IsobarStreamWriter writer(options, dataset->width(), &sink);
+  Status status = writer.Append(dataset->bytes());
+  if (status.ok()) status = writer.Finish();
+  ASSERT_FALSE(status.ok());
+  ASSERT_GT(written.size(), container::kHeaderSize);
+
+  DecompressOptions salvage;
+  salvage.on_chunk_error = ChunkErrorPolicy::kSkip;
+  SalvageReport report;
+  salvage.salvage_report = &report;
+  auto result = IsobarCompressor::Decompress(written, salvage);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Whatever made it out intact decodes bit-exact.
+  const size_t chunk_bytes = 1000 * dataset->width();
+  ASSERT_EQ(result->size() % chunk_bytes, 0u);
+  EXPECT_TRUE(std::equal(result->begin(), result->end(),
+                         dataset->data.begin()));
+}
+
+}  // namespace
+}  // namespace isobar
