@@ -23,6 +23,8 @@
 #include "fpzip/fpzip_codec.h"
 #include "pfor/pfor_codec.h"
 #include "linearize/transpose.h"
+#include "simd/dispatch.h"
+#include "stats/byte_histogram.h"
 #include "util/crc32c.h"
 
 namespace isobar {
@@ -84,6 +86,33 @@ void BM_Crc32c(benchmark::State& state) {
                           static_cast<int64_t>(dataset.data.size()));
 }
 BENCHMARK(BM_Crc32c);
+
+void BM_Crc32cPortable(benchmark::State& state) {
+  const Dataset dataset = HardDataset(375000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::internal::ExtendPortable(
+        0, dataset.data.data(), dataset.data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+}
+BENCHMARK(BM_Crc32cPortable);
+
+// The paper's BWT solver on its pathological input shape: a maximally
+// repetitive block used to cost O(n^2 log n) comparator time in the
+// rotation sort; the radix prefix-doubling sort makes it ordinary.
+void BM_BwtCompressRepetitive(benchmark::State& state) {
+  const Bytes data(1 << 20, 0xAB);
+  auto codec = GetCodec(CodecId::kBwt);
+  Bytes out;
+  for (auto _ : state) {
+    Status status = (*codec)->Compress(data, &out);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_BwtCompressRepetitive);
 
 void BM_SolverCompress(benchmark::State& state) {
   const Dataset dataset = HardDataset(131072);
@@ -242,7 +271,87 @@ void BM_IsobarDecompressMT(benchmark::State& state, uint32_t threads) {
   state.SetLabel("threads=" + std::to_string(threads));
 }
 
+// --- Per-tier kernel benchmarks: the same kernel table entry measured
+// once per dispatch tier the host supports, so a run records the scalar
+// baseline next to the vector speedup (rows: BM_<Kernel>/tier:<name>).
+
+// Two workload shapes: the mostly-noise phi dataset (few histogram-counter
+// collisions, cost dominated by raw increment throughput) and the highly
+// repetitive sppm dataset, where near-constant byte-columns hammer one
+// counter and the scalar loop serializes on store-to-load forwarding —
+// the case the interleaved lanes exist for.
+void BM_HistogramUpdateKernel(benchmark::State& state, simd::Tier tier,
+                              const char* profile) {
+  auto spec = FindDatasetSpec(profile);
+  const Dataset dataset = std::move(*GenerateDataset(**spec, 375000));
+  const simd::KernelTable& kernels = simd::KernelsForTier(tier);
+  const size_t n = dataset.data.size() / 8;
+  std::vector<ByteHistogram> hists(8);
+  for (auto _ : state) {
+    for (auto& h : hists) h.fill(0);
+    kernels.histogram_update(dataset.data.data(), n, 8,
+                             hists.data()->data());
+    benchmark::DoNotOptimize(hists.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * 8));
+}
+
+void BM_TransposeKernel(benchmark::State& state, simd::Tier tier,
+                        size_t width, bool scatter) {
+  const Dataset dataset = HardDataset(375000);
+  const simd::KernelTable& kernels = simd::KernelsForTier(tier);
+  const size_t n = dataset.data.size() / width;
+  Bytes out(n * width);
+  const auto kernel =
+      width == 8 ? (scatter ? kernels.scatter_col_w8 : kernels.gather_col_w8)
+                 : (scatter ? kernels.scatter_col_w4 : kernels.gather_col_w4);
+  for (auto _ : state) {
+    kernel(dataset.data.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * width));
+}
+
 }  // namespace
+
+/// Registers the per-kernel benchmarks once per dispatch tier this machine
+/// supports. Rows appear as e.g. BM_HistogramUpdateKernel/tier:avx2.
+void RegisterSimdTierBenches() {
+  for (simd::Tier tier :
+       {simd::Tier::kScalar, simd::Tier::kSse42, simd::Tier::kAvx2}) {
+    if (!simd::TierSupported(tier)) continue;
+    const std::string suffix =
+        "/tier:" + std::string(simd::TierToString(tier));
+    benchmark::RegisterBenchmark(
+        ("BM_HistogramUpdateKernel" + suffix).c_str(),
+        [tier](benchmark::State& state) {
+          BM_HistogramUpdateKernel(state, tier, "gts_phi_l");
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_HistogramUpdateKernelHtc" + suffix).c_str(),
+        [tier](benchmark::State& state) {
+          BM_HistogramUpdateKernel(state, tier, "msg_sppm");
+        });
+    struct Shape {
+      const char* name;
+      size_t width;
+      bool scatter;
+    };
+    for (const Shape& shape :
+         {Shape{"BM_GatherW8ColumnKernel", 8, false},
+          Shape{"BM_ScatterW8ColumnKernel", 8, true},
+          Shape{"BM_GatherW4ColumnKernel", 4, false},
+          Shape{"BM_ScatterW4ColumnKernel", 4, true}}) {
+      benchmark::RegisterBenchmark(
+          (shape.name + suffix).c_str(),
+          [tier, shape](benchmark::State& state) {
+            BM_TransposeKernel(state, tier, shape.width, shape.scatter);
+          });
+    }
+  }
+}
 
 /// Registers one compress + one decompress benchmark per swept thread
 /// count; rows appear as BM_IsobarCompressMT/threads:N.
@@ -294,6 +403,7 @@ int main(int argc, char** argv) {
   }
   argc = kept;
 
+  isobar::RegisterSimdTierBenches();
   isobar::RegisterThreadSweep(sweep);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

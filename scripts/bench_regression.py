@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare a bench_micro JSON run against the committed throughput baseline.
+
+Usage:
+  bench_micro --benchmark_format=json ... > run.json
+  scripts/bench_regression.py run.json                  # warn-only compare
+  scripts/bench_regression.py run.json --strict         # nonzero exit on drop
+  scripts/bench_regression.py run.json --update         # rewrite the baseline
+
+The baseline (BENCH_baseline.json at the repo root) maps benchmark name to
+bytes_per_second. Comparisons are warn-only by default because microbenchmark
+numbers move with the host: the committed numbers document the machine they
+were measured on, and the tolerance is generous (default 40% below baseline
+warns). Regenerate with scripts/update_bench_baseline.sh after intentional
+performance changes.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_baseline.json"
+
+
+def load_run(path):
+    """Extracts {name: bytes_per_second} from google-benchmark JSON output.
+
+    When the run used --benchmark_repetitions, the median aggregate is
+    preferred over individual iterations: medians are what tame the noise
+    of shared CI machines.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    results = {}
+    medians = {}
+    for bench in data.get("benchmarks", []):
+        bps = bench.get("bytes_per_second")
+        if bps is None:
+            continue
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") == "median":
+                medians[bench.get("run_name", bench["name"])] = bps
+        else:
+            results[bench["name"]] = bps
+    results.update(medians)
+    return data.get("context", {}), results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("run_json", help="bench_micro --benchmark_format=json output")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.40,
+        help="fraction below baseline that triggers a warning (default 0.40)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any benchmark regresses past the tolerance",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline file from this run instead of comparing",
+    )
+    args = parser.parse_args()
+
+    context, run = load_run(args.run_json)
+    if not run:
+        print("bench_regression: run contains no byte-throughput benchmarks",
+              file=sys.stderr)
+        return 1
+
+    if args.update:
+        baseline = {
+            "comment": "Per-kernel throughput baseline (bytes/second). "
+                       "Regenerate with scripts/update_bench_baseline.sh; "
+                       "compared warn-only by scripts/bench_regression.py.",
+            "host": {
+                "num_cpus": context.get("num_cpus"),
+                "mhz_per_cpu": context.get("mhz_per_cpu"),
+                "library_build_type": context.get("library_build_type"),
+            },
+            "benchmarks": {name: run[name] for name in sorted(run)},
+        }
+        args.baseline.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"bench_regression: wrote {len(run)} entries to {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"bench_regression: no baseline at {args.baseline}; "
+              "run with --update to create one", file=sys.stderr)
+        return 1
+    baseline = json.loads(args.baseline.read_text())["benchmarks"]
+
+    regressions = []
+    for name in sorted(baseline):
+        base_bps = baseline[name]
+        run_bps = run.get(name)
+        if run_bps is None:
+            print(f"  MISSING  {name} (in baseline, not in run)")
+            continue
+        ratio = run_bps / base_bps if base_bps else float("inf")
+        marker = "ok"
+        if ratio < 1.0 - args.tolerance:
+            marker = "REGRESSED"
+            regressions.append(name)
+        print(f"  {marker:9s} {name}: {run_bps / 1e9:.2f} GB/s "
+              f"(baseline {base_bps / 1e9:.2f} GB/s, {ratio:.2f}x)")
+    for name in sorted(set(run) - set(baseline)):
+        print(f"  NEW      {name} (not in baseline)")
+
+    if regressions:
+        print(f"bench_regression: {len(regressions)} benchmark(s) more than "
+              f"{args.tolerance:.0%} below baseline: {', '.join(regressions)}",
+              file=sys.stderr)
+        if args.strict:
+            return 1
+        print("bench_regression: warn-only mode (pass --strict to fail)",
+              file=sys.stderr)
+    else:
+        print("bench_regression: all benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

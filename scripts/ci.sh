@@ -9,9 +9,15 @@
 #   scripts/ci.sh release          # one configuration only
 #   scripts/ci.sh asan
 #   scripts/ci.sh tsan
+#   scripts/ci.sh scalar           # Release suite with ISOBAR_SIMD=scalar,
+#                                  # pinning the kernel dispatch to the
+#                                  # reference tier
 #   scripts/ci.sh ubsan            # optional extra configuration
 #   scripts/ci.sh fuzz             # fuzz smoke: corpus replay (+ short
 #                                  # libFuzzer run when clang is available)
+#   scripts/ci.sh bench            # bench smoke: run the kernel
+#                                  # microbenchmarks and compare against
+#                                  # BENCH_baseline.json (warn-only)
 #   scripts/ci.sh asan -R telemetry  # extra args are forwarded to ctest
 #
 # The tsan configuration exports ISOBAR_TEST_THREADS (default 4) so every
@@ -47,6 +53,12 @@ run_config() {
     ISOBAR_TEST_THREADS="${ISOBAR_TEST_THREADS:-4}" \
       ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
         ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
+  elif [ "${name}" = "scalar" ]; then
+    # Pin kernel dispatch to the scalar reference tier: every suite result
+    # (and container byte) must match the vectorized tiers.
+    ISOBAR_SIMD=scalar \
+      ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+        ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
   else
     ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
       ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
@@ -79,6 +91,35 @@ ubsan() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DISOBAR_SANITIZE=undefined \
     -DISOBAR_BUILD_BENCHMARKS=OFF
+}
+
+scalar() {
+  run_config scalar \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DISOBAR_WERROR=ON
+}
+
+# Bench smoke: run the kernel microbenchmarks briefly and compare against
+# the committed BENCH_baseline.json. Warn-only — CI machines are noisy and
+# differ from the baseline host — but the JSON artifact is kept (path in
+# ISOBAR_BENCH_JSON, default build-ci-bench/bench_smoke.json) so trends
+# are inspectable.
+bench() {
+  local name=bench
+  local dir="build-ci-${name}"
+  local out="${ISOBAR_BENCH_JSON:-${dir}/bench_smoke.json}"
+  echo "=== [${name}] configure ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j "${JOBS}" --target bench_micro
+  echo "=== [${name}] run ==="
+  "${dir}/bench/bench_micro" \
+    --benchmark_filter='Kernel|Crc32c|BwtCompressRepetitive|^BM_HistogramUpdate$|^BM_GatherColumns|^BM_ScatterColumns' \
+    --benchmark_min_time="${ISOBAR_BENCH_MIN_TIME:-0.1}" \
+    --benchmark_format=json > "${out}"
+  echo "=== [${name}] compare ==="
+  python3 scripts/bench_regression.py "${out}"
+  echo "=== [${name}] OK ==="
 }
 
 # Fuzz smoke: build the decompress fuzzer (ASan-instrumented), generate
@@ -116,7 +157,7 @@ fuzz() {
 
 for arg in "$@"; do
   case "${arg}" in
-    release|asan|tsan|ubsan|fuzz) CONFIGS+=("${arg}") ;;
+    release|asan|tsan|scalar|ubsan|fuzz|bench) CONFIGS+=("${arg}") ;;
     *) CTEST_ARGS+=("${arg}") ;;
   esac
 done

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_baseline.json from a Release build of bench_micro.
+# Run on an otherwise idle machine; the committed numbers document the
+# host they were measured on (see the "host" block in the JSON).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+BUILD_DIR="${ISOBAR_BENCH_BUILD_DIR:-build-ci-bench}"
+MIN_TIME="${ISOBAR_BENCH_MIN_TIME:-0.5}"
+
+# The baseline tracks the per-kernel rows (every dispatch tier), the CRC
+# paths, the BWT worst-case block, and the end-to-end stage benchmarks the
+# kernels feed.
+FILTER='Kernel|Crc32c|BwtCompressRepetitive|^BM_HistogramUpdate$|^BM_GatherColumns|^BM_ScatterColumns'
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_micro
+
+OUT="$(mktemp)"
+trap 'rm -f "${OUT}"' EXIT
+# Median of repeated runs: single measurements on shared machines swing by
+# tens of percent; the median is what the baseline should remember.
+"${BUILD_DIR}/bench/bench_micro" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_repetitions="${ISOBAR_BENCH_REPETITIONS:-5}" \
+  --benchmark_format=json > "${OUT}"
+
+python3 scripts/bench_regression.py "${OUT}" --update

@@ -14,30 +14,72 @@ constexpr size_t kBlockSize = 256 * 1024;
 constexpr size_t kMaxZeroRun = 256;
 
 // --- Burrows–Wheeler transform of one block (cyclic rotations), via
-// prefix doubling on rotation ranks: O(n log^2 n), no sentinel needed.
-// Returns the index of the original rotation ("primary index").
+// radix prefix doubling on rotation ranks: each round is one stable
+// counting sort, so the whole transform is O(n log n) with no comparator
+// in sight — worst-case inputs (long repeats) cost the same as random
+// ones. No sentinel needed. Returns the index of the original rotation
+// ("primary index").
 uint32_t BwtForward(ByteSpan block, Bytes* last_column) {
   const size_t n = block.size();
-  std::vector<uint32_t> sa(n), rank(n), next_rank(n);
-  std::iota(sa.begin(), sa.end(), 0);
-  for (size_t i = 0; i < n; ++i) rank[i] = block[i];
+  if (n == 0) {
+    last_column->clear();
+    return 0;
+  }
+  std::vector<uint32_t> sa(n), rank(n), next_rank(n), tmp(n);
+  // Ranks are < n after the first re-rank but start as raw byte values,
+  // so the bucket array covers both key spaces.
+  const size_t buckets = std::max<size_t>(n, 256) + 1;
+  std::vector<uint32_t> cnt(buckets);
 
-  for (size_t k = 1; k < n; k *= 2) {
-    auto key = [&](uint32_t i) {
-      return std::pair<uint32_t, uint32_t>(rank[i],
-                                           rank[(i + k) % n]);
+  // Stable counting sort of the positions listed in `src` by rank[],
+  // into sa. Stability is what lets one pass per round suffice: `src`
+  // arrives ordered by the secondary (k-offset) key.
+  auto sort_by_rank = [&](const std::vector<uint32_t>& src) {
+    std::fill(cnt.begin(), cnt.end(), 0);
+    for (size_t i = 0; i < n; ++i) ++cnt[rank[src[i]]];
+    uint32_t sum = 0;
+    for (size_t c = 0; c < buckets; ++c) {
+      const uint32_t count = cnt[c];
+      cnt[c] = sum;
+      sum += count;
+    }
+    for (size_t i = 0; i < n; ++i) sa[cnt[rank[src[i]]]++] = src[i];
+  };
+
+  // Round 0: order by first byte.
+  for (size_t i = 0; i < n; ++i) rank[i] = block[i];
+  std::iota(tmp.begin(), tmp.end(), 0);
+  sort_by_rank(tmp);
+  uint32_t max_rank = 0;
+  next_rank[sa[0]] = 0;
+  for (size_t j = 1; j < n; ++j) {
+    if (block[sa[j]] != block[sa[j - 1]]) ++max_rank;
+    next_rank[sa[j]] = max_rank;
+  }
+  rank.swap(next_rank);
+
+  for (size_t k = 1; k < n && max_rank + 1 < n; k *= 2) {
+    // sa is ordered by rank, i.e. by the k-prefix starting at each
+    // position; shifting every entry back k positions (cyclically) lists
+    // the positions in order of their *second* sort key, rank[(i+k)%n].
+    for (size_t j = 0; j < n; ++j) {
+      tmp[j] = sa[j] >= k ? sa[j] - static_cast<uint32_t>(k)
+                          : sa[j] + static_cast<uint32_t>(n - k);
+    }
+    sort_by_rank(tmp);
+    auto second = [&](uint32_t i) {
+      return rank[i + k < n ? i + k : i + k - n];
     };
-    std::sort(sa.begin(), sa.end(),
-              [&](uint32_t a, uint32_t b) { return key(a) < key(b); });
+    max_rank = 0;
     next_rank[sa[0]] = 0;
-    bool all_distinct = true;
     for (size_t j = 1; j < n; ++j) {
-      const bool equal = key(sa[j]) == key(sa[j - 1]);
-      next_rank[sa[j]] = next_rank[sa[j - 1]] + (equal ? 0 : 1);
-      all_distinct &= !equal;
+      if (rank[sa[j]] != rank[sa[j - 1]] ||
+          second(sa[j]) != second(sa[j - 1])) {
+        ++max_rank;
+      }
+      next_rank[sa[j]] = max_rank;
     }
     rank.swap(next_rank);
-    if (all_distinct) break;
   }
   // Ties can remain for periodic blocks (e.g. all-equal bytes): identical
   // rotations are interchangeable, so any stable order decodes correctly.

@@ -38,7 +38,10 @@ Result<AnalysisResult> Analyzer::Analyze(ByteSpan data, size_t width) const {
   calls.Increment();
   bytes.Add(data.size());
 
-  ColumnHistogramSet histograms(width);
+  // One histogram set per worker thread: ResetWidth clears the counters but
+  // keeps the allocation, so steady-state analysis never touches the heap.
+  thread_local ColumnHistogramSet histograms(1);
+  histograms.ResetWidth(width);
   ISOBAR_RETURN_NOT_OK(histograms.Update(data));
   Result<AnalysisResult> result = Classify(histograms);
   if (result.ok()) {

@@ -22,7 +22,7 @@ Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
                    Linearization linearization, ByteSpan chunk, size_t width,
                    Bytes* out, CompressionStats* stats,
                    uint64_t trace_pipeline_id,
-                   telemetry::ChunkTrace* trace_out) {
+                   telemetry::ChunkTrace* trace_out, ScratchArena* arena) {
   const uint64_t full_mask = FullMask(width);
   telemetry::ScopedSpan chunk_span("compress.chunk");
   const size_t record_base = out->size();
@@ -49,18 +49,29 @@ Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
   chunk_header.compressible_mask = analysis.compressible_mask;
   chunk_header.crc32c = crc32c::Value(chunk);
 
-  Bytes gathered;
+  // Arena-backed temporaries: with a per-worker arena these three vectors
+  // reach steady-state capacity after a few chunks and stop allocating.
+  Bytes local_gathered;
+  Bytes local_raw;
+  Bytes local_compressed;
+  Bytes& gathered =
+      arena != nullptr ? arena->buffer(ScratchArena::kGathered)
+                       : local_gathered;
+  Bytes& raw = arena != nullptr ? arena->buffer(ScratchArena::kRaw)
+                                : local_raw;
+  Bytes& compressed =
+      arena != nullptr ? arena->buffer(ScratchArena::kCompressed)
+                       : local_compressed;
+
   ByteSpan raw_section;
-  Partition partition;
   double partition_seconds = 0.0;
   if (analysis.improvable()) {
     Stopwatch partition_timer;
-    ISOBAR_RETURN_NOT_OK(PartitionData(chunk, width,
-                                       analysis.compressible_mask,
-                                       linearization, &partition));
+    ISOBAR_RETURN_NOT_OK(PartitionDataInto(chunk, width,
+                                           analysis.compressible_mask,
+                                           linearization, &gathered, &raw));
     partition_seconds = partition_timer.ElapsedSeconds();
-    gathered = std::move(partition.compressible);
-    raw_section = ByteSpan(partition.incompressible);
+    raw_section = ByteSpan(raw);
   } else {
     // Undetermined (Alg. 1 lines 2-3): the whole chunk goes to the
     // solver, still in the EUPA-chosen linearization.
@@ -73,11 +84,11 @@ Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
   }
   if (stats != nullptr) stats->partition_seconds += partition_seconds;
 
-  Bytes compressed;
   double codec_seconds = 0.0;
   {
     telemetry::ScopedSpan solve_span("chunk.solve");
     Stopwatch codec_timer;
+    compressed.clear();  // Arena slot may hold the previous chunk's output.
     ISOBAR_RETURN_NOT_OK(codec.Compress(gathered, &compressed));
     codec_seconds = codec_timer.ElapsedSeconds();
   }
@@ -169,7 +180,8 @@ Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
                           const Codec& codec, Linearization linearization,
                           size_t width, bool verify_checksums,
                           MutableByteSpan dest, DecompressionStats* stats,
-                          ChunkFailureStage* failed_stage) {
+                          ChunkFailureStage* failed_stage,
+                          ScratchArena* arena) {
   if (failed_stage != nullptr) *failed_stage = ChunkFailureStage::kPayload;
   const uint64_t full_mask = FullMask(width);
   const bool undetermined =
@@ -190,7 +202,9 @@ Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
     return Status::Corruption("container: raw section size mismatch");
   }
 
-  Bytes decoded;
+  Bytes local_decoded;
+  Bytes& decoded = arena != nullptr ? arena->buffer(ScratchArena::kDecoded)
+                                    : local_decoded;
   ByteSpan packed;
   {
     telemetry::ScopedSpan decode_span("chunk.decode");
@@ -201,6 +215,7 @@ Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
       }
       packed = compressed_section;
     } else {
+      decoded.clear();  // Arena slot may hold the previous chunk's output.
       ISOBAR_RETURN_NOT_OK(
           codec.Decompress(compressed_section, expected_packed, &decoded));
       packed = ByteSpan(decoded);
@@ -245,7 +260,7 @@ Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
                    size_t width, uint64_t max_elements, bool verify_checksums,
                    Bytes* out, DecompressionStats* stats,
                    uint64_t chunk_index, ChunkFailureStage* failed_stage,
-                   container::ChunkHeader* header_out) {
+                   container::ChunkHeader* header_out, ScratchArena* arena) {
   telemetry::ScopedSpan chunk_span("decompress.chunk");
   if (failed_stage != nullptr) *failed_stage = ChunkFailureStage::kHeader;
   const size_t record_offset = *offset;
@@ -282,7 +297,7 @@ Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
   Status status = DecodeChunkPayload(chunk_header, compressed_section,
                                      raw_section, codec, linearization, width,
                                      verify_checksums, dest, stats,
-                                     failed_stage);
+                                     failed_stage, arena);
   if (!status.ok()) {
     out->resize(chunk_base);  // Drop partially scattered bytes.
     return AnnotateChunkError(status, chunk_index, record_offset);

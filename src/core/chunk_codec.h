@@ -8,6 +8,7 @@
 #include "linearize/transpose.h"
 #include "telemetry/trace_export.h"
 #include "util/bytes.h"
+#include "util/scratch_arena.h"
 #include "util/status.h"
 
 namespace isobar {
@@ -24,12 +25,15 @@ namespace isobar {
 /// `trace_out` is non-null, in which case the record is written there
 /// instead of into the global recorder. Parallel pipelines use the
 /// out-param so a single writer can stitch worker-produced traces back
-/// into chunk order.
+/// into chunk order. When `arena` is non-null its slots back the gather /
+/// raw / compressed temporaries, so a worker encoding many chunks reuses
+/// the same steady-state allocations instead of reallocating per chunk.
 Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
                    Linearization linearization, ByteSpan chunk, size_t width,
                    Bytes* out, CompressionStats* stats,
                    uint64_t trace_pipeline_id = 0,
-                   telemetry::ChunkTrace* trace_out = nullptr);
+                   telemetry::ChunkTrace* trace_out = nullptr,
+                   ScratchArena* arena = nullptr);
 
 /// Prefixes a failed `status` with the failing record's position —
 /// "chunk 17 (container offset 123456): ..." — so corruption reports name
@@ -63,7 +67,8 @@ Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
                    Bytes* out, DecompressionStats* stats = nullptr,
                    uint64_t chunk_index = 0,
                    ChunkFailureStage* failed_stage = nullptr,
-                   container::ChunkHeader* header_out = nullptr);
+                   container::ChunkHeader* header_out = nullptr,
+                   ScratchArena* arena = nullptr);
 
 /// Folds a stats contribution covering `chunk.chunk_count` chunks into a
 /// pipeline total, in chunk order. mean_htc_fraction merges weighted by
@@ -83,13 +88,16 @@ void MergeChunkStats(const CompressionStats& chunk, CompressionStats* total);
 /// regions of one output buffer. On failure `dest` may hold partially
 /// scattered bytes (salvage callers re-zero it) and `*failed_stage` (when
 /// non-null) reports whether the payload or its checksum was rejected.
+/// When `arena` is non-null its kDecoded slot backs the solver's output
+/// buffer (cleared before use), amortizing the allocation across chunks.
 Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
                           ByteSpan compressed_section, ByteSpan raw_section,
                           const Codec& codec, Linearization linearization,
                           size_t width, bool verify_checksums,
                           MutableByteSpan dest,
                           DecompressionStats* stats = nullptr,
-                          ChunkFailureStage* failed_stage = nullptr);
+                          ChunkFailureStage* failed_stage = nullptr,
+                          ScratchArena* arena = nullptr);
 
 }  // namespace isobar
 

@@ -148,11 +148,12 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
 
   const size_t num_threads = ResolveNumThreads(options_.num_threads);
   if (num_threads <= 1 || chunker.chunk_count() <= 1) {
+    ScratchArena& arena = ScratchArena::ThreadLocal();
     for (uint64_t ci = 0; ci < chunker.chunk_count(); ++ci) {
       ISOBAR_RETURN_NOT_OK(EncodeChunk(analyzer, *codec,
                                        decision.linearization,
                                        chunker.chunk(ci), width, &out, stats,
-                                       trace_id));
+                                       trace_id, nullptr, &arena));
     }
   } else {
     // Fan each chunk's analyze→partition→solve out as a pool task; this
@@ -171,10 +172,13 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
           pool.Submit([&analyzer, &codec, &decision, chunk, width, trace_id,
                        tracing]() -> EncodedChunk {
             EncodedChunk encoded;
+            // ThreadLocal() inside the task: each pool worker gets (and
+            // keeps) its own arena across every chunk it encodes.
             encoded.status = EncodeChunk(
                 analyzer, *codec, decision.linearization, chunk, width,
                 &encoded.record, &encoded.stats, trace_id,
-                tracing ? &encoded.trace : nullptr);
+                tracing ? &encoded.trace : nullptr,
+                &ScratchArena::ThreadLocal());
             return encoded;
           }));
     };
@@ -403,7 +407,7 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
     outcome.status = DecodeChunkPayload(
         work.header, work.compressed, work.raw, *codec, header.linearization,
         width, options.verify_checksums, dest, &outcome.stats,
-        &outcome.stage);
+        &outcome.stage, &ScratchArena::ThreadLocal());
     if (!outcome.status.ok()) {
       outcome.status =
           AnnotateChunkError(outcome.status, work.index, work.byte_offset);

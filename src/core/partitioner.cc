@@ -5,8 +5,10 @@
 
 namespace isobar {
 
-Status PartitionData(ByteSpan data, size_t width, uint64_t compressible_mask,
-                     Linearization linearization, Partition* out) {
+Status PartitionDataInto(ByteSpan data, size_t width,
+                         uint64_t compressible_mask,
+                         Linearization linearization, Bytes* compressible,
+                         Bytes* incompressible) {
   if (width == 0 || width > 64) {
     return Status::InvalidArgument("element width must be in [1, 64]");
   }
@@ -21,19 +23,13 @@ Status PartitionData(ByteSpan data, size_t width, uint64_t compressible_mask,
 
   telemetry::ScopedSpan span("chunk.partition");
 
-  out->width = width;
-  out->element_count = data.size() / width;
-  out->compressible_mask = compressible_mask;
-  out->linearization = linearization;
-
   ISOBAR_RETURN_NOT_OK(GatherColumns(data, width, compressible_mask,
-                                     linearization, &out->compressible));
+                                     linearization, compressible));
   // Noise bytes keep element-major (row) order: they are never entropy
   // coded, and row order makes the merge a cheap interleave.
   ISOBAR_RETURN_NOT_OK(GatherColumns(data, width,
                                      full_mask & ~compressible_mask,
-                                     Linearization::kRow,
-                                     &out->incompressible));
+                                     Linearization::kRow, incompressible));
 
   static telemetry::Counter& calls = telemetry::GetCounter("partitioner.calls");
   static telemetry::Counter& compressible_bytes =
@@ -41,8 +37,22 @@ Status PartitionData(ByteSpan data, size_t width, uint64_t compressible_mask,
   static telemetry::Counter& incompressible_bytes =
       telemetry::GetCounter("partitioner.incompressible_bytes");
   calls.Increment();
-  compressible_bytes.Add(out->compressible.size());
-  incompressible_bytes.Add(out->incompressible.size());
+  compressible_bytes.Add(compressible->size());
+  incompressible_bytes.Add(incompressible->size());
+  return Status::OK();
+}
+
+Status PartitionData(ByteSpan data, size_t width, uint64_t compressible_mask,
+                     Linearization linearization, Partition* out) {
+  // Validate (via the Into form) before deriving element_count: a zero
+  // width must be rejected, not divided by.
+  ISOBAR_RETURN_NOT_OK(PartitionDataInto(data, width, compressible_mask,
+                                         linearization, &out->compressible,
+                                         &out->incompressible));
+  out->width = width;
+  out->element_count = data.size() / width;
+  out->compressible_mask = compressible_mask;
+  out->linearization = linearization;
   return Status::OK();
 }
 

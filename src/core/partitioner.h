@@ -38,6 +38,15 @@ struct Partition {
 Status PartitionData(ByteSpan data, size_t width, uint64_t compressible_mask,
                      Linearization linearization, Partition* out);
 
+/// Core of PartitionData writing into caller-owned buffers: the chunk
+/// pipeline passes ScratchArena slots here so the two streams reuse their
+/// steady-state allocations instead of growing a fresh Partition per
+/// chunk. Both buffers are overwritten (resized) in full.
+Status PartitionDataInto(ByteSpan data, size_t width,
+                         uint64_t compressible_mask,
+                         Linearization linearization, Bytes* compressible,
+                         Bytes* incompressible);
+
 /// Inverse of PartitionData: interleaves the two streams back into the
 /// original element-major byte order. This is the paper's "merger" acting
 /// on one chunk.

@@ -104,7 +104,8 @@ Status IsobarStreamWriter::EmitChunk(ByteSpan chunk) {
     Bytes record;
     ISOBAR_RETURN_NOT_OK(EncodeChunk(analyzer, *codec_,
                                      decision_.linearization, chunk, width_,
-                                     &record, &stats_, trace_id_));
+                                     &record, &stats_, trace_id_, nullptr,
+                                     &ScratchArena::ThreadLocal()));
     ISOBAR_RETURN_NOT_OK(sink_->Write(record));
     stats_.output_bytes += record.size();
     return Status::OK();
@@ -121,10 +122,13 @@ Status IsobarStreamWriter::EmitChunk(ByteSpan chunk) {
       pool_->Submit([this, owned = std::move(owned)]() -> EncodedRecord {
         EncodedRecord encoded;
         const Analyzer analyzer(options_.analyzer);
+        // ThreadLocal() inside the task: each pool worker reuses its own
+        // arena across every chunk it encodes.
         encoded.status = EncodeChunk(
             analyzer, *codec_, decision_.linearization, owned, width_,
             &encoded.record, &encoded.stats, trace_id_,
-            trace_id_ != 0 ? &encoded.trace : nullptr);
+            trace_id_ != 0 ? &encoded.trace : nullptr,
+            &ScratchArena::ThreadLocal());
         return encoded;
       }));
   if (in_flight_.size() >= 2 * num_threads_) {
@@ -327,7 +331,7 @@ Result<bool> IsobarStreamReader::NextChunk(Bytes* chunk) {
     const Status status = DecodeChunk(
         container_, &offset_, *codec_, header_.linearization, header_.width,
         header_.chunk_elements, options_.verify_checksums, chunk, nullptr,
-        index, &stage, &chunk_header);
+        index, &stage, &chunk_header, &ScratchArena::ThreadLocal());
     if (status.ok()) {
       ++chunks_read_;
       ++report_.chunks_total;

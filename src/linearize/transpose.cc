@@ -1,6 +1,9 @@
 #include "linearize/transpose.h"
 
 #include <array>
+#include <cstring>
+
+#include "simd/dispatch.h"
 
 namespace isobar {
 namespace {
@@ -47,11 +50,37 @@ Status GatherColumns(ByteSpan data, size_t width, uint64_t column_mask,
     return Status::InvalidArgument("data size is not a multiple of width");
   }
   const size_t n = data.size() / width;
+  if (k == 0 || n == 0) {
+    out->clear();
+    return Status::OK();
+  }
+  const bool full_mask = (k == width);
+  if (full_mask && lin == Linearization::kRow) {
+    // Full-mask row order is the identity layout. assign() copies in a
+    // single pass and, unlike resize-then-write, never value-initializes.
+    out->assign(data.begin(), data.end());
+    return Status::OK();
+  }
+  // resize() value-initializes any growth even though every byte below is
+  // overwritten; C++ offers no standard way around that for std::vector.
+  // Reused buffers (ScratchArena) reach steady-state capacity after the
+  // first chunk, after which this is a pure size update — the zero-fill
+  // is a warm-up cost, not a per-chunk one.
   out->resize(n * k);
-  if (k == 0) return Status::OK();
 
   const uint8_t* src = data.data();
   uint8_t* dst = out->data();
+  if (full_mask && lin == Linearization::kColumn) {
+    const simd::KernelTable& kernels = simd::Kernels();
+    if (width == 4) {
+      kernels.gather_col_w4(src, n, dst);
+      return Status::OK();
+    }
+    if (width == 8) {
+      kernels.gather_col_w8(src, n, dst);
+      return Status::OK();
+    }
+  }
   if (lin == Linearization::kRow) {
     for (size_t i = 0; i < n; ++i, src += width) {
       for (size_t c = 0; c < k; ++c) *dst++ = src[columns[c]];
@@ -79,10 +108,26 @@ Status ScatterColumns(ByteSpan packed, size_t width, uint64_t column_mask,
         "packed size " + std::to_string(packed.size()) + " != " +
         std::to_string(n * k) + " (N * selected columns)");
   }
-  if (k == 0) return Status::OK();
+  if (k == 0 || n == 0) return Status::OK();
 
   const uint8_t* src = packed.data();
   uint8_t* dst = dest.data();
+  const bool full_mask = (k == width);
+  if (full_mask && lin == Linearization::kRow) {
+    std::memcpy(dst, src, packed.size());
+    return Status::OK();
+  }
+  if (full_mask && lin == Linearization::kColumn) {
+    const simd::KernelTable& kernels = simd::Kernels();
+    if (width == 4) {
+      kernels.scatter_col_w4(src, n, dst);
+      return Status::OK();
+    }
+    if (width == 8) {
+      kernels.scatter_col_w8(src, n, dst);
+      return Status::OK();
+    }
+  }
   if (lin == Linearization::kRow) {
     for (size_t i = 0; i < n; ++i, dst += width) {
       for (size_t c = 0; c < k; ++c) dst[columns[c]] = *src++;

@@ -1,0 +1,137 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "simd/kernels.h"
+
+namespace isobar::simd {
+namespace {
+
+constexpr uint8_t kUnresolved = 0xFF;
+
+// Active tier, resolved lazily so the ISOBAR_SIMD override is read exactly
+// once (tests re-arm it through ResetActiveTierForTesting).
+std::atomic<uint8_t> g_active_tier{kUnresolved};
+
+Tier ClampToSupported(Tier tier) {
+  while (tier != Tier::kScalar && !TierSupported(tier)) {
+    tier = static_cast<Tier>(static_cast<uint8_t>(tier) - 1);
+  }
+  return tier;
+}
+
+Tier ResolveTier() {
+  Tier tier = DetectTier();
+  if (const char* env = std::getenv("ISOBAR_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) {
+      tier = Tier::kScalar;
+    } else if (std::strcmp(env, "sse42") == 0) {
+      tier = ClampToSupported(Tier::kSse42);
+    } else if (std::strcmp(env, "avx2") == 0) {
+      tier = ClampToSupported(Tier::kAvx2);
+    }
+    // Unknown values are ignored: misconfiguration must never disable
+    // compression, and the tier in use is visible via TierToString.
+  }
+  return tier;
+}
+
+constexpr KernelTable kScalarTable = {
+    internal::HistogramUpdateScalar, internal::GatherColW4Scalar,
+    internal::GatherColW8Scalar,     internal::ScatterColW4Scalar,
+    internal::ScatterColW8Scalar,
+};
+
+#if defined(__x86_64__) || defined(__i386__)
+constexpr KernelTable kSse42Table = {
+    // The blocked histogram is portable ILP code (interleaved
+    // accumulators), not intrinsics; it rides the SSE4.2 tier so the
+    // scalar tier stays the bit-faithful reference implementation.
+    internal::HistogramUpdateBlocked, internal::GatherColW4Sse,
+    internal::GatherColW8Sse,         internal::ScatterColW4Sse,
+    internal::ScatterColW8Sse,
+};
+
+constexpr KernelTable kAvx2Table = {
+    internal::HistogramUpdateBlocked, internal::GatherColW4Avx2,
+    internal::GatherColW8Avx2,
+    // Scatter reuses the SSE kernels: the inverse network's stores are
+    // already contiguous full-cacheline runs, and a 256-bit variant
+    // measured no faster than the 128-bit one.
+    internal::ScatterColW4Sse, internal::ScatterColW8Sse,
+};
+#endif  // x86
+
+}  // namespace
+
+std::string_view TierToString(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse42:
+      return "sse42";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Tier DetectTier() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const Tier detected = [] {
+    if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+    if (__builtin_cpu_supports("sse4.2")) return Tier::kSse42;
+    return Tier::kScalar;
+  }();
+  return detected;
+#else
+  return Tier::kScalar;
+#endif
+}
+
+bool TierSupported(Tier tier) { return tier <= DetectTier(); }
+
+Tier ActiveTier() {
+  uint8_t raw = g_active_tier.load(std::memory_order_relaxed);
+  if (raw == kUnresolved) {
+    const Tier resolved = ResolveTier();
+    // Racing first calls resolve to the same value; last store wins.
+    g_active_tier.store(static_cast<uint8_t>(resolved),
+                        std::memory_order_relaxed);
+    return resolved;
+  }
+  return static_cast<Tier>(raw);
+}
+
+Tier SetActiveTierForTesting(Tier tier) {
+  const Tier clamped = ClampToSupported(tier);
+  g_active_tier.store(static_cast<uint8_t>(clamped),
+                      std::memory_order_relaxed);
+  return clamped;
+}
+
+void ResetActiveTierForTesting() {
+  g_active_tier.store(kUnresolved, std::memory_order_relaxed);
+}
+
+const KernelTable& KernelsForTier(Tier tier) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (ClampToSupported(tier)) {
+    case Tier::kAvx2:
+      return kAvx2Table;
+    case Tier::kSse42:
+      return kSse42Table;
+    case Tier::kScalar:
+      break;
+  }
+#else
+  (void)tier;
+#endif
+  return kScalarTable;
+}
+
+const KernelTable& Kernels() { return KernelsForTier(ActiveTier()); }
+
+}  // namespace isobar::simd

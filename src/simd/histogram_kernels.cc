@@ -1,0 +1,201 @@
+#include <algorithm>
+#include <cstring>
+
+#include "simd/kernels.h"
+#include "util/bytes.h"
+
+namespace isobar::simd::internal {
+namespace {
+
+// Block size for the cache-blocked generic path: the block is re-read once
+// per column, so it must sit in L2 across all width passes.
+constexpr size_t kHistogramBlockBytes = 128 * 1024;
+
+// The interleaved sub-counters are uint32_t to halve their cache
+// footprint; a single flush interval must therefore stay below 2^32
+// elements. Every Update call in the pipeline is far below this (chunks
+// are megabytes), but the kernel guards it anyway.
+constexpr size_t kFlushElements = size_t{1} << 31;
+
+// Width-4 fast path: one pass over the data, 16 independent increment
+// chains (4 columns x 4 interleaved lanes), two 8-byte loads per 4
+// elements. Counter footprint: 4 * 4 * 256 * 4B = 16 KiB.
+void HistogramUpdateW4(const uint8_t* data, size_t n, uint64_t* hists) {
+  alignas(64) uint32_t cnt[4][4][256];
+  std::memset(cnt, 0, sizeof(cnt));
+  const uint8_t* p = data;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint64_t w0 = LoadLE64(p);      // elements i, i+1
+    const uint64_t w1 = LoadLE64(p + 8);  // elements i+2, i+3
+    ++cnt[0][0][w0 & 0xFF];
+    ++cnt[1][0][(w0 >> 8) & 0xFF];
+    ++cnt[2][0][(w0 >> 16) & 0xFF];
+    ++cnt[3][0][(w0 >> 24) & 0xFF];
+    ++cnt[0][1][(w0 >> 32) & 0xFF];
+    ++cnt[1][1][(w0 >> 40) & 0xFF];
+    ++cnt[2][1][(w0 >> 48) & 0xFF];
+    ++cnt[3][1][w0 >> 56];
+    ++cnt[0][2][w1 & 0xFF];
+    ++cnt[1][2][(w1 >> 8) & 0xFF];
+    ++cnt[2][2][(w1 >> 16) & 0xFF];
+    ++cnt[3][2][(w1 >> 24) & 0xFF];
+    ++cnt[0][3][(w1 >> 32) & 0xFF];
+    ++cnt[1][3][(w1 >> 40) & 0xFF];
+    ++cnt[2][3][(w1 >> 48) & 0xFF];
+    ++cnt[3][3][w1 >> 56];
+    p += 16;
+  }
+  for (; i < n; ++i) {
+    for (size_t j = 0; j < 4; ++j) ++cnt[j][0][p[j]];
+    p += 4;
+  }
+  for (size_t j = 0; j < 4; ++j) {
+    uint64_t* h = hists + j * 256;
+    for (size_t v = 0; v < 256; ++v) {
+      h[v] += static_cast<uint64_t>(cnt[j][0][v]) + cnt[j][1][v] +
+              cnt[j][2][v] + cnt[j][3][v];
+    }
+  }
+}
+
+// Width-8 fast path: one pass, 32 independent chains (8 columns x 4
+// lanes), so even a constant byte-column (the common HTC shape, all
+// increments hitting one counter) splits its serial increment chain four
+// ways. Counter footprint: 8 * 4 * 256 * 4B = 32 KiB — still within L1.
+void HistogramUpdateW8(const uint8_t* data, size_t n, uint64_t* hists) {
+  alignas(64) uint32_t cnt[8][4][256];
+  std::memset(cnt, 0, sizeof(cnt));
+  const uint8_t* p = data;
+  size_t i = 0;
+  // Each word is split into 32-bit halves before byte extraction: the
+  // low two bytes of a 32-bit register are reachable with single-µop
+  // movzx forms, which keeps the extraction off the shifter ports that
+  // the 32 address computations already saturate.
+  for (; i + 4 <= n; i += 4) {
+    const uint64_t w0 = LoadLE64(p);
+    const uint64_t w1 = LoadLE64(p + 8);
+    const uint64_t w2 = LoadLE64(p + 16);
+    const uint64_t w3 = LoadLE64(p + 24);
+    const uint32_t lo0 = static_cast<uint32_t>(w0);
+    const uint32_t hi0 = static_cast<uint32_t>(w0 >> 32);
+    const uint32_t lo1 = static_cast<uint32_t>(w1);
+    const uint32_t hi1 = static_cast<uint32_t>(w1 >> 32);
+    const uint32_t lo2 = static_cast<uint32_t>(w2);
+    const uint32_t hi2 = static_cast<uint32_t>(w2 >> 32);
+    const uint32_t lo3 = static_cast<uint32_t>(w3);
+    const uint32_t hi3 = static_cast<uint32_t>(w3 >> 32);
+    ++cnt[0][0][lo0 & 0xFF];
+    ++cnt[1][0][(lo0 >> 8) & 0xFF];
+    ++cnt[2][0][(lo0 >> 16) & 0xFF];
+    ++cnt[3][0][lo0 >> 24];
+    ++cnt[4][0][hi0 & 0xFF];
+    ++cnt[5][0][(hi0 >> 8) & 0xFF];
+    ++cnt[6][0][(hi0 >> 16) & 0xFF];
+    ++cnt[7][0][hi0 >> 24];
+    ++cnt[0][1][lo1 & 0xFF];
+    ++cnt[1][1][(lo1 >> 8) & 0xFF];
+    ++cnt[2][1][(lo1 >> 16) & 0xFF];
+    ++cnt[3][1][lo1 >> 24];
+    ++cnt[4][1][hi1 & 0xFF];
+    ++cnt[5][1][(hi1 >> 8) & 0xFF];
+    ++cnt[6][1][(hi1 >> 16) & 0xFF];
+    ++cnt[7][1][hi1 >> 24];
+    ++cnt[0][2][lo2 & 0xFF];
+    ++cnt[1][2][(lo2 >> 8) & 0xFF];
+    ++cnt[2][2][(lo2 >> 16) & 0xFF];
+    ++cnt[3][2][lo2 >> 24];
+    ++cnt[4][2][hi2 & 0xFF];
+    ++cnt[5][2][(hi2 >> 8) & 0xFF];
+    ++cnt[6][2][(hi2 >> 16) & 0xFF];
+    ++cnt[7][2][hi2 >> 24];
+    ++cnt[0][3][lo3 & 0xFF];
+    ++cnt[1][3][(lo3 >> 8) & 0xFF];
+    ++cnt[2][3][(lo3 >> 16) & 0xFF];
+    ++cnt[3][3][lo3 >> 24];
+    ++cnt[4][3][hi3 & 0xFF];
+    ++cnt[5][3][(hi3 >> 8) & 0xFF];
+    ++cnt[6][3][(hi3 >> 16) & 0xFF];
+    ++cnt[7][3][hi3 >> 24];
+    p += 32;
+  }
+  for (; i < n; ++i) {
+    for (size_t j = 0; j < 8; ++j) ++cnt[j][0][p[j]];
+    p += 8;
+  }
+  for (size_t j = 0; j < 8; ++j) {
+    uint64_t* h = hists + j * 256;
+    for (size_t v = 0; v < 256; ++v) {
+      h[v] += static_cast<uint64_t>(cnt[j][0][v]) + cnt[j][1][v] +
+              cnt[j][2][v] + cnt[j][3][v];
+    }
+  }
+}
+
+// Generic width: cache-blocked per-column passes. The block is streamed
+// once per column (from L2, not DRAM), and each pass keeps 4 interleaved
+// sub-counters so consecutive increments to the same byte value do not
+// serialize on store-to-load forwarding.
+void HistogramUpdateGeneric(const uint8_t* data, size_t n, size_t width,
+                            uint64_t* hists) {
+  const size_t block_elems =
+      std::max<size_t>(kHistogramBlockBytes / width, size_t{4});
+  alignas(64) uint32_t cnt[4][256];
+  for (size_t base = 0; base < n; base += block_elems) {
+    const size_t m = std::min(block_elems, n - base);
+    const uint8_t* block = data + base * width;
+    for (size_t j = 0; j < width; ++j) {
+      std::memset(cnt, 0, sizeof(cnt));
+      const uint8_t* p = block + j;
+      size_t i = 0;
+      const size_t stride4 = 4 * width;
+      for (; i + 4 <= m; i += 4) {
+        ++cnt[0][p[0]];
+        ++cnt[1][p[width]];
+        ++cnt[2][p[2 * width]];
+        ++cnt[3][p[3 * width]];
+        p += stride4;
+      }
+      for (; i < m; ++i) {
+        ++cnt[0][*p];
+        p += width;
+      }
+      uint64_t* h = hists + j * 256;
+      for (size_t v = 0; v < 256; ++v) {
+        h[v] += static_cast<uint64_t>(cnt[0][v]) + cnt[1][v] + cnt[2][v] +
+                cnt[3][v];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void HistogramUpdateScalar(const uint8_t* data, size_t n, size_t width,
+                           uint64_t* hists) {
+  const uint8_t* p = data;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < width; ++j) ++hists[j * 256 + p[j]];
+    p += width;
+  }
+}
+
+void HistogramUpdateBlocked(const uint8_t* data, size_t n, size_t width,
+                            uint64_t* hists) {
+  // Flush in bounded slices so the uint32_t sub-counters cannot overflow
+  // on pathologically large single Update calls.
+  while (n > kFlushElements) {
+    HistogramUpdateBlocked(data, kFlushElements, width, hists);
+    data += kFlushElements * width;
+    n -= kFlushElements;
+  }
+  if (width == 4) {
+    HistogramUpdateW4(data, n, hists);
+  } else if (width == 8) {
+    HistogramUpdateW8(data, n, hists);
+  } else {
+    HistogramUpdateGeneric(data, n, width, hists);
+  }
+}
+
+}  // namespace isobar::simd::internal

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "simd/dispatch.h"
+
 namespace isobar {
 
 ColumnHistogramSet::ColumnHistogramSet(size_t width) : histograms_(width) {
@@ -17,12 +19,11 @@ Status ColumnHistogramSet::Update(ByteSpan data) {
         " is not a multiple of element width " + std::to_string(width));
   }
   const size_t n = data.size() / width;
-  const uint8_t* p = data.data();
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < width; ++j) {
-      ++histograms_[j][p[j]];
-    }
-    p += width;
+  if (n != 0) {
+    // The dispatch tiers only differ in how the accumulator dependency
+    // chains are broken; every tier produces bit-identical counts.
+    simd::Kernels().histogram_update(data.data(), n, width,
+                                     histograms_.data()->data());
   }
   element_count_ += n;
   return Status::OK();
@@ -51,6 +52,11 @@ double ColumnHistogramSet::ColumnEntropy(size_t column) const {
 void ColumnHistogramSet::Reset() {
   for (auto& h : histograms_) h.fill(0);
   element_count_ = 0;
+}
+
+void ColumnHistogramSet::ResetWidth(size_t width) {
+  histograms_.resize(width);
+  Reset();
 }
 
 }  // namespace isobar

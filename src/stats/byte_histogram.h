@@ -47,6 +47,11 @@ class ColumnHistogramSet {
 
   void Reset();
 
+  /// Re-targets the set to `width` columns and clears every counter —
+  /// equivalent to constructing a fresh set, but reusing the existing
+  /// allocation (the analyzer recycles one set per worker this way).
+  void ResetWidth(size_t width);
+
  private:
   std::vector<ByteHistogram> histograms_;
   uint64_t element_count_ = 0;

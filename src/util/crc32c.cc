@@ -32,7 +32,7 @@ constexpr std::array<std::array<uint32_t, 256>, 8> MakeTables() {
 
 constexpr std::array<std::array<uint32_t, 256>, 8> kTables = MakeTables();
 
-uint32_t ExtendPortable(uint32_t crc, const uint8_t* data, size_t n) {
+uint32_t ExtendPortableRaw(uint32_t crc, const uint8_t* data, size_t n) {
   // Head: align to 8 bytes.
   while (n > 0 && (reinterpret_cast<uintptr_t>(data) & 7u) != 0) {
     crc = kTables[0][(crc ^ *data++) & 0xFFu] ^ (crc >> 8);
@@ -57,14 +57,80 @@ uint32_t ExtendPortable(uint32_t crc, const uint8_t* data, size_t n) {
   return crc;
 }
 
+// --- Zero-extension operator, for stitching independent CRC streams back
+// together. Appending m zero bytes to a message maps the CRC register
+// linearly over GF(2); the map is a 32×32 bit-matrix, stored as the images
+// of the 32 basis vectors. All matrices are built at compile time.
+using Matrix = std::array<uint32_t, 32>;
+
+constexpr uint32_t MatrixApply(const Matrix& m, uint32_t vec) {
+  uint32_t out = 0;
+  for (int j = 0; vec != 0; ++j, vec >>= 1) {
+    if (vec & 1u) out ^= m[j];
+  }
+  return out;
+}
+
+constexpr Matrix MatrixSquare(const Matrix& m) {
+  Matrix out{};
+  for (int j = 0; j < 32; ++j) out[j] = MatrixApply(m, m[j]);
+  return out;
+}
+
+constexpr size_t kSegmentBytes = 4096;
+
+constexpr Matrix MakeShiftSegment() {
+  // One zero byte advances the register by crc' = T0[crc & 0xFF] ^ (crc>>8);
+  // squaring doubles the zero-run, so 12 squarings reach 2^12 = 4096 bytes.
+  Matrix m{};
+  for (int j = 0; j < 32; ++j) {
+    const uint32_t basis = 1u << j;
+    m[j] = kTables[0][basis & 0xFFu] ^ (basis >> 8);
+  }
+  for (int s = 0; s < 12; ++s) m = MatrixSquare(m);
+  return m;
+}
+
+constexpr Matrix kShiftSegment = MakeShiftSegment();
+
 #if defined(__x86_64__)
-// Hardware CRC32C via SSE4.2, selected at runtime.
+// Hardware CRC32C via SSE4.2, selected at runtime. The crc32 instruction
+// has a 3-cycle latency but single-cycle throughput, so one dependency
+// chain leaves two thirds of the unit idle. Large inputs are split into
+// three adjacent 4 KiB segments checksummed by three independent chains,
+// recombined with the zero-extension operator:
+//   crc(A·B) = Shift|B|(crc(A)) ^ crc0(B)
+// where crc0 runs from a zero register.
 __attribute__((target("sse4.2"))) uint32_t ExtendHardware(uint32_t crc,
                                                           const uint8_t* data,
                                                           size_t n) {
   while (n > 0 && (reinterpret_cast<uintptr_t>(data) & 7u) != 0) {
     crc = __builtin_ia32_crc32qi(crc, *data++);
     --n;
+  }
+  while (n >= 3 * kSegmentBytes) {
+    uint64_t a = crc;
+    uint64_t b = 0;
+    uint64_t c = 0;
+    const uint8_t* pb = data + kSegmentBytes;
+    const uint8_t* pc = data + 2 * kSegmentBytes;
+    for (size_t i = 0; i < kSegmentBytes; i += 8) {
+      uint64_t wa;
+      uint64_t wb;
+      uint64_t wc;
+      __builtin_memcpy(&wa, data + i, 8);
+      __builtin_memcpy(&wb, pb + i, 8);
+      __builtin_memcpy(&wc, pc + i, 8);
+      a = __builtin_ia32_crc32di(a, wa);
+      b = __builtin_ia32_crc32di(b, wb);
+      c = __builtin_ia32_crc32di(c, wc);
+    }
+    crc = MatrixApply(kShiftSegment,
+                      MatrixApply(kShiftSegment, static_cast<uint32_t>(a)) ^
+                          static_cast<uint32_t>(b)) ^
+          static_cast<uint32_t>(c);
+    data += 3 * kSegmentBytes;
+    n -= 3 * kSegmentBytes;
   }
   uint64_t crc64 = crc;
   while (n >= 8) {
@@ -94,7 +160,22 @@ uint32_t Extend(uint32_t crc, const uint8_t* data, size_t n) {
     return ~ExtendHardware(crc, data, n);
   }
 #endif
-  return ~ExtendPortable(crc, data, n);
+  return ~ExtendPortableRaw(crc, data, n);
 }
 
+namespace internal {
+
+uint32_t ExtendPortable(uint32_t crc, const uint8_t* data, size_t n) {
+  return ~ExtendPortableRaw(~crc, data, n);
+}
+
+bool UsingHardware() {
+#if defined(__x86_64__)
+  return HaveSse42();
+#else
+  return false;
+#endif
+}
+
+}  // namespace internal
 }  // namespace isobar::crc32c

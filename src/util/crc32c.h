@@ -15,6 +15,18 @@ uint32_t Extend(uint32_t crc, const uint8_t* data, size_t n);
 /// Checksum of a whole buffer.
 inline uint32_t Value(ByteSpan data) { return Extend(0, data.data(), data.size()); }
 
+namespace internal {
+
+/// The table-driven (slicing-by-8) implementation, with the same
+/// pre/post-inversion contract as Extend. Exposed so tests can cross-check
+/// the hardware path against it on the same inputs.
+uint32_t ExtendPortable(uint32_t crc, const uint8_t* data, size_t n);
+
+/// True when Extend dispatches to the SSE4.2 hardware implementation on
+/// this machine.
+bool UsingHardware();
+
+}  // namespace internal
 }  // namespace isobar::crc32c
 
 #endif  // ISOBAR_UTIL_CRC32C_H_

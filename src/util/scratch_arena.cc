@@ -1,0 +1,22 @@
+#include "util/scratch_arena.h"
+
+namespace isobar {
+
+size_t ScratchArena::TotalCapacityBytes() const {
+  size_t total = 0;
+  for (const Bytes& buffer : buffers_) total += buffer.capacity();
+  return total;
+}
+
+void ScratchArena::Trim() {
+  for (Bytes& buffer : buffers_) {
+    Bytes().swap(buffer);
+  }
+}
+
+ScratchArena& ScratchArena::ThreadLocal() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace isobar
