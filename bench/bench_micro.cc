@@ -9,14 +9,18 @@
 // parses the remaining arguments.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "compressors/registry.h"
 #include "core/analyzer.h"
+#include "core/eupa_selector.h"
 #include "core/isobar.h"
 #include "datagen/registry.h"
 #include "fpc/fpc_codec.h"
@@ -26,6 +30,7 @@
 #include "simd/dispatch.h"
 #include "stats/byte_histogram.h"
 #include "util/crc32c.h"
+#include "util/random.h"
 
 namespace isobar {
 namespace {
@@ -152,6 +157,100 @@ BENCHMARK(BM_SolverDecompress)
     ->Arg(static_cast<int>(CodecId::kBzip2))
     ->Arg(static_cast<int>(CodecId::kHuffman));
 
+// Compressible solver input: the structured, repetitive byte-planes the
+// partitioner actually hands the homegrown solvers (noise columns are
+// stored raw and never reach them).
+Bytes CompressibleBytes(size_t elements) {
+  auto spec = FindDatasetSpec("msg_sppm");
+  auto dataset = GenerateDataset(**spec, elements);
+  return std::move(dataset->data);
+}
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const Bytes data = CompressibleBytes(131072);
+  auto codec = GetCodec(CodecId::kHuffman);
+  Bytes out;
+  for (auto _ : state) {
+    Status status = (*codec)->Compress(data, &out);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  const Bytes data = CompressibleBytes(131072);
+  auto codec = GetCodec(CodecId::kHuffman);
+  Bytes compressed, out;
+  (void)(*codec)->Compress(data, &compressed);
+  for (auto _ : state) {
+    Status status = (*codec)->Decompress(compressed, data.size(), &out);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_HuffmanDecode);
+
+void BM_LzssEncode(benchmark::State& state) {
+  const Bytes data = CompressibleBytes(131072);
+  auto codec = GetCodec(CodecId::kLzss);
+  Bytes out;
+  for (auto _ : state) {
+    Status status = (*codec)->Compress(data, &out);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_LzssEncode);
+
+void BM_LzssDecode(benchmark::State& state) {
+  const Bytes data = CompressibleBytes(131072);
+  auto codec = GetCodec(CodecId::kLzss);
+  Bytes compressed, out;
+  (void)(*codec)->Compress(data, &compressed);
+  for (auto _ : state) {
+    Status status = (*codec)->Decompress(compressed, data.size(), &out);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_LzssDecode);
+
+// EUPA selection cost on a mixed dataset (6 noise + 2 structured byte
+// columns): arg 0 runs the estimator-gated default, arg 1 the exhaustive
+// trial matrix — the gap is what pruning saves per Compress() call.
+void BM_EupaSelect(benchmark::State& state) {
+  Bytes data;
+  data.reserve(375000 * 8);
+  uint64_t rng = 0x9E3779B97F4A7C15ull;
+  for (size_t i = 0; i < 375000; ++i) {
+    for (int b = 0; b < 6; ++b) {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      data.push_back(static_cast<uint8_t>(rng));
+    }
+    data.push_back(static_cast<uint8_t>((i / 64) % 16));
+    data.push_back(0x3F);
+  }
+  EupaOptions options;
+  options.preference = Preference::kRatio;
+  if (state.range(0) != 0) options.prune_margin = 0.0;
+  const EupaSelector selector(options);
+  for (auto _ : state) {
+    auto decision = selector.Select(data, 8, 0xC0);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+  state.SetLabel(state.range(0) == 0 ? "gated" : "exhaustive");
+}
+BENCHMARK(BM_EupaSelect)->Arg(0)->Arg(1);
+
 void BM_PforCompress(benchmark::State& state) {
   const Dataset dataset = HardDataset(375000);
   const PforCodec codec(static_cast<PforMode>(state.range(0)));
@@ -233,6 +332,58 @@ void BM_HistogramUpdate(benchmark::State& state) {
                           static_cast<int64_t>(dataset.data.size()));
 }
 BENCHMARK(BM_HistogramUpdate);
+
+void BM_MtfEncode(benchmark::State& state) {
+  // BWT-shaped input: long runs over a small alphabet, where the rank-0
+  // fast path dominates, mixed with noise that exercises the rank search.
+  Bytes data(1 << 20);
+  Xoshiro256 rng(0x317F);
+  size_t i = 0;
+  while (i < data.size()) {
+    const uint8_t value = static_cast<uint8_t>(rng.Next() % 16);
+    const size_t run = std::min<size_t>(1 + rng.Next() % 64, data.size() - i);
+    std::fill_n(data.begin() + i, run, value);
+    i += run;
+  }
+  Bytes work(data.size());
+  std::array<uint8_t, 256> order;
+  for (auto _ : state) {
+    work = data;
+    std::iota(order.begin(), order.end(), 0);
+    simd::Kernels().mtf_encode(work.data(), work.size(), order.data());
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_MtfEncode);
+
+void BM_RunScan(benchmark::State& state) {
+  // RLE-shaped input scanned run by run with the codec's 130-byte cap.
+  Bytes data(1 << 20);
+  Xoshiro256 rng(0x52AB);
+  size_t i = 0;
+  while (i < data.size()) {
+    const uint8_t value = static_cast<uint8_t>(rng.Next());
+    const size_t run = std::min<size_t>(1 + rng.Next() % 200, data.size() - i);
+    std::fill_n(data.begin() + i, run, value);
+    i += run;
+  }
+  const auto& kernels = simd::Kernels();
+  for (auto _ : state) {
+    size_t pos = 0;
+    uint64_t runs = 0;
+    while (pos < data.size()) {
+      pos += kernels.run_scan(data.data() + pos,
+                              std::min<size_t>(130, data.size() - pos));
+      ++runs;
+    }
+    benchmark::DoNotOptimize(runs);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_RunScan);
 
 // --- Thread sweep: end-to-end pipeline throughput vs worker count, on a
 // dataset wide enough (4 chunks) that the chunk fan-out has work to steal.

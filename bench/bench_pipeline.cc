@@ -1,0 +1,135 @@
+// End-to-end pipeline scenario benchmarks (google-benchmark): whole
+// container compress + decompress runs over the synthetic datagen
+// workload, swept across worker-thread counts and solver configurations
+// (EUPA auto-selection under both preferences, plus each solver forced).
+//
+// Rows appear as BM_E2eCompress/solver:auto-speed/threads:4 and the
+// matching BM_E2eDecompress rows. scripts/update_bench_baseline.sh
+// snapshots them into BENCH_e2e.json; scripts/ci.sh compares that file
+// warn-only, since end-to-end numbers swing with machine load far more
+// than the kernel rows of BENCH_baseline.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/isobar.h"
+#include "datagen/registry.h"
+
+namespace isobar {
+namespace {
+
+// ~4 MB of the mostly-noise phi profile: small enough that the bzip2
+// rows stay interactive, and chunked finely enough (below) that an
+// 8-thread sweep still has work to steal.
+constexpr size_t kElements = 500'000;
+constexpr uint64_t kChunkElements = 125'000;
+
+const Dataset& Workload() {
+  static const Dataset dataset = [] {
+    auto spec = FindDatasetSpec("gts_phi_l");
+    return std::move(*GenerateDataset(**spec, kElements));
+  }();
+  return dataset;
+}
+
+struct Solver {
+  const char* name;
+  Preference preference;
+  std::optional<CodecId> forced;
+};
+
+constexpr Solver kSolvers[] = {
+    {"auto-speed", Preference::kSpeed, std::nullopt},
+    {"auto-ratio", Preference::kRatio, std::nullopt},
+    {"zlib", Preference::kSpeed, CodecId::kZlib},
+    {"bzip2", Preference::kSpeed, CodecId::kBzip2},
+    {"lzss", Preference::kSpeed, CodecId::kLzss},
+    {"huffman", Preference::kSpeed, CodecId::kHuffman},
+};
+
+CompressOptions MakeOptions(const Solver& solver, uint32_t threads) {
+  CompressOptions options;
+  options.eupa.preference = solver.preference;
+  options.eupa.forced_codec = solver.forced;
+  options.chunk_elements = kChunkElements;
+  options.num_threads = threads;
+  return options;
+}
+
+void BM_E2eCompress(benchmark::State& state, const Solver& solver,
+                    uint32_t threads) {
+  const Dataset& dataset = Workload();
+  const IsobarCompressor compressor(MakeOptions(solver, threads));
+  for (auto _ : state) {
+    auto container = compressor.Compress(dataset.bytes(), dataset.width());
+    if (!container.ok()) {
+      state.SkipWithError(std::string(container.status().message()).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(container->data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+}
+
+void BM_E2eDecompress(benchmark::State& state, const Solver& solver,
+                      uint32_t threads) {
+  const Dataset& dataset = Workload();
+  const IsobarCompressor compressor(MakeOptions(solver, 0));
+  auto container = compressor.Compress(dataset.bytes(), dataset.width());
+  if (!container.ok()) {
+    state.SkipWithError(std::string(container.status().message()).c_str());
+    return;
+  }
+  DecompressOptions options;
+  options.num_threads = threads;
+  for (auto _ : state) {
+    auto out = IsobarCompressor::Decompress(*container, options);
+    if (!out.ok()) {
+      state.SkipWithError(std::string(out.status().message()).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(out->data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset.data.size()));
+}
+
+void RegisterScenarios() {
+  for (const Solver& solver : kSolvers) {
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+      const std::string suffix = "/solver:" + std::string(solver.name) +
+                                 "/threads:" + std::to_string(threads);
+      // Wall-clock timing: the worker pool runs outside the bench thread,
+      // so CPU-time rows would overstate multi-threaded throughput.
+      benchmark::RegisterBenchmark(
+          ("BM_E2eCompress" + suffix).c_str(),
+          [&solver, threads](benchmark::State& state) {
+            BM_E2eCompress(state, solver, threads);
+          })
+          ->UseRealTime();
+      benchmark::RegisterBenchmark(
+          ("BM_E2eDecompress" + suffix).c_str(),
+          [&solver, threads](benchmark::State& state) {
+            BM_E2eDecompress(state, solver, threads);
+          })
+          ->UseRealTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isobar
+
+int main(int argc, char** argv) {
+  isobar::RegisterScenarios();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,7 +4,7 @@
 //
 //   ./isobar_cli c <input> <output.isobar> [--width=8] [--pref=speed|ratio]
 //                 [--codec=zlib|bzip2|rle|lzss] [--lin=row|column]
-//                 [--tau=1.42] [--chunk=375000] [--threads=N]
+//                 [--tau=1.42] [--chunk=375000] [--threads=N] [--verbose]
 //                 [--metrics-json=<path>] [--metrics-csv=<path>]
 //                 [--trace=<path>]
 //   ./isobar_cli d <input.isobar> <output> [--threads=N]
@@ -127,7 +127,7 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s c <input> <output.isobar> [--width=8] [--pref=speed|ratio]\n"
       "          [--codec=zlib|bzip2|rle|lzss] [--lin=row|column]\n"
-      "          [--tau=1.42] [--chunk=375000] [--threads=N]\n"
+      "          [--tau=1.42] [--chunk=375000] [--threads=N] [--verbose]\n"
       "          [--metrics-json=<path>] [--metrics-csv=<path>]\n"
       "          [--trace=<path>]\n"
       "       %s d <input.isobar> <output> [--threads=N]\n"
@@ -136,7 +136,9 @@ int Usage(const char* argv0) {
       "          [--trace=<path>]\n"
       "--threads=N uses N worker threads for the chunk pipeline (0 = one\n"
       "per hardware thread, the default; 1 = serial). Output is identical\n"
-      "for every thread count.\n"
+      "for every thread count. --verbose prints the EUPA decision table\n"
+      "(every candidate's predicted and measured performance, and which\n"
+      "trials the estimator gate pruned).\n"
       "--salvage recovers what it can from a damaged container: bad\n"
       "chunks are skipped (or zero-filled) and reported instead of\n"
       "aborting the decode.\n"
@@ -146,14 +148,52 @@ int Usage(const char* argv0) {
   return 2;
 }
 
+/// --verbose: the EUPA decision table — every (solver, linearization)
+/// candidate with its estimator prediction, measured sample performance,
+/// and what the selector did with it. "pruned" rows were skipped by the
+/// estimator gate and never ran a trial compression.
+void PrintDecisionTable(const EupaDecision& decision) {
+  std::fprintf(stderr, "EUPA decision table (%s preference):\n",
+               std::string(PreferenceToString(decision.preference)).c_str());
+  std::fprintf(stderr, "  %-8s %-7s %10s %9s %9s  %s\n", "solver", "lin",
+               "predicted", "ratio", "MB/s", "outcome");
+  char predicted[32], ratio[32], mbps[32];
+  for (const auto& eval : decision.evaluations) {
+    const bool selected = !eval.pruned && eval.codec == decision.codec &&
+                          eval.linearization == decision.linearization;
+    if (eval.predicted_ratio > 0.0) {
+      std::snprintf(predicted, sizeof(predicted), "%.2f", eval.predicted_ratio);
+    } else {
+      std::snprintf(predicted, sizeof(predicted), "-");
+    }
+    // Pruned candidates never ran, so their measured fields are blank.
+    if (eval.pruned) {
+      std::snprintf(ratio, sizeof(ratio), "-");
+      std::snprintf(mbps, sizeof(mbps), "-");
+    } else {
+      std::snprintf(ratio, sizeof(ratio), "%.2f", eval.ratio);
+      std::snprintf(mbps, sizeof(mbps), "%.1f", eval.throughput_mbps);
+    }
+    std::fprintf(
+        stderr, "  %-8s %-7s %10s %9s %9s  %s\n",
+        std::string(CodecIdToString(eval.codec)).c_str(),
+        std::string(LinearizationToString(eval.linearization)).c_str(),
+        predicted, ratio, mbps,
+        eval.pruned ? "pruned" : (selected ? "selected" : "trialed"));
+  }
+}
+
 int Compress(int argc, char** argv) {
   size_t width = 8;
+  bool verbose = false;
   CompressOptions options;
   TelemetryFlags telemetry_flags;
   for (int i = 4; i < argc; ++i) {
     const char* arg = argv[i];
     if (telemetry_flags.Parse(arg)) {
       continue;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      verbose = true;
     } else if (std::strncmp(arg, "--width=", 8) == 0) {
       width = static_cast<size_t>(std::atoi(arg + 8));
     } else if (std::strcmp(arg, "--pref=speed") == 0) {
@@ -215,6 +255,7 @@ int Compress(int argc, char** argv) {
                    .c_str(),
                stats.improvable ? "improvable" : "undetermined",
                stats.mean_htc_fraction * 100.0);
+  if (verbose) PrintDecisionTable(stats.decision);
   if (!telemetry_flags.Dump()) return 1;
   return 0;
 }

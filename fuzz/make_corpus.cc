@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "compressors/registry.h"
 #include "core/isobar.h"
 #include "core/stream.h"
 #include "datagen/registry.h"
@@ -57,6 +58,35 @@ Result<Bytes> StreamedContainer() {
   return container;
 }
 
+// Codec-stream seeds for codec_roundtrip_fuzzer: real Huffman/LZSS/RLE
+// streams prefixed with the fuzzer's selector byte (codec in the low two
+// bits, decode mode), so exploration starts from well-formed bitstreams
+// instead of rediscovering the framing.
+Status WriteCodecSeeds(const std::filesystem::path& dir) {
+  ISOBAR_ASSIGN_OR_RETURN(const DatasetSpec* spec,
+                          FindDatasetSpec("msg_sppm"));
+  ISOBAR_ASSIGN_OR_RETURN(auto dataset, GenerateDataset(*spec, 2048));
+  struct CodecSeed {
+    CodecId id;
+    uint8_t selector;
+    const char* name;
+  };
+  for (const CodecSeed& seed :
+       {CodecSeed{CodecId::kHuffman, 0, "huffman-stream.bin"},
+        CodecSeed{CodecId::kLzss, 1, "lzss-stream.bin"},
+        CodecSeed{CodecId::kRle, 2, "rle-stream.bin"}}) {
+    ISOBAR_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(seed.id));
+    Bytes stream(1, seed.selector);
+    Bytes compressed;
+    ISOBAR_RETURN_NOT_OK(codec->Compress(dataset.bytes(), &compressed));
+    stream.insert(stream.end(), compressed.begin(), compressed.end());
+    if (!WriteFile(dir, seed.name, stream)) {
+      return Status::IOError("cannot write codec seed");
+    }
+  }
+  return Status::OK();
+}
+
 int Run(const std::filesystem::path& dir) {
   std::filesystem::create_directories(dir);
 
@@ -90,7 +120,14 @@ int Run(const std::filesystem::path& dir) {
   Bytes tiny;
   ok = ok && WriteFile(dir, "empty.isbr", tiny);
 
-  if (ok) std::cout << "wrote 6 corpus seeds to " << dir << "\n";
+  Status codec_seeds = WriteCodecSeeds(dir);
+  if (!codec_seeds.ok()) {
+    std::cerr << "codec seed generation failed: " << codec_seeds.ToString()
+              << "\n";
+    return 1;
+  }
+
+  if (ok) std::cout << "wrote 9 corpus seeds to " << dir << "\n";
   return ok ? 0 : 1;
 }
 

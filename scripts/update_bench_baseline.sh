@@ -11,12 +11,12 @@ BUILD_DIR="${ISOBAR_BENCH_BUILD_DIR:-build-ci-bench}"
 MIN_TIME="${ISOBAR_BENCH_MIN_TIME:-0.5}"
 
 # The baseline tracks the per-kernel rows (every dispatch tier), the CRC
-# paths, the BWT worst-case block, and the end-to-end stage benchmarks the
-# kernels feed.
-FILTER='Kernel|Crc32c|BwtCompressRepetitive|^BM_HistogramUpdate$|^BM_GatherColumns|^BM_ScatterColumns'
+# paths, the BWT worst-case block, the solver codec hot paths, and the
+# end-to-end stage benchmarks the kernels feed.
+FILTER='Kernel|Crc32c|BwtCompressRepetitive|^BM_HistogramUpdate$|^BM_GatherColumns|^BM_ScatterColumns|^BM_HuffmanEncode$|^BM_HuffmanDecode$|^BM_LzssEncode$|^BM_LzssDecode$|^BM_MtfEncode$|^BM_RunScan$'
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_micro
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_micro bench_pipeline
 
 OUT="$(mktemp)"
 trap 'rm -f "${OUT}"' EXIT
@@ -29,3 +29,12 @@ trap 'rm -f "${OUT}"' EXIT
   --benchmark_format=json > "${OUT}"
 
 python3 scripts/bench_regression.py "${OUT}" --update
+
+# End-to-end scenario sweep (threads x solver): snapshotted separately so
+# the strict kernel gate never keys off whole-pipeline numbers, which move
+# with scheduler behaviour as much as with the code.
+"${BUILD_DIR}/bench/bench_pipeline" \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_format=json > "${OUT}"
+
+python3 scripts/bench_regression.py "${OUT}" --update --baseline BENCH_e2e.json

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "compressors/huffman_codec.h"
+#include "simd/dispatch.h"
 
 namespace isobar {
 namespace {
@@ -120,20 +121,12 @@ Status BwtInverse(ByteSpan last_column, uint32_t primary,
   return Status::OK();
 }
 
-// --- Move-to-front transform (in place over a buffer).
+// --- Move-to-front transform (in place over a buffer). The rank scan is
+// the tier-dispatched SIMD kernel (bit-identical across tiers).
 void MtfForward(MutableByteSpan data) {
   std::array<uint8_t, 256> order;
   std::iota(order.begin(), order.end(), 0);
-  for (auto& byte : data) {
-    const uint8_t value = byte;
-    uint8_t position = 0;
-    while (order[position] != value) ++position;
-    byte = position;
-    // Move to front.
-    std::copy_backward(order.begin(), order.begin() + position,
-                       order.begin() + position + 1);
-    order[0] = value;
-  }
+  simd::Kernels().mtf_encode(data.data(), data.size(), order.data());
 }
 
 void MtfInverse(MutableByteSpan data) {
@@ -153,17 +146,15 @@ void MtfInverse(MutableByteSpan data) {
 // byte is always followed by one byte holding (run length - 1), so runs
 // of 1..256 zeros cost two bytes; nonzero bytes pass through.
 void ZeroRleEncode(ByteSpan data, Bytes* out) {
+  const auto& kernels = simd::Kernels();
   size_t i = 0;
   while (i < data.size()) {
     if (data[i] != 0) {
       out->push_back(data[i++]);
       continue;
     }
-    size_t run = 0;
-    while (i + run < data.size() && data[i + run] == 0 &&
-           run < kMaxZeroRun) {
-      ++run;
-    }
+    const size_t cap = std::min(kMaxZeroRun, data.size() - i);
+    const size_t run = kernels.run_scan(data.data() + i, cap);
     out->push_back(0);
     out->push_back(static_cast<uint8_t>(run - 1));
     i += run;

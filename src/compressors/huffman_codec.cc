@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <queue>
 #include <vector>
 
@@ -11,6 +12,13 @@ namespace {
 constexpr uint8_t kFlagEmpty = 0x01;
 constexpr uint8_t kFlagSingleSymbol = 0x02;
 constexpr int kMaxCodeLength = 63;
+constexpr size_t kHeaderSize = 1 + 256;  // flags byte + length table
+
+// Width of the primary decode table: one lookup resolves any code of at
+// most this many bits (the overwhelmingly common case); longer codes fall
+// back to the canonical per-bit walk.
+constexpr int kTableBits = 11;
+constexpr size_t kTableSize = 1u << kTableBits;
 
 // Computes Huffman code lengths for the 256 byte symbols from their
 // frequencies (0 for absent symbols). At least two symbols must be
@@ -109,34 +117,126 @@ Status BuildCodebook(const std::array<uint8_t, 256>& lengths, Codebook* book) {
   return Status::OK();
 }
 
-// MSB-first bit writer over a Bytes buffer.
+// One slot of the primary decode table. length 0 marks a code longer than
+// kTableBits (overflow path); the Kraft-complete codebook guarantees every
+// slot is covered by exactly one code prefix.
+struct TableEntry {
+  uint8_t symbol;
+  uint8_t length;
+};
+
+void BuildDecodeTable(const Codebook& book,
+                      std::array<TableEntry, kTableSize>* table) {
+  table->fill(TableEntry{0, 0});
+  for (int s = 0; s < 256; ++s) {
+    const int len = book.length[s];
+    if (len == 0 || len > kTableBits) continue;
+    // Every table index whose top `len` bits equal the code decodes to s.
+    const size_t base = static_cast<size_t>(book.code[s])
+                        << (kTableBits - len);
+    const size_t span = kTableSize >> len;
+    const TableEntry entry{static_cast<uint8_t>(s),
+                           static_cast<uint8_t>(len)};
+    for (size_t j = 0; j < span; ++j) (*table)[base + j] = entry;
+  }
+}
+
+// One slot of the multi-symbol table: as many whole codes as fit in the
+// same kTableBits window, so skewed codebooks (1-3 bit codes) decode
+// several symbols per lookup instead of paying the load latency each.
+// count 0 marks the overflow path. `syms` is stored four-wide so the
+// decoder can blindly copy one 32-bit word and advance by `count`.
+struct alignas(8) MultiEntry {
+  uint8_t bits;
+  uint8_t count;
+  uint8_t syms[4];
+};
+
+void BuildMultiTable(const std::array<TableEntry, kTableSize>& table,
+                     std::array<MultiEntry, kTableSize>* multi) {
+  for (size_t idx = 0; idx < kTableSize; ++idx) {
+    MultiEntry m{};
+    const TableEntry first = table[idx];
+    if (first.length != 0) {
+      m.bits = first.length;
+      m.count = 1;
+      m.syms[0] = first.symbol;
+      while (m.count < 4) {
+        // Shifting the window left zero-fills the unknown bits, so a
+        // follow-up code counts only when it lies entirely inside the
+        // known prefix.
+        const TableEntry next = table[(idx << m.bits) & (kTableSize - 1)];
+        if (next.length == 0 || m.bits + next.length > kTableBits) break;
+        m.syms[m.count++] = next.symbol;
+        m.bits = static_cast<uint8_t>(m.bits + next.length);
+      }
+    }
+    (*multi)[idx] = m;
+  }
+}
+
+// MSB-first bit writer: bits accumulate in a 64-bit register and spill in
+// 32-bit words into a local buffer that is bulk-appended, so the hot path
+// touches the output vector once per few kilobytes instead of per byte.
 class BitWriter {
  public:
   explicit BitWriter(Bytes* out) : out_(out) {}
 
   void Write(uint64_t code, int bits) {
-    for (int b = bits - 1; b >= 0; --b) {
-      acc_ = static_cast<uint8_t>((acc_ << 1) | ((code >> b) & 1u));
-      if (++filled_ == 8) {
-        out_->push_back(acc_);
-        acc_ = 0;
-        filled_ = 0;
-      }
+    if (bits > 32) {
+      Push(code >> 32, bits - 32);
+      Push(code, 32);
+    } else {
+      Push(code, bits);
     }
   }
 
   void Flush() {
+    while (filled_ >= 8) {
+      filled_ -= 8;
+      ByteOut(static_cast<uint8_t>(acc_ >> filled_));
+    }
     if (filled_ > 0) {
-      out_->push_back(static_cast<uint8_t>(acc_ << (8 - filled_)));
-      acc_ = 0;
+      ByteOut(static_cast<uint8_t>(acc_ << (8 - filled_)));
       filled_ = 0;
     }
+    acc_ = 0;
+    Spill();
   }
 
  private:
+  static constexpr size_t kBufSize = 4096;
+
+  void Push(uint64_t code, int bits) {  // bits in [1, 32]
+    acc_ = (acc_ << bits) | (code & ((1ull << bits) - 1));
+    filled_ += bits;
+    if (filled_ >= 32) {
+      filled_ -= 32;
+      const uint32_t word = static_cast<uint32_t>(acc_ >> filled_);
+      if (buf_used_ + 4 > kBufSize) Spill();
+      buf_[buf_used_] = static_cast<uint8_t>(word >> 24);
+      buf_[buf_used_ + 1] = static_cast<uint8_t>(word >> 16);
+      buf_[buf_used_ + 2] = static_cast<uint8_t>(word >> 8);
+      buf_[buf_used_ + 3] = static_cast<uint8_t>(word);
+      buf_used_ += 4;
+    }
+  }
+
+  void ByteOut(uint8_t byte) {
+    if (buf_used_ == kBufSize) Spill();
+    buf_[buf_used_++] = byte;
+  }
+
+  void Spill() {
+    out_->insert(out_->end(), buf_.data(), buf_.data() + buf_used_);
+    buf_used_ = 0;
+  }
+
   Bytes* out_;
-  uint8_t acc_ = 0;
-  int filled_ = 0;
+  uint64_t acc_ = 0;
+  int filled_ = 0;  // bits in acc_, < 32 between Push calls
+  std::array<uint8_t, kBufSize> buf_;
+  size_t buf_used_ = 0;
 };
 
 }  // namespace
@@ -202,46 +302,123 @@ Status HuffmanCodec::Decompress(ByteSpan input, size_t original_size,
     return Status::OK();
   }
   if (flags != 0) return Status::Corruption("huffman: unknown flags");
-  if (input.size() < 1 + 256) {
+  if (input.size() < kHeaderSize) {
     return Status::Corruption("huffman: truncated length table");
   }
 
   std::array<uint8_t, 256> lengths;
-  std::copy(input.begin() + 1, input.begin() + 257, lengths.begin());
+  std::copy(input.begin() + 1, input.begin() + kHeaderSize, lengths.begin());
   Codebook book;
   ISOBAR_RETURN_NOT_OK(BuildCodebook(lengths, &book));
+  std::array<TableEntry, kTableSize> table;
+  BuildDecodeTable(book, &table);
+  std::array<MultiEntry, kTableSize> multi;
+  BuildMultiTable(table, &multi);
 
-  out->reserve(original_size);
-  size_t byte_pos = 257;
-  int bit_pos = 7;
-  while (out->size() < original_size) {
-    uint64_t code = 0;
-    int len = 0;
-    // Canonical first-code decoding: extend the code one bit at a time
-    // until it falls inside some length's code range.
-    for (;;) {
-      if (byte_pos >= input.size()) {
-        return Status::Corruption("huffman: truncated bitstream");
-      }
-      code = (code << 1) | ((input[byte_pos] >> bit_pos) & 1u);
-      if (--bit_pos < 0) {
-        bit_pos = 7;
-        ++byte_pos;
-      }
-      if (++len > kMaxCodeLength) {
-        return Status::Corruption("huffman: invalid code in bitstream");
-      }
-      if (book.count[len] != 0 && code >= book.first_code[len] &&
-          code - book.first_code[len] < book.count[len]) {
-        out->push_back(
-            book.ordered[book.offset[len] +
-                         static_cast<uint32_t>(code - book.first_code[len])]);
-        break;
+  out->resize(original_size);
+  uint8_t* op = out->data();
+  uint8_t* const oend = op + original_size;
+
+  // MSB-first bit buffer with word-at-a-time refill. `buf` holds at least
+  // `avail` valid bits left-aligned; any bits beyond `avail` are either
+  // zero or the stream's true next bits, so the refill OR is idempotent.
+  // Reads past the end yield zero bits while `used` keeps counting, which
+  // lets the post-loop checks detect both truncation (more bits consumed
+  // than the stream holds) and trailing garbage (fewer bytes spanned).
+  const uint8_t* const payload = input.data() + kHeaderSize;
+  const size_t payload_size = input.size() - kHeaderSize;
+  uint64_t buf = 0;
+  int avail = 0;  // goes negative only once the stream is exhausted
+  size_t pos = 0;
+  uint64_t used = 0;
+
+  const auto refill = [&] {
+    if (avail >= 56) return;
+    if (pos + 8 <= payload_size) {
+      // `avail` is non-negative here: it only drains below zero once the
+      // tail path has exhausted the payload.
+      uint64_t word;
+      std::memcpy(&word, payload + pos, 8);
+      buf |= __builtin_bswap64(word) >> avail;
+      pos += static_cast<size_t>(63 - avail) >> 3;
+      avail |= 56;  // same value as avail + 8 * ((63 - avail) >> 3)
+    } else {
+      while (avail <= 56 && pos < payload_size) {
+        buf |= static_cast<uint64_t>(payload[pos++]) << (56 - avail);
+        avail += 8;
       }
     }
+  };
+
+  // Code longer than the table: extend it one bit at a time until it
+  // lands in some length's canonical range. Phantom zero bits past the
+  // end of the stream are caught by the consumed-bits check below.
+  // Returns false for a pattern no code matches (corrupt stream).
+  const auto decode_overflow = [&]() -> bool {
+    uint64_t code = 0;
+    int len = 0;
+    for (;;) {
+      refill();
+      code = (code << 1) | (buf >> 63);
+      buf <<= 1;
+      --avail;
+      ++used;
+      if (++len > kMaxCodeLength) return false;
+      if (book.count[len] != 0 && code >= book.first_code[len] &&
+          code - book.first_code[len] < book.count[len]) {
+        *op++ = book.ordered[book.offset[len] +
+                             static_cast<uint32_t>(code -
+                                                   book.first_code[len])];
+        return true;
+      }
+    }
+  };
+
+  // Fast region: each multi-entry blindly stores a 4-byte word and
+  // advances by its symbol count, so stay 8 bytes clear of the end. A
+  // full buffer covers five table-width windows, so the memory refill
+  // amortizes over a burst of pure-register decodes.
+  while (op + 8 <= oend) {
+    refill();
+    int burst = 5;  // 5 * kTableBits <= 56 refilled bits
+    do {
+      const MultiEntry entry = multi[buf >> (64 - kTableBits)];
+      if (entry.count == 0) {
+        if (!decode_overflow()) {
+          return Status::Corruption("huffman: invalid code in bitstream");
+        }
+        break;
+      }
+      uint32_t word;
+      std::memcpy(&word, entry.syms, 4);
+      std::memcpy(op, &word, 4);
+      op += entry.count;
+      buf <<= entry.bits;
+      avail -= entry.bits;
+      used += static_cast<uint64_t>(entry.bits);
+    } while (--burst && op + 8 <= oend);
+  }
+
+  // Tail: one symbol per lookup, no overstores.
+  while (op < oend) {
+    refill();
+    const TableEntry entry = table[buf >> (64 - kTableBits)];
+    if (entry.length == 0) {
+      if (!decode_overflow()) {
+        return Status::Corruption("huffman: invalid code in bitstream");
+      }
+      continue;
+    }
+    buf <<= entry.length;
+    avail -= entry.length;
+    used += static_cast<uint64_t>(entry.length);
+    *op++ = entry.symbol;
+  }
+  if (used > 8 * static_cast<uint64_t>(payload_size)) {
+    return Status::Corruption("huffman: truncated bitstream");
   }
   // All remaining bits must be padding within the current byte.
-  const size_t consumed = byte_pos + (bit_pos == 7 ? 0 : 1);
+  const size_t consumed = kHeaderSize + static_cast<size_t>((used + 7) / 8);
   if (consumed != input.size()) {
     return Status::Corruption("huffman: trailing bytes in stream");
   }

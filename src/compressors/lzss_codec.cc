@@ -1,6 +1,9 @@
 #include "compressors/lzss_codec.h"
 
+#include <algorithm>
 #include <array>
+#include <bit>
+#include <cstring>
 #include <vector>
 
 namespace isobar {
@@ -13,10 +16,69 @@ constexpr size_t kHashBits = 13;
 constexpr size_t kHashSize = 1u << kHashBits;
 constexpr int kMaxChain = 32;
 
+// Matches at least this long are taken immediately; the lazy probe of the
+// next position only runs for shorter ones, where a one-byte deferral can
+// still pay for itself.
+constexpr size_t kLazyThreshold = 16;
+
 uint32_t Hash3(const uint8_t* p) {
   uint32_t v = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
                static_cast<uint32_t>(p[2]) << 16;
   return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Length of the common prefix of a and b, at most `limit`, compared a
+// word at a time.
+size_t MatchLength(const uint8_t* a, const uint8_t* b, size_t limit) {
+  size_t len = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len + 8 <= limit) {
+      uint64_t va;
+      uint64_t vb;
+      std::memcpy(&va, a + len, 8);
+      std::memcpy(&vb, b + len, 8);
+      const uint64_t diff = va ^ vb;
+      if (diff != 0) {
+        return len + (static_cast<size_t>(std::countr_zero(diff)) >> 3);
+      }
+      len += 8;
+    }
+  }
+  while (len < limit && a[len] == b[len]) ++len;
+  return len;
+}
+
+struct Match {
+  size_t len = 0;
+  size_t dist = 0;
+};
+
+// Best match for position i over the hash chains. Chains hold positions
+// offset by one so 0 = empty.
+Match FindMatch(ByteSpan input, size_t i, const std::vector<uint32_t>& head,
+                const std::vector<uint32_t>& prev) {
+  Match best;
+  if (i + kMinMatch > input.size()) return best;
+  const size_t limit = std::min(kMaxMatch, input.size() - i);
+  const uint8_t* const data = input.data();
+  uint32_t candidate = head[Hash3(data + i)];
+  int chain = 0;
+  while (candidate != 0 && chain++ < kMaxChain) {
+    const size_t pos = candidate - 1;
+    if (i - pos > kWindow) break;
+    // Cheap reject: a strictly longer match must agree one byte past the
+    // current best, so most chain entries never reach the full compare.
+    if (best.len == 0 || data[pos + best.len] == data[i + best.len]) {
+      const size_t len = MatchLength(data + pos, data + i, limit);
+      if (len > best.len) {
+        best.len = len;
+        best.dist = i - pos;
+        if (len == limit) break;
+      }
+    }
+    candidate = prev[pos % kWindow];
+  }
+  return best;
 }
 
 }  // namespace
@@ -54,38 +116,32 @@ Status LzssCodec::Compress(ByteSpan input, Bytes* out) const {
   };
 
   while (i < input.size()) {
-    size_t best_len = 0;
-    size_t best_dist = 0;
-    if (i + kMinMatch <= input.size()) {
-      uint32_t candidate = head[Hash3(input.data() + i)];
-      int chain = 0;
-      while (candidate != 0 && chain++ < kMaxChain) {
-        size_t pos = candidate - 1;
-        if (i - pos > kWindow) break;
-        size_t len = 0;
-        size_t limit = std::min(kMaxMatch, input.size() - i);
-        while (len < limit && input[pos + len] == input[i + len]) ++len;
-        if (len > best_len) {
-          best_len = len;
-          best_dist = i - pos;
-          if (len == kMaxMatch) break;
-        }
-        candidate = prev[pos % kWindow];
-      }
+    Match match = FindMatch(input, i, head, prev);
+    bool inserted_here = false;
+    if (match.len >= kMinMatch && match.len < kLazyThreshold &&
+        i + 1 + kMinMatch <= input.size()) {
+      // Lazy probe: when the next position holds a strictly longer match,
+      // emitting input[i] as a literal buys a better token. The deferred
+      // match is re-found next iteration against unchanged chains.
+      insert_pos(i);
+      inserted_here = true;
+      if (FindMatch(input, i + 1, head, prev).len > match.len) match.len = 0;
     }
 
-    if (best_len >= kMinMatch) {
+    if (match.len >= kMinMatch) {
       // Match token: 12-bit distance (1..4096 stored as d-1), 4-bit length.
-      uint16_t d = static_cast<uint16_t>(best_dist - 1);
-      uint8_t l = static_cast<uint8_t>(best_len - kMinMatch);
+      uint16_t d = static_cast<uint16_t>(match.dist - 1);
+      uint8_t l = static_cast<uint8_t>(match.len - kMinMatch);
       group[group_len++] = static_cast<uint8_t>(d & 0xFF);
       group[group_len++] = static_cast<uint8_t>((d >> 8) | (l << 4));
-      for (size_t k = 0; k < best_len; ++k) insert_pos(i + k);
-      i += best_len;
+      for (size_t k = inserted_here ? 1 : 0; k < match.len; ++k) {
+        insert_pos(i + k);
+      }
+      i += match.len;
     } else {
       flags |= static_cast<uint8_t>(1u << flag_count);
       group[group_len++] = input[i];
-      insert_pos(i);
+      if (!inserted_here) insert_pos(i);
       ++i;
     }
     if (++flag_count == 8) flush_group();
@@ -97,33 +153,63 @@ Status LzssCodec::Compress(ByteSpan input, Bytes* out) const {
 Status LzssCodec::Decompress(ByteSpan input, size_t original_size,
                              Bytes* out) const {
   out->clear();
-  out->reserve(original_size);
+  out->resize(original_size);
+  uint8_t* const base = out->data();
+  const uint8_t* const in = input.data();
+  const size_t in_size = input.size();
+  size_t op = 0;
   size_t i = 0;
-  while (i < input.size() && out->size() < original_size) {
-    const uint8_t flags = input[i++];
-    for (int bit = 0; bit < 8 && out->size() < original_size; ++bit) {
+  while (i < in_size && op < original_size) {
+    const uint8_t flags = in[i++];
+    if (flags == 0xFF && i + 8 <= in_size && op + 8 <= original_size) {
+      // All-literal group: one 8-byte copy instead of eight branches.
+      std::memcpy(base + op, in + i, 8);
+      i += 8;
+      op += 8;
+      continue;
+    }
+    for (int bit = 0; bit < 8 && op < original_size; ++bit) {
       if (flags & (1u << bit)) {
-        if (i >= input.size()) return Status::Corruption("lzss: truncated literal");
-        out->push_back(input[i++]);
+        if (i >= in_size) return Status::Corruption("lzss: truncated literal");
+        base[op++] = in[i++];
       } else {
-        if (i + 2 > input.size()) return Status::Corruption("lzss: truncated match");
-        const uint8_t b0 = input[i];
-        const uint8_t b1 = input[i + 1];
+        if (i + 2 > in_size) return Status::Corruption("lzss: truncated match");
+        const uint8_t b0 = in[i];
+        const uint8_t b1 = in[i + 1];
         i += 2;
         const size_t dist = (static_cast<size_t>(b1 & 0x0F) << 8 | b0) + 1;
         const size_t len = static_cast<size_t>(b1 >> 4) + kMinMatch;
-        if (dist > out->size()) {
+        if (dist > op) {
           return Status::Corruption("lzss: match distance exceeds output");
         }
-        // Byte-at-a-time copy: matches may overlap their own output.
-        size_t src = out->size() - dist;
-        for (size_t k = 0; k < len; ++k) out->push_back((*out)[src + k]);
+        if (len > original_size - op) {
+          return Status::Corruption(
+              "lzss: stream decoded to " + std::to_string(op + len) +
+              " bytes, expected " + std::to_string(original_size));
+        }
+        const uint8_t* src = base + op - dist;
+        uint8_t* dst = base + op;
+        if (dist >= len) {
+          std::memcpy(dst, src, len);
+        } else if (dist == 1) {
+          std::memset(dst, src[0], len);
+        } else {
+          // Overlapping match: the output repeats with period `dist`, so
+          // seed one period and widen it by doubling.
+          std::memcpy(dst, src, dist);
+          size_t copied = dist;
+          while (copied < len) {
+            const size_t chunk = std::min(copied, len - copied);
+            std::memcpy(dst + copied, dst, chunk);
+            copied += chunk;
+          }
+        }
+        op += len;
       }
     }
   }
-  if (out->size() != original_size) {
-    return Status::Corruption("lzss: stream decoded to " +
-                              std::to_string(out->size()) +
+  if (op != original_size) {
+    return Status::Corruption("lzss: stream decoded to " + std::to_string(op) +
                               " bytes, expected " +
                               std::to_string(original_size));
   }

@@ -1,5 +1,9 @@
 #include "compressors/rle_codec.h"
 
+#include <algorithm>
+
+#include "simd/dispatch.h"
+
 namespace isobar {
 namespace {
 
@@ -7,14 +11,12 @@ constexpr size_t kMaxLiteralRun = 128;  // control 0..127
 constexpr size_t kMinRepeatRun = 3;
 constexpr size_t kMaxRepeatRun = 130;  // control 128..255
 
-// Length of the run of identical bytes starting at `pos`.
+// Length of the run of identical bytes starting at `pos`, capped at the
+// longest encodable repeat. The scan itself is the tier-dispatched SIMD
+// kernel (bit-identical across tiers).
 size_t RunLength(ByteSpan in, size_t pos) {
-  const uint8_t value = in[pos];
-  size_t end = pos + 1;
-  while (end < in.size() && in[end] == value && end - pos < kMaxRepeatRun) {
-    ++end;
-  }
-  return end - pos;
+  const size_t cap = std::min(kMaxRepeatRun, in.size() - pos);
+  return simd::Kernels().run_scan(in.data() + pos, cap);
 }
 
 }  // namespace

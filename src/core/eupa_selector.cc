@@ -1,15 +1,137 @@
 #include "core/eupa_selector.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
 
 #include "compressors/registry.h"
 #include "linearize/transpose.h"
+#include "simd/dispatch.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
 
 namespace isobar {
+namespace {
+
+// Cheap statistics of one linearized training sample, feeding the
+// estimator gate. All three are deterministic functions of the bytes, so
+// gated selection stays a deterministic process (§II.C).
+struct SampleSignals {
+  double entropy_ratio = 1.0;   ///< order-0 Huffman bound (lin-independent)
+  double run_fraction = 0.0;    ///< adjacent equal-byte pair rate
+  double match_fraction = 0.0;  ///< repeated 3-byte window probe rate
+};
+
+// Order-0 entropy bound as a ratio: 8 bits per byte over the sample's
+// Shannon entropy. The histogram pass rides the SIMD tier dispatch. A
+// single-valued sample reports the exact two-byte Huffman special case
+// instead, which is what an entropy coder actually achieves there.
+double EntropyRatioBound(ByteSpan data) {
+  std::array<uint64_t, 256> hist{};
+  simd::Kernels().histogram_update(data.data(), data.size(), 1, hist.data());
+  const double n = static_cast<double>(data.size());
+  double entropy = 0.0;
+  int distinct = 0;
+  for (uint64_t count : hist) {
+    if (count == 0) continue;
+    ++distinct;
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log2(p);
+  }
+  if (distinct <= 1) return n / 2.0;
+  return 8.0 / entropy;
+}
+
+double RunFraction(ByteSpan data) {
+  if (data.size() < 2) return 0.0;
+  size_t equal = 0;
+  for (size_t i = 1; i < data.size(); ++i) {
+    equal += data[i] == data[i - 1] ? 1 : 0;
+  }
+  return static_cast<double>(equal) / static_cast<double>(data.size() - 1);
+}
+
+// Fraction of probed 3-byte windows whose bytes were already seen at the
+// hash table's previous position — an upper-bound proxy for the LZ match
+// rate (probe distances ignore codec window limits, so it only errs
+// toward predicting more matches).
+double MatchProbeRate(ByteSpan data) {
+  if (data.size() < 3) return 0.0;
+  constexpr size_t kProbeTarget = 4096;
+  constexpr uint32_t kTableBits = 12;
+  std::array<uint32_t, 1u << kTableBits> last{};  // position + 1; 0 = empty
+  const size_t windows = data.size() - 2;
+  const size_t stride = std::max<size_t>(1, windows / kProbeTarget);
+  size_t probes = 0;
+  size_t hits = 0;
+  for (size_t i = 0; i < windows; i += stride) {
+    const uint32_t v = static_cast<uint32_t>(data[i]) |
+                       static_cast<uint32_t>(data[i + 1]) << 8 |
+                       static_cast<uint32_t>(data[i + 2]) << 16;
+    const uint32_t h = (v * 2654435761u) >> (32 - kTableBits);
+    if (last[h] != 0) {
+      const size_t p = last[h] - 1;
+      hits += (data[p] == data[i] && data[p + 1] == data[i + 1] &&
+               data[p + 2] == data[i + 2])
+                  ? 1
+                  : 0;
+    }
+    last[h] = static_cast<uint32_t>(i + 1);
+    ++probes;
+  }
+  return static_cast<double>(hits) / static_cast<double>(probes);
+}
+
+// Optimistic predicted ratio for one candidate codec. Every formula is an
+// upper bound (or a generously inflated estimate) of what the codec can
+// achieve given the signals: the gate must only prune candidates whose
+// trial could not have changed the decision, so erring high merely costs
+// an extra trial while erring low could flip a selection.
+double PredictRatio(CodecId codec, const SampleSignals& s) {
+  // 1/(1 - fraction), saturating at `cap` (the codec's own format bound).
+  const auto coverage_ratio = [](double fraction, double cap) {
+    return std::min(cap, 1.0 / std::max(1.0 - fraction, 1.0 / cap));
+  };
+  switch (codec) {
+    case CodecId::kStored:
+      return 1.0;
+    case CodecId::kRle:
+      // Best case two output bytes per 130-byte run.
+      return coverage_ratio(s.run_fraction, 65.0);
+    case CodecId::kHuffman:
+      // Huffman output is >= n * H bits, so 8/H bounds the ratio.
+      return s.entropy_ratio;
+    case CodecId::kLzss:
+      // Best case 17 token bits per 18-byte match; runs are matches too.
+      return std::max(coverage_ratio(s.match_fraction, 8.5),
+                      coverage_ratio(s.run_fraction, 8.5));
+    case CodecId::kZlib:
+      // Dictionary + entropy stages multiply, so bound by the product of
+      // both optimistic factors (with margin to spare for the 32 KiB
+      // window and length codes the probes cannot see).
+      return std::min(400.0, 1.25 * s.entropy_ratio *
+                                 std::max(coverage_ratio(s.match_fraction,
+                                                         150.0),
+                                          coverage_ratio(s.run_fraction,
+                                                         150.0)));
+    case CodecId::kBzip2:
+    case CodecId::kBwt:
+      // Block sorting can beat LZ on high-order structure the probes
+      // cannot see; inflate the same product bound further.
+      return std::min(500.0, 1.4 * s.entropy_ratio *
+                                 std::max(coverage_ratio(s.match_fraction,
+                                                         250.0),
+                                          coverage_ratio(s.run_fraction,
+                                                         250.0)));
+  }
+  // Codecs without a model are never pruned.
+  return 1e12;
+}
+
+}  // namespace
 
 std::string_view PreferenceToString(Preference preference) {
   switch (preference) {
@@ -63,6 +185,10 @@ Result<EupaDecision> EupaSelector::Select(ByteSpan data, size_t width,
   if (options_.candidate_codecs.empty() && !options_.forced_codec) {
     return Status::InvalidArgument("no candidate codecs configured");
   }
+  if (options_.sample_elements == 0 || options_.sample_runs == 0) {
+    return Status::InvalidArgument(
+        "sample_elements and sample_runs must be positive");
+  }
 
   EupaDecision decision;
   decision.preference = options_.preference;
@@ -93,32 +219,104 @@ Result<EupaDecision> EupaSelector::Select(ByteSpan data, size_t width,
           : std::vector<Linearization>{Linearization::kRow,
                                        Linearization::kColumn};
 
-  for (Linearization lin : linearizations) {
-    Bytes gathered;
-    ISOBAR_RETURN_NOT_OK(
-        GatherColumns(sample, width, compressible_mask, lin, &gathered));
-    if (gathered.empty()) {
+  std::vector<Bytes> gathered(linearizations.size());
+  for (size_t li = 0; li < linearizations.size(); ++li) {
+    ISOBAR_RETURN_NOT_OK(GatherColumns(sample, width, compressible_mask,
+                                       linearizations[li], &gathered[li]));
+    if (gathered[li].empty()) {
       return Status::InvalidArgument(
           "empty compressible partition: selector needs a non-zero mask");
     }
+  }
+
+  // Candidate matrix in canonical (linearization-major) order, which is
+  // also the tie-break order of the decision rule below.
+  struct Candidate {
+    size_t lin_index;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(linearizations.size() * codecs.size());
+  for (size_t li = 0; li < linearizations.size(); ++li) {
     for (CodecId id : codecs) {
-      ISOBAR_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(id));
-      Bytes compressed;
-      Stopwatch timer;
-      ISOBAR_RETURN_NOT_OK(codec->Compress(gathered, &compressed));
       CandidateEvaluation eval;
       eval.codec = id;
-      eval.linearization = lin;
-      eval.throughput_mbps = timer.ThroughputMBps(gathered.size());
-      eval.ratio = compressed.empty()
-                       ? 0.0
-                       : static_cast<double>(gathered.size()) /
-                             static_cast<double>(compressed.size());
+      eval.linearization = linearizations[li];
       decision.evaluations.push_back(eval);
-      static telemetry::Counter& measured =
-          telemetry::GetCounter("eupa.candidates_measured");
-      measured.Increment();
+      candidates.push_back({li});
     }
+  }
+
+  // Estimator gate (prune_margin > 0): predict each candidate's ratio
+  // from cheap sample statistics, then trial in predicted-descending
+  // order so strong candidates set the incumbent early and weak ones can
+  // be pruned without compressing anything. prune_margin == 0 keeps the
+  // exhaustive trial matrix bit-for-bit (no statistics are computed).
+  const bool gated = options_.prune_margin > 0.0;
+  std::vector<size_t> trial_order(candidates.size());
+  std::iota(trial_order.begin(), trial_order.end(), 0);
+  if (gated) {
+    // The entropy bound is linearization-independent (same byte multiset),
+    // so compute it once; the locality-sensitive signals are per layout.
+    const double entropy_ratio = EntropyRatioBound(gathered[0]);
+    std::vector<SampleSignals> signals(linearizations.size());
+    for (size_t li = 0; li < linearizations.size(); ++li) {
+      signals[li].entropy_ratio = entropy_ratio;
+      signals[li].run_fraction = RunFraction(gathered[li]);
+      signals[li].match_fraction = MatchProbeRate(gathered[li]);
+    }
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      decision.evaluations[c].predicted_ratio = PredictRatio(
+          decision.evaluations[c].codec, signals[candidates[c].lin_index]);
+    }
+    std::stable_sort(trial_order.begin(), trial_order.end(),
+                     [&](size_t a, size_t b) {
+                       return decision.evaluations[a].predicted_ratio >
+                              decision.evaluations[b].predicted_ratio;
+                     });
+  }
+
+  static telemetry::Counter& trials_run =
+      telemetry::GetCounter("eupa.trials_run");
+  static telemetry::Counter& trials_pruned =
+      telemetry::GetCounter("eupa.trials_pruned");
+
+  double best_measured = 0.0;
+  bool floor_met = false;
+  for (size_t c : trial_order) {
+    CandidateEvaluation& eval = decision.evaluations[c];
+    if (gated) {
+      const double optimistic =
+          eval.predicted_ratio * (1.0 + options_.prune_margin);
+      // kRatio: even the inflated prediction loses to the incumbent.
+      // kSpeed: the candidate cannot reach the ratio floor, and some
+      // measured candidate already has, so neither the band rule nor the
+      // all-below-floor fallback could ever pick it.
+      const bool prune =
+          options_.preference == Preference::kRatio
+              ? best_measured > 0.0 && optimistic < best_measured
+              : floor_met && optimistic < options_.min_ratio;
+      if (prune) {
+        eval.pruned = true;
+        trials_pruned.Increment();
+        continue;
+      }
+    }
+    ISOBAR_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(eval.codec));
+    const Bytes& trial_input = gathered[candidates[c].lin_index];
+    Bytes compressed;
+    Stopwatch timer;
+    ISOBAR_RETURN_NOT_OK(codec->Compress(trial_input, &compressed));
+    eval.throughput_mbps = timer.ThroughputMBps(trial_input.size());
+    eval.ratio = compressed.empty()
+                     ? 0.0
+                     : static_cast<double>(trial_input.size()) /
+                           static_cast<double>(compressed.size());
+    best_measured = std::max(best_measured, eval.ratio);
+    floor_met = floor_met || eval.ratio >= options_.min_ratio;
+    trials_run.Increment();
+    static telemetry::Counter& measured =
+        telemetry::GetCounter("eupa.candidates_measured");
+    measured.Increment();
   }
 
   // Decision rule (§II.C: "the EUPA-selector is a deterministic
@@ -126,26 +324,30 @@ Result<EupaDecision> EupaSelector::Select(ByteSpan data, size_t width,
   // measurements, so the speed rule compares them only up to a 15% band:
   // the fastest band is located first, then the best ratio inside it
   // wins. Near-ties (e.g. row vs column under the same solver) therefore
-  // resolve by ratio, which does not fluctuate between runs.
+  // resolve by ratio, which does not fluctuate between runs. Pruned
+  // candidates never enter the rule: the gate only drops candidates the
+  // rule could not have picked.
   const CandidateEvaluation* best = nullptr;
   if (options_.preference == Preference::kRatio) {
     for (const auto& eval : decision.evaluations) {
+      if (eval.pruned) continue;
       if (best == nullptr || eval.ratio > best->ratio) best = &eval;
     }
   } else {
     double top_throughput = 0.0;
     for (const auto& eval : decision.evaluations) {
-      if (eval.ratio < options_.min_ratio) continue;
+      if (eval.pruned || eval.ratio < options_.min_ratio) continue;
       top_throughput = std::max(top_throughput, eval.throughput_mbps);
     }
     for (const auto& eval : decision.evaluations) {
-      if (eval.ratio < options_.min_ratio) continue;
+      if (eval.pruned || eval.ratio < options_.min_ratio) continue;
       if (eval.throughput_mbps < 0.85 * top_throughput) continue;
       if (best == nullptr || eval.ratio > best->ratio) best = &eval;
     }
     if (best == nullptr) {
       // No candidate met the ratio floor; fall back to the best ratio.
       for (const auto& eval : decision.evaluations) {
+        if (eval.pruned) continue;
         if (best == nullptr || eval.ratio > best->ratio) best = &eval;
       }
     }

@@ -31,6 +31,17 @@ struct EupaOptions {
   /// expand the data.
   double min_ratio = 1.0;
 
+  /// Estimator gate (§II.C high-throughput selection): before any trial
+  /// compression runs, each candidate gets a cheap predicted ratio from
+  /// sample statistics (order-0 entropy bound, run density, match-probe
+  /// rate). A candidate is pruned — its trial never runs — when even its
+  /// predicted ratio inflated by this margin cannot beat the incumbent
+  /// under the active preference rule. 0 disables the gate and restores
+  /// the exhaustive trial matrix. The default margin is generous enough
+  /// that selection matches exhaustive search on every tier-1 input; see
+  /// docs/PERFORMANCE.md for the calibration notes.
+  double prune_margin = 0.25;
+
   /// Elements in the training sample drawn from the input. The sample is
   /// taken as several contiguous runs at deterministic pseudo-random
   /// offsets so both locality-sensitive (LZ window) and frequency
@@ -56,6 +67,12 @@ struct CandidateEvaluation {
   Linearization linearization = Linearization::kRow;
   double ratio = 0.0;             ///< sample bytes / compressed bytes
   double throughput_mbps = 0.0;   ///< sample compression throughput
+  /// Estimator-predicted ratio from sample statistics; populated whenever
+  /// the estimator gate is active (prune_margin > 0), 0 otherwise.
+  double predicted_ratio = 0.0;
+  /// True when the gate skipped this candidate's trial compression; the
+  /// measured fields (ratio, throughput_mbps) are then 0.
+  bool pruned = false;
 };
 
 /// The selector's verdict plus the evidence it was based on.

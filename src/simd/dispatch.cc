@@ -41,7 +41,8 @@ Tier ResolveTier() {
 constexpr KernelTable kScalarTable = {
     internal::HistogramUpdateScalar, internal::GatherColW4Scalar,
     internal::GatherColW8Scalar,     internal::ScatterColW4Scalar,
-    internal::ScatterColW8Scalar,
+    internal::ScatterColW8Scalar,    internal::RunScanScalar,
+    internal::MtfEncodeScalar,
 };
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -51,7 +52,8 @@ constexpr KernelTable kSse42Table = {
     // scalar tier stays the bit-faithful reference implementation.
     internal::HistogramUpdateBlocked, internal::GatherColW4Sse,
     internal::GatherColW8Sse,         internal::ScatterColW4Sse,
-    internal::ScatterColW8Sse,
+    internal::ScatterColW8Sse,        internal::RunScanSse,
+    internal::MtfEncodeSse,
 };
 
 constexpr KernelTable kAvx2Table = {
@@ -61,6 +63,7 @@ constexpr KernelTable kAvx2Table = {
     // already contiguous full-cacheline runs, and a 256-bit variant
     // measured no faster than the 128-bit one.
     internal::ScatterColW4Sse, internal::ScatterColW8Sse,
+    internal::RunScanAvx2,     internal::MtfEncodeAvx2,
 };
 #endif  // x86
 

@@ -58,6 +58,13 @@ struct KernelTable {
   void (*scatter_col_w4)(const uint8_t* in, size_t n, uint8_t* out);
   /// out[i * 8 + c] = in[c * n + i] (inverse of gather_col_w8).
   void (*scatter_col_w8)(const uint8_t* in, size_t n, uint8_t* out);
+  /// Length (in [1, n]) of the run of bytes equal to data[0] at the start
+  /// of data. Requires n >= 1; callers cap n to their maximum run length.
+  size_t (*run_scan)(const uint8_t* data, size_t n);
+  /// Move-to-front transform of data[0, n) in place against the 256-entry
+  /// recency table `order` (every byte value exactly once; updated in
+  /// place so callers can span multiple buffers with one table).
+  void (*mtf_encode)(uint8_t* data, size_t n, uint8_t* order);
 };
 
 /// Kernel table of the active tier.

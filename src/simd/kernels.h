@@ -18,6 +18,11 @@ void HistogramUpdateScalar(const uint8_t* data, size_t n, size_t width,
 void HistogramUpdateBlocked(const uint8_t* data, size_t n, size_t width,
                             uint64_t* hists);
 
+// --- Byte-run and move-to-front scans (scan_kernels.cc). The codec side's
+// hot loops: RLE/zero-RLE run detection and the BWT MTF rank lookup.
+size_t RunScanScalar(const uint8_t* data, size_t n);
+void MtfEncodeScalar(uint8_t* data, size_t n, uint8_t* order);
+
 // --- Full-mask column-linearization transposes (transpose_kernels.cc).
 void GatherColW4Scalar(const uint8_t* in, size_t n, uint8_t* out);
 void GatherColW8Scalar(const uint8_t* in, size_t n, uint8_t* out);
@@ -25,6 +30,10 @@ void ScatterColW4Scalar(const uint8_t* in, size_t n, uint8_t* out);
 void ScatterColW8Scalar(const uint8_t* in, size_t n, uint8_t* out);
 
 #if defined(__x86_64__) || defined(__i386__)
+size_t RunScanSse(const uint8_t* data, size_t n);
+size_t RunScanAvx2(const uint8_t* data, size_t n);
+void MtfEncodeSse(uint8_t* data, size_t n, uint8_t* order);
+void MtfEncodeAvx2(uint8_t* data, size_t n, uint8_t* order);
 void GatherColW4Sse(const uint8_t* in, size_t n, uint8_t* out);
 void GatherColW8Sse(const uint8_t* in, size_t n, uint8_t* out);
 void ScatterColW4Sse(const uint8_t* in, size_t n, uint8_t* out);

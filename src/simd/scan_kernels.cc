@@ -1,0 +1,136 @@
+#include "simd/kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+#include <cstring>
+
+namespace isobar::simd::internal {
+namespace {
+
+// Shared scalar tail for the run scanners: compares bytes one at a time
+// starting at `i`. The scalar tier uses it for the whole range.
+inline size_t RunScanTail(const uint8_t* data, size_t n, size_t i) {
+  const uint8_t value = data[0];
+  while (i < n && data[i] == value) ++i;
+  return i;
+}
+
+// Move-to-front step shared by every tier once the symbol's position is
+// known: shift order[0..pos) up one slot and refile the symbol at the
+// front. memmove matches std::copy_backward byte for byte.
+inline void MtfShift(uint8_t* order, size_t pos, uint8_t value) {
+  std::memmove(order + 1, order, pos);
+  order[0] = value;
+}
+
+}  // namespace
+
+size_t RunScanScalar(const uint8_t* data, size_t n) {
+  return RunScanTail(data, n, 1);
+}
+
+void MtfEncodeScalar(uint8_t* data, size_t n, uint8_t* order) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t value = data[i];
+    size_t position = 0;
+    while (order[position] != value) ++position;
+    data[i] = static_cast<uint8_t>(position);
+    MtfShift(order, position, value);
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+__attribute__((target("sse4.2"))) size_t RunScanSse(const uint8_t* data,
+                                                    size_t n) {
+  const __m128i splat = _mm_set1_epi8(static_cast<char>(data[0]));
+  size_t i = 1;
+  while (i + 16 <= n) {
+    const __m128i chunk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const uint32_t mask =
+        static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(chunk, splat)));
+    if (mask != 0xFFFFu) {
+      return i + static_cast<size_t>(__builtin_ctz(~mask));
+    }
+    i += 16;
+  }
+  return RunScanTail(data, n, i);
+}
+
+__attribute__((target("avx2"))) size_t RunScanAvx2(const uint8_t* data,
+                                                   size_t n) {
+  const __m256i splat = _mm256_set1_epi8(static_cast<char>(data[0]));
+  size_t i = 1;
+  while (i + 32 <= n) {
+    const __m256i chunk =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const uint32_t mask = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(chunk, splat)));
+    if (mask != 0xFFFFFFFFu) {
+      return i + static_cast<size_t>(__builtin_ctz(~mask));
+    }
+    i += 32;
+  }
+  return RunScanTail(data, n, i);
+}
+
+// MTF rank lookup via 16-byte compare sweeps over the order table. The
+// symbol occurs exactly once, so the first set movemask bit is its rank.
+// Repeated symbols (the common case after a BWT) hit the rank-0 check
+// before any vector work.
+__attribute__((target("sse4.2"))) void MtfEncodeSse(uint8_t* data, size_t n,
+                                                    uint8_t* order) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t value = data[i];
+    if (order[0] == value) {
+      data[i] = 0;
+      continue;
+    }
+    const __m128i splat = _mm_set1_epi8(static_cast<char>(value));
+    size_t position = 0;
+    for (size_t base = 0; base < 256; base += 16) {
+      const __m128i chunk =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(order + base));
+      const uint32_t mask = static_cast<uint32_t>(
+          _mm_movemask_epi8(_mm_cmpeq_epi8(chunk, splat)));
+      if (mask != 0) {
+        position = base + static_cast<size_t>(__builtin_ctz(mask));
+        break;
+      }
+    }
+    data[i] = static_cast<uint8_t>(position);
+    MtfShift(order, position, value);
+  }
+}
+
+__attribute__((target("avx2"))) void MtfEncodeAvx2(uint8_t* data, size_t n,
+                                                   uint8_t* order) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t value = data[i];
+    if (order[0] == value) {
+      data[i] = 0;
+      continue;
+    }
+    const __m256i splat = _mm256_set1_epi8(static_cast<char>(value));
+    size_t position = 0;
+    for (size_t base = 0; base < 256; base += 32) {
+      const __m256i chunk =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(order + base));
+      const uint32_t mask = static_cast<uint32_t>(
+          _mm256_movemask_epi8(_mm256_cmpeq_epi8(chunk, splat)));
+      if (mask != 0) {
+        position = base + static_cast<size_t>(__builtin_ctz(mask));
+        break;
+      }
+    }
+    data[i] = static_cast<uint8_t>(position);
+    MtfShift(order, position, value);
+  }
+}
+
+#endif  // x86
+
+}  // namespace isobar::simd::internal

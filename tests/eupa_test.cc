@@ -3,6 +3,7 @@
 #include "core/analyzer.h"
 #include "core/eupa_selector.h"
 #include "datagen/registry.h"
+#include "telemetry/metrics.h"
 #include "util/random.h"
 
 namespace isobar {
@@ -162,6 +163,139 @@ TEST(EupaTest, SampleSmallerThanDataStillDecides) {
   auto decision = selector.Select(data, 8, 0xC0);
   ASSERT_TRUE(decision.ok());
   EXPECT_EQ(decision->evaluations.size(), 4u);
+}
+
+TEST(EupaTest, RejectsZeroSampleBudget) {
+  const Bytes data = NoisyStructured(1000, 9);
+  EupaOptions options;
+  options.sample_elements = 0;
+  EXPECT_FALSE(EupaSelector(options).Select(data, 8, 0xFF).ok());
+  options.sample_elements = 1024;
+  options.sample_runs = 0;
+  EXPECT_FALSE(EupaSelector(options).Select(data, 8, 0xFF).ok());
+}
+
+// Candidate list covering every solver the estimator models.
+std::vector<CodecId> AllSolvers() {
+  return {CodecId::kZlib, CodecId::kBzip2, CodecId::kRle,
+          CodecId::kLzss, CodecId::kHuffman, CodecId::kBwt};
+}
+
+EupaDecision SelectOrDie(const Bytes& data, size_t width, uint64_t mask,
+                         Preference pref, double margin,
+                         std::vector<CodecId> codecs) {
+  EupaOptions options;
+  options.preference = pref;
+  options.prune_margin = margin;
+  options.candidate_codecs = std::move(codecs);
+  auto decision = EupaSelector(options).Select(data, width, mask);
+  EXPECT_TRUE(decision.ok()) << decision.status().message();
+  return *decision;
+}
+
+// The gate must never flip a ratio-preference selection: compression
+// ratios are bit-deterministic, so gated and exhaustive runs must land on
+// the same (codec, linearization) on any input — including adversarial
+// ones aimed at each individual signal.
+TEST(EupaTest, GateMatchesExhaustiveOnAdversarialInputs) {
+  std::vector<std::pair<Bytes, size_t>> inputs;
+  // All noise: every predictor near 1, nothing clearly wins.
+  Bytes noise;
+  Xoshiro256 rng(42);
+  for (size_t i = 0; i < 131072; ++i) {
+    noise.push_back(static_cast<uint8_t>(rng.Next()));
+  }
+  inputs.emplace_back(std::move(noise), 8);
+  // All constant: the single-symbol entropy special case.
+  inputs.emplace_back(Bytes(131072, 0x55), 8);
+  // Alternating columns: row and column layouts diverge maximally.
+  Bytes alternating;
+  for (size_t i = 0; i < 65536; ++i) {
+    alternating.push_back(0x01);
+    alternating.push_back(0x02);
+  }
+  inputs.emplace_back(std::move(alternating), 2);
+
+  for (const auto& [data, width] : inputs) {
+    const uint64_t mask = width == 2 ? 0b11 : 0xFF;
+    const EupaDecision exhaustive =
+        SelectOrDie(data, width, mask, Preference::kRatio, 0.0, AllSolvers());
+    const EupaDecision gated =
+        SelectOrDie(data, width, mask, Preference::kRatio, 0.25, AllSolvers());
+    EXPECT_EQ(gated.codec, exhaustive.codec);
+    EXPECT_EQ(gated.linearization, exhaustive.linearization);
+    // Exhaustive mode leaves the estimator fields untouched.
+    for (const auto& eval : exhaustive.evaluations) {
+      EXPECT_FALSE(eval.pruned);
+      EXPECT_DOUBLE_EQ(eval.predicted_ratio, 0.0);
+    }
+    // Gated mode predicts every candidate and measures the survivors
+    // identically to the exhaustive run.
+    for (size_t i = 0; i < gated.evaluations.size(); ++i) {
+      EXPECT_GT(gated.evaluations[i].predicted_ratio, 0.0);
+      if (!gated.evaluations[i].pruned) {
+        EXPECT_DOUBLE_EQ(gated.evaluations[i].ratio,
+                         exhaustive.evaluations[i].ratio);
+      }
+    }
+  }
+}
+
+TEST(EupaTest, GateMatchesExhaustiveAcrossDatasetProfiles) {
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    auto dataset = GenerateDataset(spec, 40000);
+    ASSERT_TRUE(dataset.ok()) << spec.name;
+    const uint64_t mask = (uint64_t{1} << dataset->width()) - 1;
+    const EupaDecision exhaustive =
+        SelectOrDie(dataset->data, dataset->width(), mask, Preference::kRatio,
+                    0.0, AllSolvers());
+    const EupaDecision gated =
+        SelectOrDie(dataset->data, dataset->width(), mask, Preference::kRatio,
+                    0.25, AllSolvers());
+    EXPECT_EQ(gated.codec, exhaustive.codec) << spec.name;
+    EXPECT_EQ(gated.linearization, exhaustive.linearization) << spec.name;
+  }
+}
+
+TEST(EupaTest, GatePrunesTrialsOnMixedWorkload) {
+  // Structured columns under a ratio preference: once a strong candidate
+  // is measured, weak predictors (RLE/Huffman on noisy layouts) must be
+  // pruned without a trial, and the counters must record the split.
+  const Bytes data = NoisyStructured(100000, 10);
+  telemetry::SetEnabled(true);
+  telemetry::Counter& run = telemetry::GetCounter("eupa.trials_run");
+  telemetry::Counter& pruned = telemetry::GetCounter("eupa.trials_pruned");
+  const uint64_t run_before = run.value();
+  const uint64_t pruned_before = pruned.value();
+  const EupaDecision gated =
+      SelectOrDie(data, 8, 0xC0, Preference::kRatio, 0.25, AllSolvers());
+  telemetry::SetEnabled(false);
+
+  size_t pruned_evals = 0;
+  for (const auto& eval : gated.evaluations) pruned_evals += eval.pruned ? 1 : 0;
+  EXPECT_GT(pruned_evals, 0u);
+  EXPECT_LT(pruned_evals, gated.evaluations.size());
+  EXPECT_EQ(pruned.value() - pruned_before, pruned_evals);
+  EXPECT_EQ(run.value() - run_before, gated.evaluations.size() - pruned_evals);
+
+  // And the saved trials must not change the outcome.
+  const EupaDecision exhaustive =
+      SelectOrDie(data, 8, 0xC0, Preference::kRatio, 0.0, AllSolvers());
+  EXPECT_EQ(gated.codec, exhaustive.codec);
+  EXPECT_EQ(gated.linearization, exhaustive.linearization);
+}
+
+TEST(EupaTest, SpeedPreferenceDefaultFloorNeverPrunes) {
+  // At the default min_ratio of 1.0 every estimator lower bound clears the
+  // floor, so a speed-preference gate must keep the full trial matrix: the
+  // band rule depends on measured throughputs the estimator cannot rank.
+  const Bytes data = NoisyStructured(100000, 11);
+  const EupaDecision gated =
+      SelectOrDie(data, 8, 0xC0, Preference::kSpeed, 0.25, AllSolvers());
+  for (const auto& eval : gated.evaluations) {
+    EXPECT_FALSE(eval.pruned);
+    EXPECT_GT(eval.ratio, 0.0);
+  }
 }
 
 TEST(EupaTest, ChoosesColumnWhenItClearlyWins) {

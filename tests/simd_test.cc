@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstring>
+#include <numeric>
 #include <thread>
 #include <vector>
 
@@ -85,6 +87,8 @@ TEST(SimdDispatchTest, EveryTableEntryIsPopulated) {
     EXPECT_NE(k.gather_col_w8, nullptr);
     EXPECT_NE(k.scatter_col_w4, nullptr);
     EXPECT_NE(k.scatter_col_w8, nullptr);
+    EXPECT_NE(k.run_scan, nullptr);
+    EXPECT_NE(k.mtf_encode, nullptr);
   }
 }
 
@@ -124,6 +128,85 @@ TEST(SimdHistogramTest, KernelAccumulatesIntoExistingCounts) {
     for (uint64_t v : hists) total += v;
     EXPECT_EQ(total, 8u * 256u * 3u + 8u * 100u)
         << "tier " << simd::TierToString(tier);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scan kernel parity: run_scan and mtf_encode back the RLE/BWT codec hot
+// loops, so every tier must match the scalar reference bit for bit.
+
+TEST(SimdScanTest, RunScanMatchesScalar) {
+  const simd::KernelTable& scalar = simd::KernelsForTier(simd::Tier::kScalar);
+  // Mismatch positions straddling the 16/32-byte vector strides, plus a
+  // run covering the whole buffer (the kernel must not read past n).
+  const size_t kBreaks[] = {1,  2,  15, 16, 17, 31,  32,
+                            33, 63, 64, 65, 130, 256, 1000};
+  Bytes data(1024, 0xAB);
+  for (simd::Tier tier : SupportedTiers()) {
+    const simd::KernelTable& k = simd::KernelsForTier(tier);
+    for (size_t brk : kBreaks) {
+      std::fill(data.begin(), data.end(), 0xAB);
+      if (brk < data.size()) data[brk] = 0xCD;
+      for (size_t n : {size_t{1}, brk, brk + 1, brk + 7, data.size()}) {
+        if (n == 0 || n > data.size()) continue;
+        ASSERT_EQ(k.run_scan(data.data(), n), scalar.run_scan(data.data(), n))
+            << "tier " << simd::TierToString(tier) << " break " << brk
+            << " n " << n;
+      }
+    }
+  }
+}
+
+TEST(SimdScanTest, RunScanOnRandomRuns) {
+  const simd::KernelTable& scalar = simd::KernelsForTier(simd::Tier::kScalar);
+  Xoshiro256 rng(0xAB5C15);
+  // Concatenated random-length runs of random bytes, scanned from every
+  // run boundary with the RLE codec's cap.
+  Bytes data;
+  std::vector<size_t> starts;
+  while (data.size() < 8192) {
+    starts.push_back(data.size());
+    data.insert(data.end(), 1 + rng.Next() % 300,
+                static_cast<uint8_t>(rng.Next()));
+  }
+  for (simd::Tier tier : SupportedTiers()) {
+    const simd::KernelTable& k = simd::KernelsForTier(tier);
+    for (size_t s : starts) {
+      const size_t cap = std::min<size_t>(130, data.size() - s);
+      ASSERT_EQ(k.run_scan(data.data() + s, cap),
+                scalar.run_scan(data.data() + s, cap))
+          << "tier " << simd::TierToString(tier) << " start " << s;
+    }
+  }
+}
+
+TEST(SimdScanTest, MtfEncodeMatchesScalar) {
+  const simd::KernelTable& scalar = simd::KernelsForTier(simd::Tier::kScalar);
+  Xoshiro256 rng(0x4711);
+  for (simd::Tier tier : SupportedTiers()) {
+    const simd::KernelTable& k = simd::KernelsForTier(tier);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{255},
+                     size_t{4096}}) {
+      // Two regimes: full-range noise, and BWT-like low-entropy data where
+      // the rank-0 fast path dominates.
+      for (int mode = 0; mode < 2; ++mode) {
+        Bytes expect(n);
+        for (auto& b : expect) {
+          b = static_cast<uint8_t>(mode == 0 ? rng.Next() : rng.Next() % 4);
+        }
+        Bytes got = expect;
+        std::array<uint8_t, 256> order_expect;
+        std::array<uint8_t, 256> order_got;
+        std::iota(order_expect.begin(), order_expect.end(), 0);
+        order_got = order_expect;
+        scalar.mtf_encode(expect.data(), n, order_expect.data());
+        k.mtf_encode(got.data(), n, order_got.data());
+        ASSERT_EQ(got, expect) << "tier " << simd::TierToString(tier)
+                               << " n " << n << " mode " << mode;
+        ASSERT_EQ(order_got, order_expect)
+            << "tier " << simd::TierToString(tier) << " n " << n;
+      }
+    }
   }
 }
 
