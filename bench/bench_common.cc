@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "simd/dispatch.h"
+#include "telemetry/timeline.h"
 #include "util/stopwatch.h"
 
 namespace isobar::bench {
@@ -25,6 +27,33 @@ void DumpTelemetryAtExit() {
   if (!TelemetryDumpPath().empty()) DumpTelemetryJson(TelemetryDumpPath());
 }
 
+std::string& TimelineDumpPath() {
+  static std::string& path = *new std::string();
+  return path;
+}
+
+void DumpTimelineAtExit() {
+  if (TimelineDumpPath().empty()) return;
+  const std::string json = telemetry::TimelineToJson(
+      telemetry::Timeline::Global().Snapshot());
+  std::ofstream file(TimelineDumpPath(),
+                     std::ios::binary | std::ios::trunc);
+  file << json;
+  if (!file.good()) {
+    std::fprintf(stderr, "warning: cannot write timeline to '%s'\n",
+                 TimelineDumpPath().c_str());
+  }
+}
+
+// The active SIMD dispatch tier as a metrics-registry counter
+// (simd.tier.<name> = 1). Recorded here because the telemetry library
+// cannot link against the simd library.
+void RecordSimdTier() {
+  const std::string name =
+      "simd.tier." + std::string(simd::TierToString(simd::ActiveTier()));
+  telemetry::GetCounter(name).Add(1);
+}
+
 }  // namespace
 
 Args ParseArgs(int argc, char** argv) {
@@ -40,10 +69,17 @@ Args ParseArgs(int argc, char** argv) {
     } else if (std::strncmp(arg, "--telemetry-json=", 17) == 0) {
       args.telemetry_json = arg + 17;
       if (args.telemetry_json.empty()) Die("--telemetry-json needs a path");
+    } else if (std::strncmp(arg, "--timeline-json=", 16) == 0) {
+      args.timeline_json = arg + 16;
+      if (args.timeline_json.empty()) Die("--timeline-json needs a path");
+    } else if (std::strncmp(arg, "--timeline-capacity=", 20) == 0) {
+      telemetry::Timeline::Global().set_capacity_per_thread(
+          static_cast<size_t>(std::strtoull(arg + 20, nullptr, 10)));
     } else {
       Die(std::string("unknown argument '") + arg +
           "' (supported: --mb=<float>, --steps=<int>, "
-          "--telemetry-json=<path>)");
+          "--telemetry-json=<path>, --timeline-json=<path>, "
+          "--timeline-capacity=<int>)");
     }
   }
   if (!args.telemetry_json.empty()) {
@@ -52,6 +88,13 @@ Args ParseArgs(int argc, char** argv) {
     TelemetryDumpPath() = args.telemetry_json;
     std::atexit(DumpTelemetryAtExit);
   }
+  if (!args.timeline_json.empty()) {
+    telemetry::SetEnabled(true);
+    telemetry::Timeline::Global().SetEnabled(true);
+    TimelineDumpPath() = args.timeline_json;
+    std::atexit(DumpTimelineAtExit);
+  }
+  if (telemetry::Enabled()) RecordSimdTier();
   return args;
 }
 

@@ -18,6 +18,9 @@ namespace isobar::bench {
 ///   --steps=<int>           time steps for the consistency study (default 20)
 ///   --telemetry-json=<path> enable telemetry + tracing for the whole run
 ///                           and dump the combined report at exit
+///   --timeline-json=<path>  enable the cross-thread event timeline and
+///                           dump it as Chrome trace-event JSON at exit
+///   --timeline-capacity=N   events per thread ring (default 8192)
 ///
 /// The paper ran on full datasets (18 MB - 1.1 GB) on a 2009-era Opteron;
 /// a few MB per dataset reproduces every ratio and verdict to the
@@ -26,6 +29,7 @@ struct Args {
   double mb = 2.0;
   int steps = 20;
   std::string telemetry_json;
+  std::string timeline_json;
 };
 
 Args ParseArgs(int argc, char** argv);

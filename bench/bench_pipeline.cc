@@ -8,16 +8,31 @@
 // snapshots them into BENCH_e2e.json; scripts/ci.sh compares that file
 // warn-only, since end-to-end numbers swing with machine load far more
 // than the kernel rows of BENCH_baseline.json.
+//
+// Harness flags (consumed before google-benchmark parses argv):
+//   --threads=N              run only the N-worker scenarios
+//   --trace-timeline=<path>  record the cross-thread event timeline for
+//                            the whole run and write it as Chrome
+//                            trace-event JSON at exit (the rings keep the
+//                            most recent window; size with
+//                            --timeline-capacity)
+//   --timeline-capacity=N    events per thread ring (default 8192)
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/isobar.h"
 #include "datagen/registry.h"
+#include "telemetry/metrics.h"
+#include "telemetry/timeline.h"
+#include "telemetry/trace_export.h"
 
 namespace isobar {
 namespace {
@@ -99,9 +114,10 @@ void BM_E2eDecompress(benchmark::State& state, const Solver& solver,
                           static_cast<int64_t>(dataset.data.size()));
 }
 
-void RegisterScenarios() {
+void RegisterScenarios(uint32_t only_threads) {
   for (const Solver& solver : kSolvers) {
     for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+      if (only_threads != 0 && threads != only_threads) continue;
       const std::string suffix = "/solver:" + std::string(solver.name) +
                                  "/threads:" + std::to_string(threads);
       // Wall-clock timing: the worker pool runs outside the bench thread,
@@ -126,10 +142,50 @@ void RegisterScenarios() {
 }  // namespace isobar
 
 int main(int argc, char** argv) {
-  isobar::RegisterScenarios();
+  // Strip the harness flags before benchmark::Initialize consumes argv.
+  std::string timeline_path;
+  uint32_t only_threads = 0;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace-timeline=", 17) == 0) {
+      timeline_path = arg + 17;
+      if (timeline_path.empty()) {
+        std::fprintf(stderr, "--trace-timeline needs a path\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--timeline-capacity=", 20) == 0) {
+      isobar::telemetry::Timeline::Global().set_capacity_per_thread(
+          static_cast<size_t>(std::strtoull(arg + 20, nullptr, 10)));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      only_threads =
+          static_cast<uint32_t>(std::strtoul(arg + 10, nullptr, 10));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!timeline_path.empty()) {
+    isobar::telemetry::SetEnabled(true);
+    isobar::telemetry::Timeline::Global().SetEnabled(true);
+  }
+
+  isobar::RegisterScenarios(only_threads);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  if (!timeline_path.empty()) {
+    const std::string json = isobar::telemetry::TimelineToJson(
+        isobar::telemetry::Timeline::Global().Snapshot());
+    std::ofstream file(timeline_path, std::ios::binary | std::ios::trunc);
+    file << json;
+    if (!file.good()) {
+      std::fprintf(stderr, "cannot write timeline to '%s'\n",
+                   timeline_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -6,11 +6,14 @@
 //                 [--codec=zlib|bzip2|rle|lzss] [--lin=row|column]
 //                 [--tau=1.42] [--chunk=375000] [--threads=N] [--verbose]
 //                 [--metrics-json=<path>] [--metrics-csv=<path>]
-//                 [--trace=<path>]
+//                 [--trace=<path>] [--trace-timeline=<path>]
+//                 [--timeline-capacity=N] [--trace-max-pipelines=N]
+//                 [--trace-max-chunks=N]
 //   ./isobar_cli d <input.isobar> <output> [--threads=N]
 //                 [--salvage=skip|zero-fill]
 //                 [--metrics-json=<path>] [--metrics-csv=<path>]
-//                 [--trace=<path>]
+//                 [--trace=<path>] [--trace-timeline=<path>]
+//                 [--timeline-capacity=N]
 //
 // --salvage decodes damaged containers best-effort: a chunk that fails to
 // parse, decode, or checksum is skipped (or replaced with zero bytes)
@@ -22,19 +25,28 @@
 // and dump it afterwards ("-" writes to stdout): --metrics-json writes the
 // combined report (counters, histograms, spans, per-chunk pipeline
 // traces), --metrics-csv the flat instrument table, --trace the per-chunk
-// trace CSV. See docs/OBSERVABILITY.md for the schema.
+// trace CSV, --trace-timeline the cross-thread event timeline as Chrome
+// trace-event JSON (load it in chrome://tracing or Perfetto, or summarize
+// it with isobar_stat). --timeline-capacity bounds each thread's event
+// ring, --trace-max-pipelines/--trace-max-chunks bound the chunk-trace
+// recorder; overflow counts into the telemetry.events_dropped counter.
+// See docs/OBSERVABILITY.md for the schema.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "compressors/registry.h"
 #include "core/isobar.h"
 #include "core/stream.h"
 #include "io/file_io.h"
 #include "linearize/transpose.h"
+#include "simd/dispatch.h"
 #include "telemetry/metrics.h"
+#include "telemetry/timeline.h"
 #include "telemetry/trace_export.h"
 
 namespace {
@@ -59,13 +71,32 @@ struct TelemetryFlags {
   std::string metrics_json;
   std::string metrics_csv;
   std::string trace_csv;
+  std::string timeline_json;
   /// Set when a telemetry flag was given with an empty path; the command
   /// should exit with a usage error instead of silently dropping output.
   bool parse_error = false;
 
-  /// Consumes `--metrics-json= / --metrics-csv= / --trace=`; returns
-  /// false for any other argument.
+  /// Consumes `--metrics-json= / --metrics-csv= / --trace= /
+  /// --trace-timeline=` and the recorder-capacity knobs; returns false
+  /// for any other argument.
   bool Parse(const char* arg) {
+    // Capacity knobs first: they tune the bounded recorders but do not by
+    // themselves switch telemetry on.
+    if (std::strncmp(arg, "--timeline-capacity=", 20) == 0) {
+      telemetry::Timeline::Global().set_capacity_per_thread(
+          static_cast<size_t>(std::strtoull(arg + 20, nullptr, 10)));
+      return true;
+    }
+    if (std::strncmp(arg, "--trace-max-pipelines=", 22) == 0) {
+      telemetry::TraceRecorder::Global().set_max_pipelines(
+          static_cast<size_t>(std::strtoull(arg + 22, nullptr, 10)));
+      return true;
+    }
+    if (std::strncmp(arg, "--trace-max-chunks=", 19) == 0) {
+      telemetry::TraceRecorder::Global().set_max_chunks_per_pipeline(
+          static_cast<size_t>(std::strtoull(arg + 19, nullptr, 10)));
+      return true;
+    }
     std::string* dest;
     if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
       dest = &metrics_json;
@@ -76,6 +107,9 @@ struct TelemetryFlags {
     } else if (std::strncmp(arg, "--trace=", 8) == 0) {
       dest = &trace_csv;
       *dest = arg + 8;
+    } else if (std::strncmp(arg, "--trace-timeline=", 17) == 0) {
+      dest = &timeline_json;
+      *dest = arg + 17;
     } else {
       return false;
     }
@@ -86,6 +120,9 @@ struct TelemetryFlags {
     }
     telemetry::SetEnabled(true);
     telemetry::TraceRecorder::Global().SetEnabled(true);
+    if (dest == &timeline_json) {
+      telemetry::Timeline::Global().SetEnabled(true);
+    }
     return true;
   }
 
@@ -118,9 +155,25 @@ struct TelemetryFlags {
                       telemetry::TraceToCsv(
                           telemetry::TraceRecorder::Global().Snapshot()));
     }
+    if (!timeline_json.empty()) {
+      ok &= WriteText(timeline_json,
+                      telemetry::TimelineToJson(
+                          telemetry::Timeline::Global().Snapshot()));
+    }
     return ok;
   }
 };
+
+/// Records the active SIMD dispatch tier into the metrics registry as a
+/// `simd.tier.<name>` counter. Lives here (not in the telemetry library)
+/// because telemetry cannot link against the simd library; any binary
+/// that sees both records the tier once per run.
+void RecordSimdTier() {
+  if (!telemetry::Enabled()) return;
+  const std::string name =
+      "simd.tier." + std::string(simd::TierToString(simd::ActiveTier()));
+  telemetry::GetCounter(name).Add(1);
+}
 
 int Usage(const char* argv0) {
   std::fprintf(
@@ -129,16 +182,22 @@ int Usage(const char* argv0) {
       "          [--codec=zlib|bzip2|rle|lzss] [--lin=row|column]\n"
       "          [--tau=1.42] [--chunk=375000] [--threads=N] [--verbose]\n"
       "          [--metrics-json=<path>] [--metrics-csv=<path>]\n"
-      "          [--trace=<path>]\n"
+      "          [--trace=<path>] [--trace-timeline=<path>]\n"
+      "          [--timeline-capacity=N] [--trace-max-pipelines=N]\n"
+      "          [--trace-max-chunks=N]\n"
       "       %s d <input.isobar> <output> [--threads=N]\n"
       "          [--salvage=skip|zero-fill]\n"
       "          [--metrics-json=<path>] [--metrics-csv=<path>]\n"
-      "          [--trace=<path>]\n"
+      "          [--trace=<path>] [--trace-timeline=<path>]\n"
+      "          [--timeline-capacity=N]\n"
       "--threads=N uses N worker threads for the chunk pipeline (0 = one\n"
       "per hardware thread, the default; 1 = serial). Output is identical\n"
       "for every thread count. --verbose prints the EUPA decision table\n"
       "(every candidate's predicted and measured performance, and which\n"
-      "trials the estimator gate pruned).\n"
+      "trials the estimator gate pruned), the thread-pool scheduling\n"
+      "summary, and the top-3 slowest chunks.\n"
+      "--trace-timeline writes the cross-thread event timeline as Chrome\n"
+      "trace-event JSON (chrome://tracing / Perfetto / isobar_stat).\n"
       "--salvage recovers what it can from a damaged container: bad\n"
       "chunks are skipped (or zero-filled) and reported instead of\n"
       "aborting the decode.\n"
@@ -183,6 +242,66 @@ void PrintDecisionTable(const EupaDecision& decision) {
   }
 }
 
+/// --verbose: thread-pool scheduling summary, read back from the pool.*
+/// counters ThreadPool::PublishStats() recorded at the end of the run.
+void PrintPoolStats() {
+  const auto snapshot = telemetry::MetricsRegistry::Global().Snapshot();
+  auto counter = [&snapshot](std::string_view name) -> long long {
+    for (const auto& c : snapshot.counters) {
+      if (c.name == name) return static_cast<long long>(c.value);
+    }
+    return -1;
+  };
+  const long long submitted = counter("pool.tasks_submitted");
+  if (submitted < 0) {
+    std::fprintf(stderr, "thread pool: not used (serial run)\n");
+    return;
+  }
+  const long long idle = counter("pool.idle_nanos");
+  std::fprintf(stderr,
+               "thread pool: %lld tasks submitted, %lld executed; %lld "
+               "steals, %lld failed steal scans; %.3fs aggregate idle\n",
+               submitted, counter("pool.tasks_executed"),
+               counter("pool.steals"), counter("pool.failed_steal_scans"),
+               idle < 0 ? 0.0 : static_cast<double>(idle) / 1e9);
+}
+
+/// --verbose: the top-3 slowest chunks across the run's pipeline traces,
+/// by summed stage time — the chunks a throughput investigation should
+/// look at first.
+void PrintSlowestChunks() {
+  struct SlowChunk {
+    uint64_t chunk_index;
+    uint64_t input_bytes;
+    double analysis, partition, codec;
+    double total() const { return analysis + partition + codec; }
+  };
+  std::vector<SlowChunk> chunks;
+  for (const auto& pipeline : telemetry::TraceRecorder::Global().Snapshot()) {
+    for (const auto& chunk : pipeline.chunks) {
+      chunks.push_back({chunk.chunk_index, chunk.input_bytes,
+                        chunk.analysis_seconds, chunk.partition_seconds,
+                        chunk.codec_seconds});
+    }
+  }
+  if (chunks.empty()) return;
+  const size_t top = std::min<size_t>(3, chunks.size());
+  std::partial_sort(chunks.begin(), chunks.begin() + top, chunks.end(),
+                    [](const SlowChunk& a, const SlowChunk& b) {
+                      return a.total() > b.total();
+                    });
+  std::fprintf(stderr, "slowest chunks:\n");
+  for (size_t i = 0; i < top; ++i) {
+    const SlowChunk& c = chunks[i];
+    std::fprintf(stderr,
+                 "  chunk %llu: %.3fs (analyze %.3fs, partition %.3fs, "
+                 "solve %.3fs) over %llu bytes\n",
+                 static_cast<unsigned long long>(c.chunk_index), c.total(),
+                 c.analysis, c.partition, c.codec,
+                 static_cast<unsigned long long>(c.input_bytes));
+  }
+}
+
 int Compress(int argc, char** argv) {
   size_t width = 8;
   bool verbose = false;
@@ -194,6 +313,10 @@ int Compress(int argc, char** argv) {
       continue;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       verbose = true;
+      // The verbose summaries are derived from telemetry (pool counters,
+      // chunk traces), so verbose switches the subsystem on for the run.
+      telemetry::SetEnabled(true);
+      telemetry::TraceRecorder::Global().SetEnabled(true);
     } else if (std::strncmp(arg, "--width=", 8) == 0) {
       width = static_cast<size_t>(std::atoi(arg + 8));
     } else if (std::strcmp(arg, "--pref=speed") == 0) {
@@ -224,6 +347,7 @@ int Compress(int argc, char** argv) {
     }
   }
   if (telemetry_flags.parse_error) return 2;
+  RecordSimdTier();
 
   Bytes input;
   if (!ReadFile(argv[2], &input)) {
@@ -255,7 +379,11 @@ int Compress(int argc, char** argv) {
                    .c_str(),
                stats.improvable ? "improvable" : "undetermined",
                stats.mean_htc_fraction * 100.0);
-  if (verbose) PrintDecisionTable(stats.decision);
+  if (verbose) {
+    PrintDecisionTable(stats.decision);
+    PrintPoolStats();
+    PrintSlowestChunks();
+  }
   if (!telemetry_flags.Dump()) return 1;
   return 0;
 }
@@ -280,6 +408,7 @@ int Decompress(int argc, char** argv) {
     }
   }
   if (telemetry_flags.parse_error) return 2;
+  RecordSimdTier();
   Bytes input;
   if (!ReadFile(argv[2], &input)) {
     std::fprintf(stderr, "cannot read '%s'\n", argv[2]);

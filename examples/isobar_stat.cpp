@@ -1,0 +1,370 @@
+// isobar_stat: inspector for the telemetry artifacts the other tools
+// write — the other half of the observability loop. Everything it reads
+// is parsed with the strict telemetry JSON reader, so the exporters are
+// continuously validated by their own consumer.
+//
+//   ./isobar_stat print <metrics.json>
+//       Pretty-prints a metrics document (either the bare MetricsToJson
+//       output or the combined --metrics-json report; the "metrics"
+//       member is unwrapped automatically): counters as a name/value
+//       table, histograms with count, mean, and interpolated
+//       p50/p90/p99.
+//
+//   ./isobar_stat diff <before.json> <after.json>
+//       Compares two metrics snapshots of the same workload: counter
+//       deltas (new counters show as +value) and per-histogram shifts of
+//       count, mean, and the percentiles — the regression-hunting view.
+//
+//   ./isobar_stat timeline <trace.json> [--top=N]
+//       Summarizes a --trace-timeline Chrome trace-event file: per-stage
+//       self time (each slice minus its nested children), per-worker
+//       utilization over the traced interval, and the top-N longest
+//       chunk slices (default 10).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/file_io.h"
+#include "telemetry/json_reader.h"
+
+namespace {
+
+using isobar::telemetry::JsonValue;
+using isobar::telemetry::ParseJson;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s print <metrics.json>\n"
+               "       %s diff <before.json> <after.json>\n"
+               "       %s timeline <trace.json> [--top=N]\n"
+               "print     pretty-prints a metrics snapshot (bare or combined\n"
+               "          --metrics-json report)\n"
+               "diff      counter deltas and histogram percentile shifts\n"
+               "          between two snapshots\n"
+               "timeline  per-stage self time, per-worker utilization, and\n"
+               "          the longest chunks of a --trace-timeline file\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+/// Loads and parses one JSON document, reporting parse errors with the
+/// file name prepended. Returns false on any failure.
+bool LoadJson(const char* path, JsonValue* out) {
+  auto bytes = isobar::ReadFileToBytes(path);
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "cannot read '%s': %s\n", path,
+                 bytes.status().ToString().c_str());
+    return false;
+  }
+  auto parsed = ParseJson(std::string_view(
+      reinterpret_cast<const char*>(bytes->data()), bytes->size()));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path,
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  *out = std::move(*parsed);
+  return true;
+}
+
+/// A combined --metrics-json report nests the metrics document under
+/// "metrics"; a bare MetricsToJson document is already the metrics.
+const JsonValue* UnwrapMetrics(const JsonValue& doc) {
+  if (const JsonValue* nested = doc.Find("metrics")) return nested;
+  if (doc.Find("counters") != nullptr || doc.Find("histograms") != nullptr) {
+    return &doc;
+  }
+  return nullptr;
+}
+
+// --- print ---------------------------------------------------------------
+
+int Print(const char* path) {
+  JsonValue doc;
+  if (!LoadJson(path, &doc)) return 1;
+  const JsonValue* metrics = UnwrapMetrics(doc);
+  if (metrics == nullptr) {
+    std::fprintf(stderr, "%s: not a metrics document\n", path);
+    return 1;
+  }
+  if (const JsonValue* counters = metrics->Find("counters")) {
+    std::printf("counters:\n");
+    for (const auto& [name, value] : counters->object_members()) {
+      std::printf("  %-44s %14.0f\n", name.c_str(), value.NumberOr(0));
+    }
+  }
+  if (const JsonValue* histograms = metrics->Find("histograms")) {
+    std::printf("histograms:\n");
+    std::printf("  %-36s %10s %12s %12s %12s %12s\n", "name", "count",
+                "mean", "p50", "p90", "p99");
+    for (const JsonValue& h : histograms->array_items()) {
+      std::printf("  %-36s %10.0f %12.1f %12.1f %12.1f %12.1f\n",
+                  h.FieldStringOr("name", "?").c_str(),
+                  h.FieldNumberOr("count", 0), h.FieldNumberOr("mean", 0),
+                  h.FieldNumberOr("p50", 0), h.FieldNumberOr("p90", 0),
+                  h.FieldNumberOr("p99", 0));
+    }
+  }
+  return 0;
+}
+
+// --- diff ----------------------------------------------------------------
+
+int Diff(const char* before_path, const char* after_path) {
+  JsonValue before_doc, after_doc;
+  if (!LoadJson(before_path, &before_doc)) return 1;
+  if (!LoadJson(after_path, &after_doc)) return 1;
+  const JsonValue* before = UnwrapMetrics(before_doc);
+  const JsonValue* after = UnwrapMetrics(after_doc);
+  if (before == nullptr || after == nullptr) {
+    std::fprintf(stderr, "inputs are not metrics documents\n");
+    return 1;
+  }
+
+  // Counter deltas over the union of names; unchanged counters are
+  // omitted so the interesting rows stand out.
+  std::map<std::string, std::pair<double, double>> counters;
+  if (const JsonValue* c = before->Find("counters")) {
+    for (const auto& [name, v] : c->object_members()) {
+      counters[name].first = v.NumberOr(0);
+    }
+  }
+  if (const JsonValue* c = after->Find("counters")) {
+    for (const auto& [name, v] : c->object_members()) {
+      counters[name].second = v.NumberOr(0);
+    }
+  }
+  std::printf("counters (delta = after - before):\n");
+  bool any = false;
+  for (const auto& [name, values] : counters) {
+    const double delta = values.second - values.first;
+    if (delta == 0) continue;
+    any = true;
+    std::printf("  %-44s %+14.0f  (%.0f -> %.0f)\n", name.c_str(), delta,
+                values.first, values.second);
+  }
+  if (!any) std::printf("  (no counter changed)\n");
+
+  // Histogram shifts: count delta plus mean/percentile movement.
+  std::map<std::string, std::pair<const JsonValue*, const JsonValue*>> hists;
+  if (const JsonValue* h = before->Find("histograms")) {
+    for (const JsonValue& item : h->array_items()) {
+      hists[item.FieldStringOr("name", "?")].first = &item;
+    }
+  }
+  if (const JsonValue* h = after->Find("histograms")) {
+    for (const JsonValue& item : h->array_items()) {
+      hists[item.FieldStringOr("name", "?")].second = &item;
+    }
+  }
+  std::printf("histograms:\n");
+  std::printf("  %-36s %11s %12s %12s %12s %12s\n", "name", "count",
+              "mean", "p50", "p90", "p99");
+  auto shift = [](const JsonValue* b, const JsonValue* a, const char* key) {
+    const double from = b == nullptr ? 0 : b->FieldNumberOr(key, 0);
+    const double to = a == nullptr ? 0 : a->FieldNumberOr(key, 0);
+    return to - from;
+  };
+  any = false;
+  for (const auto& [name, pair] : hists) {
+    const auto [b, a] = pair;
+    const double count_delta = shift(b, a, "count");
+    const double p50 = shift(b, a, "p50");
+    const double p90 = shift(b, a, "p90");
+    const double p99 = shift(b, a, "p99");
+    if (count_delta == 0 && p50 == 0 && p90 == 0 && p99 == 0) continue;
+    any = true;
+    std::printf("  %-36s %+11.0f %+12.1f %+12.1f %+12.1f %+12.1f%s\n",
+                name.c_str(), count_delta, shift(b, a, "mean"), p50, p90,
+                p99,
+                b == nullptr ? "  (new)" : (a == nullptr ? "  (gone)" : ""));
+  }
+  if (!any) std::printf("  (no histogram changed)\n");
+  return 0;
+}
+
+// --- timeline ------------------------------------------------------------
+
+/// One "X" slice from the trace, times in microseconds (the trace-event
+/// unit; fractional part preserves the nanosecond precision).
+struct Slice {
+  std::string name;
+  double start = 0;
+  double dur = 0;
+  uint64_t chunk = 0;  ///< args.chunk + 1, 0 when untagged.
+  double end() const { return start + dur; }
+};
+
+struct StageStat {
+  double self_us = 0;
+  double total_us = 0;
+  uint64_t count = 0;
+};
+
+int Timeline(int argc, char** argv) {
+  size_t top_n = 10;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--top=", 6) == 0) {
+      top_n = static_cast<size_t>(std::strtoull(argv[i] + 6, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  JsonValue doc;
+  if (!LoadJson(argv[2], &doc)) return 1;
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "%s: no traceEvents array (not a Chrome trace)\n",
+                 argv[2]);
+    return 1;
+  }
+
+  std::map<uint64_t, std::string> thread_names;
+  std::map<uint64_t, std::vector<Slice>> threads;
+  for (const JsonValue& e : events->array_items()) {
+    const std::string ph = e.FieldStringOr("ph", "");
+    const uint64_t tid =
+        static_cast<uint64_t>(e.FieldNumberOr("tid", 0));
+    if (ph == "M") {
+      if (const JsonValue* args = e.Find("args")) {
+        thread_names[tid] = args->FieldStringOr("name", "");
+      }
+      continue;
+    }
+    if (ph != "X") continue;  // instants don't carry duration
+    Slice slice;
+    slice.name = e.FieldStringOr("name", "?");
+    slice.start = e.FieldNumberOr("ts", 0);
+    slice.dur = e.FieldNumberOr("dur", 0);
+    if (const JsonValue* args = e.Find("args")) {
+      if (const JsonValue* chunk = args->Find("chunk")) {
+        slice.chunk = static_cast<uint64_t>(chunk->NumberOr(0)) + 1;
+      }
+    }
+    threads[tid].push_back(std::move(slice));
+  }
+  if (threads.empty()) {
+    std::fprintf(stderr, "%s: no complete events\n", argv[2]);
+    return 1;
+  }
+
+  // Walk each thread's slices in start order with an enclosing-slice
+  // stack: a slice contained in the previous unfinished one is a child
+  // (its duration leaves the parent's self time); a top-level slice is
+  // worker busy time.
+  std::map<std::string, StageStat> stages;
+  std::map<uint64_t, double> busy_us;
+  double trace_begin = 0, trace_end = 0;
+  bool first_slice = true;
+  std::vector<Slice> longest_chunks;
+  for (auto& [tid, slices] : threads) {
+    std::sort(slices.begin(), slices.end(), [](const Slice& a, const Slice& b) {
+      if (a.start != b.start) return a.start < b.start;
+      return a.dur > b.dur;  // parent sorts before same-start child
+    });
+    struct Open {
+      const Slice* slice;
+      double child_us = 0;
+    };
+    std::vector<Open> stack;
+    auto close_until = [&](double start) {
+      while (!stack.empty() &&
+             stack.back().slice->end() <= start + 1e-9) {
+        StageStat& stat = stages[stack.back().slice->name];
+        stat.self_us += stack.back().slice->dur - stack.back().child_us;
+        stack.pop_back();
+      }
+    };
+    for (const Slice& slice : slices) {
+      close_until(slice.start);
+      if (first_slice || slice.start < trace_begin) trace_begin = slice.start;
+      if (first_slice || slice.end() > trace_end) trace_end = slice.end();
+      first_slice = false;
+      StageStat& stat = stages[slice.name];
+      stat.total_us += slice.dur;
+      stat.count += 1;
+      if (stack.empty()) {
+        busy_us[tid] += slice.dur;
+      } else {
+        stack.back().child_us += slice.dur;
+      }
+      stack.push_back(Open{&slice});
+      if (slice.chunk != 0 &&
+          (slice.name == "compress.chunk" ||
+           slice.name == "decompress.chunk")) {
+        longest_chunks.push_back(slice);
+      }
+    }
+    close_until(trace_end + 1);
+  }
+
+  const double span_us = trace_end - trace_begin;
+  std::printf("trace: %zu threads over %.3f ms\n", threads.size(),
+              span_us / 1e3);
+
+  std::printf("per-stage self time (slice minus nested children):\n");
+  std::printf("  %-24s %8s %12s %12s %7s\n", "stage", "count", "self ms",
+              "total ms", "self%");
+  std::vector<std::pair<std::string, StageStat>> by_self(stages.begin(),
+                                                         stages.end());
+  std::sort(by_self.begin(), by_self.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.self_us > b.second.self_us;
+            });
+  double all_self = 0;
+  for (const auto& [name, stat] : by_self) all_self += stat.self_us;
+  for (const auto& [name, stat] : by_self) {
+    std::printf("  %-24s %8llu %12.3f %12.3f %6.1f%%\n", name.c_str(),
+                static_cast<unsigned long long>(stat.count),
+                stat.self_us / 1e3, stat.total_us / 1e3,
+                all_self > 0 ? 100.0 * stat.self_us / all_self : 0.0);
+  }
+
+  std::printf("per-worker utilization (busy / traced interval):\n");
+  for (const auto& [tid, slices] : threads) {
+    const auto name_it = thread_names.find(tid);
+    const std::string label =
+        name_it != thread_names.end() && !name_it->second.empty()
+            ? name_it->second
+            : "thread-" + std::to_string(tid);
+    const double busy = busy_us.count(tid) ? busy_us.at(tid) : 0;
+    std::printf("  %-12s %10.3f ms busy  %6.1f%%  (%zu slices)\n",
+                label.c_str(), busy / 1e3,
+                span_us > 0 ? 100.0 * busy / span_us : 0.0, slices.size());
+  }
+
+  if (!longest_chunks.empty() && top_n > 0) {
+    const size_t top = std::min(top_n, longest_chunks.size());
+    std::partial_sort(longest_chunks.begin(), longest_chunks.begin() + top,
+                      longest_chunks.end(),
+                      [](const Slice& a, const Slice& b) {
+                        return a.dur > b.dur;
+                      });
+    std::printf("longest chunks:\n");
+    for (size_t i = 0; i < top; ++i) {
+      const Slice& slice = longest_chunks[i];
+      std::printf("  chunk %llu: %10.3f ms  (%s)\n",
+                  static_cast<unsigned long long>(slice.chunk - 1),
+                  slice.dur / 1e3, slice.name.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "print") == 0) return Print(argv[2]);
+  if (argc == 4 && std::strcmp(argv[1], "diff") == 0) {
+    return Diff(argv[2], argv[3]);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "timeline") == 0) {
+    return Timeline(argc, argv);
+  }
+  return Usage(argv[0]);
+}

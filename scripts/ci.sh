@@ -12,6 +12,9 @@
 #   scripts/ci.sh scalar           # Release suite with ISOBAR_SIMD=scalar,
 #                                  # pinning the kernel dispatch to the
 #                                  # reference tier
+#   scripts/ci.sh notelemetry      # Release suite with telemetry compiled
+#                                  # out (-DISOBAR_TELEMETRY=OFF): the
+#                                  # instrumentation must vanish cleanly
 #   scripts/ci.sh ubsan            # optional extra configuration
 #   scripts/ci.sh fuzz             # fuzz smoke: corpus replay (+ short
 #                                  # libFuzzer run when clang is available)
@@ -99,6 +102,17 @@ scalar() {
     -DISOBAR_WERROR=ON
 }
 
+# Telemetry compiled out: spans, the timeline, and the metrics registry
+# all collapse to no-ops, and the suite (minus the telemetry-only tests,
+# which skip themselves) must still pass. Guards against instrumentation
+# creeping into hot paths without a kCompiledIn gate.
+notelemetry() {
+  run_config notelemetry \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DISOBAR_TELEMETRY=OFF \
+    -DISOBAR_WERROR=ON
+}
+
 # Bench smoke: run the kernel microbenchmarks briefly and compare against
 # the committed BENCH_baseline.json — strict for the stable single-thread
 # kernel/codec rows (a >40% drop fails CI), warn-only for anything matched
@@ -130,6 +144,19 @@ bench() {
     --benchmark_format=json > "${e2e_out}"
   echo "=== [${name}] e2e compare ==="
   python3 scripts/bench_regression.py "${e2e_out}" --baseline BENCH_e2e.json
+  echo "=== [${name}] timeline trace ==="
+  # One 8-worker scenario with the cross-thread timeline on: the Chrome
+  # trace JSON (load it at ui.perfetto.dev) is kept as a CI artifact so a
+  # scheduling regression can be eyeballed, not just inferred from rates.
+  local trace_out="${ISOBAR_BENCH_TIMELINE:-${dir}/bench_timeline_trace.json}"
+  "${dir}/bench/bench_pipeline" \
+    --threads=8 \
+    --trace-timeline="${trace_out}" \
+    --benchmark_filter='^BM_E2eCompress/solver:zlib/threads:8' \
+    --benchmark_min_time="${ISOBAR_BENCH_MIN_TIME:-0.1}" \
+    --benchmark_format=console > /dev/null
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "${trace_out}"
+  echo "timeline trace written to ${trace_out}"
   echo "=== [${name}] OK ==="
 }
 
@@ -171,7 +198,7 @@ fuzz() {
 
 for arg in "$@"; do
   case "${arg}" in
-    release|asan|tsan|scalar|ubsan|fuzz|bench) CONFIGS+=("${arg}") ;;
+    release|asan|tsan|scalar|notelemetry|ubsan|fuzz|bench) CONFIGS+=("${arg}") ;;
     *) CTEST_ARGS+=("${arg}") ;;
   esac
 done

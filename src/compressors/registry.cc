@@ -9,7 +9,8 @@
 #include "compressors/rle_codec.h"
 #include "compressors/zlib_codec.h"
 #include "telemetry/metrics.h"
-#include "util/stopwatch.h"
+#include "telemetry/span.h"
+#include "telemetry/timeline.h"
 
 namespace isobar {
 namespace {
@@ -49,9 +50,15 @@ class InstrumentedCodec final : public Codec {
     if (!telemetry::Enabled()) return inner_.Compress(input, out);
     compress_calls_.Increment();
     compress_input_bytes_.Add(input.size());
-    Stopwatch timer;
+    const int64_t start = telemetry::MonotonicNanos();
     Status status = inner_.Compress(input, out);
-    compress_nanos_.Observe(static_cast<uint64_t>(timer.ElapsedNanos()));
+    const int64_t elapsed = telemetry::MonotonicNanos() - start;
+    compress_nanos_.Observe(static_cast<uint64_t>(elapsed));
+    // One slice per solver call on the worker's track, nested inside
+    // chunk.solve — the trace shows which codec the time went to.
+    // prefix_ outlives the process (the registry never destroys codecs).
+    telemetry::Timeline::Emit(prefix_, telemetry::TimelinePhase::kComplete,
+                              start, elapsed);
     if (status.ok()) {
       compress_output_bytes_.Add(out->size());
     } else {
@@ -67,9 +74,12 @@ class InstrumentedCodec final : public Codec {
     }
     decompress_calls_.Increment();
     decompress_input_bytes_.Add(input.size());
-    Stopwatch timer;
+    const int64_t start = telemetry::MonotonicNanos();
     Status status = inner_.Decompress(input, original_size, out);
-    decompress_nanos_.Observe(static_cast<uint64_t>(timer.ElapsedNanos()));
+    const int64_t elapsed = telemetry::MonotonicNanos() - start;
+    decompress_nanos_.Observe(static_cast<uint64_t>(elapsed));
+    telemetry::Timeline::Emit(prefix_, telemetry::TimelinePhase::kComplete,
+                              start, elapsed);
     if (status.ok()) {
       decompress_output_bytes_.Add(out->size());
     } else {

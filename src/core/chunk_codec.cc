@@ -22,9 +22,11 @@ Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
                    Linearization linearization, ByteSpan chunk, size_t width,
                    Bytes* out, CompressionStats* stats,
                    uint64_t trace_pipeline_id,
-                   telemetry::ChunkTrace* trace_out, ScratchArena* arena) {
+                   telemetry::ChunkTrace* trace_out, ScratchArena* arena,
+                   uint64_t chunk_ordinal) {
   const uint64_t full_mask = FullMask(width);
-  telemetry::ScopedSpan chunk_span("compress.chunk");
+  telemetry::ScopedSpan chunk_span("compress.chunk", trace_pipeline_id,
+                                   chunk_ordinal + 1);
   const size_t record_base = out->size();
 
   Stopwatch analysis_timer;
@@ -76,7 +78,8 @@ Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
     // Undetermined (Alg. 1 lines 2-3): the whole chunk goes to the
     // solver, still in the EUPA-chosen linearization.
     chunk_header.flags |= container::kChunkUndetermined;
-    telemetry::ScopedSpan gather_span("chunk.partition");
+    telemetry::ScopedSpan gather_span("chunk.partition", trace_pipeline_id,
+                                      chunk_ordinal + 1);
     Stopwatch partition_timer;
     ISOBAR_RETURN_NOT_OK(
         GatherColumns(chunk, width, full_mask, linearization, &gathered));
@@ -86,7 +89,8 @@ Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
 
   double codec_seconds = 0.0;
   {
-    telemetry::ScopedSpan solve_span("chunk.solve");
+    telemetry::ScopedSpan solve_span("chunk.solve", trace_pipeline_id,
+                                     chunk_ordinal + 1);
     Stopwatch codec_timer;
     compressed.clear();  // Arena slot may hold the previous chunk's output.
     ISOBAR_RETURN_NOT_OK(codec.Compress(gathered, &compressed));
@@ -120,6 +124,8 @@ Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
   chunks_encoded.Increment();
   input_bytes.Add(chunk.size());
   output_bytes.Add(out->size() - record_base);
+
+  if (arena != nullptr) arena->PublishStats();
 
   auto& recorder = telemetry::TraceRecorder::Global();
   if (trace_pipeline_id != 0 && recorder.enabled()) {
@@ -181,7 +187,7 @@ Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
                           size_t width, bool verify_checksums,
                           MutableByteSpan dest, DecompressionStats* stats,
                           ChunkFailureStage* failed_stage,
-                          ScratchArena* arena) {
+                          ScratchArena* arena, uint64_t chunk_ordinal) {
   if (failed_stage != nullptr) *failed_stage = ChunkFailureStage::kPayload;
   const uint64_t full_mask = FullMask(width);
   const bool undetermined =
@@ -207,7 +213,7 @@ Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
                                     : local_decoded;
   ByteSpan packed;
   {
-    telemetry::ScopedSpan decode_span("chunk.decode");
+    telemetry::ScopedSpan decode_span("chunk.decode", 0, chunk_ordinal + 1);
     Stopwatch decode_timer;
     if (chunk_header.flags & container::kChunkStoredRaw) {
       if (compressed_section.size() != expected_packed) {
@@ -225,7 +231,7 @@ Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
     }
   }
 
-  telemetry::ScopedSpan scatter_span("chunk.scatter");
+  telemetry::ScopedSpan scatter_span("chunk.scatter", 0, chunk_ordinal + 1);
   Stopwatch scatter_timer;
   ISOBAR_RETURN_NOT_OK(
       ScatterColumns(packed, width, mask, linearization, dest));
@@ -249,6 +255,8 @@ Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
     ++stats->chunk_count;
   }
 
+  if (arena != nullptr) arena->PublishStats();
+
   static telemetry::Counter& chunks_decoded =
       telemetry::GetCounter("pipeline.chunks_decoded");
   chunks_decoded.Increment();
@@ -261,7 +269,7 @@ Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
                    Bytes* out, DecompressionStats* stats,
                    uint64_t chunk_index, ChunkFailureStage* failed_stage,
                    container::ChunkHeader* header_out, ScratchArena* arena) {
-  telemetry::ScopedSpan chunk_span("decompress.chunk");
+  telemetry::ScopedSpan chunk_span("decompress.chunk", 0, chunk_index + 1);
   if (failed_stage != nullptr) *failed_stage = ChunkFailureStage::kHeader;
   const size_t record_offset = *offset;
 
@@ -297,7 +305,7 @@ Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
   Status status = DecodeChunkPayload(chunk_header, compressed_section,
                                      raw_section, codec, linearization, width,
                                      verify_checksums, dest, stats,
-                                     failed_stage, arena);
+                                     failed_stage, arena, chunk_index);
   if (!status.ok()) {
     out->resize(chunk_base);  // Drop partially scattered bytes.
     return AnnotateChunkError(status, chunk_index, record_offset);

@@ -28,12 +28,15 @@ namespace isobar {
 /// into chunk order. When `arena` is non-null its slots back the gather /
 /// raw / compressed temporaries, so a worker encoding many chunks reuses
 /// the same steady-state allocations instead of reallocating per chunk.
+/// `chunk_ordinal` is the chunk's 0-based position in its pipeline, used
+/// only to tag the chunk's timeline events (so a trace viewer can follow
+/// one chunk across workers); it does not affect the encoding.
 Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
                    Linearization linearization, ByteSpan chunk, size_t width,
                    Bytes* out, CompressionStats* stats,
                    uint64_t trace_pipeline_id = 0,
                    telemetry::ChunkTrace* trace_out = nullptr,
-                   ScratchArena* arena = nullptr);
+                   ScratchArena* arena = nullptr, uint64_t chunk_ordinal = 0);
 
 /// Prefixes a failed `status` with the failing record's position —
 /// "chunk 17 (container offset 123456): ..." — so corruption reports name
@@ -90,6 +93,7 @@ void MergeChunkStats(const CompressionStats& chunk, CompressionStats* total);
 /// non-null) reports whether the payload or its checksum was rejected.
 /// When `arena` is non-null its kDecoded slot backs the solver's output
 /// buffer (cleared before use), amortizing the allocation across chunks.
+/// `chunk_ordinal` tags the chunk's timeline events only.
 Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
                           ByteSpan compressed_section, ByteSpan raw_section,
                           const Codec& codec, Linearization linearization,
@@ -97,7 +101,8 @@ Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
                           MutableByteSpan dest,
                           DecompressionStats* stats = nullptr,
                           ChunkFailureStage* failed_stage = nullptr,
-                          ScratchArena* arena = nullptr);
+                          ScratchArena* arena = nullptr,
+                          uint64_t chunk_ordinal = 0);
 
 }  // namespace isobar
 

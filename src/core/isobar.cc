@@ -23,6 +23,21 @@ uint64_t FullMask(size_t width) {
   return width >= 64 ? ~0ull : ((1ull << width) - 1);
 }
 
+/// Flight-recorder window embedded into a damaged SalvageReport: enough
+/// recent events to cover several chunks' worth of pipeline activity
+/// without bloating the report.
+constexpr size_t kFlightRecorderEvents = 256;
+
+/// Snapshots the most recent timeline events into `report` (no-op without
+/// a report or with the timeline off). Called the moment damage is
+/// established, so the window shows what every thread was doing when the
+/// decode went wrong.
+void CaptureFlightRecorder(SalvageReport* report) {
+  if (report == nullptr || !telemetry::Timeline::Enabled()) return;
+  report->flight_recorder =
+      telemetry::Timeline::Global().SnapshotRecent(kFlightRecorderEvents);
+}
+
 /// One chunk's encode result, produced on a worker and consumed by the
 /// (single) container writer.
 struct EncodedChunk {
@@ -153,7 +168,7 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
       ISOBAR_RETURN_NOT_OK(EncodeChunk(analyzer, *codec,
                                        decision.linearization,
                                        chunker.chunk(ci), width, &out, stats,
-                                       trace_id, nullptr, &arena));
+                                       trace_id, nullptr, &arena, ci));
     }
   } else {
     // Fan each chunk's analyze→partition→solve out as a pool task; this
@@ -162,15 +177,19 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
     // instead of O(file).
     auto& recorder = telemetry::TraceRecorder::Global();
     const bool tracing = trace_id != 0;
+    // This thread is the pipeline's in-order writer; name its timeline
+    // track so writer stalls are attributable in the trace viewer.
+    telemetry::Timeline::SetCurrentThreadName("writer");
     ThreadPool pool(num_threads);
     const size_t window = 2 * num_threads;
     std::deque<std::future<EncodedChunk>> in_flight;
     uint64_t next_chunk = 0;
     auto submit_next = [&] {
-      const ByteSpan chunk = chunker.chunk(next_chunk++);
+      const uint64_t ordinal = next_chunk++;
+      const ByteSpan chunk = chunker.chunk(ordinal);
       in_flight.push_back(
           pool.Submit([&analyzer, &codec, &decision, chunk, width, trace_id,
-                       tracing]() -> EncodedChunk {
+                       tracing, ordinal]() -> EncodedChunk {
             EncodedChunk encoded;
             // ThreadLocal() inside the task: each pool worker gets (and
             // keeps) its own arena across every chunk it encodes.
@@ -178,24 +197,39 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
                 analyzer, *codec, decision.linearization, chunk, width,
                 &encoded.record, &encoded.stats, trace_id,
                 tracing ? &encoded.trace : nullptr,
-                &ScratchArena::ThreadLocal());
+                &ScratchArena::ThreadLocal(), ordinal);
             return encoded;
           }));
     };
     while (next_chunk < chunker.chunk_count() && in_flight.size() < window) {
       submit_next();
     }
+    uint64_t write_index = 0;
     while (!in_flight.empty()) {
-      EncodedChunk encoded = in_flight.front().get();
+      EncodedChunk encoded;
+      {
+        // The in-order stall: how long the writer blocked on the oldest
+        // outstanding chunk. On the timeline, back-to-back writer.wait
+        // slices mean workers can't keep the window full.
+        telemetry::ScopedSpan wait_span("writer.wait", trace_id,
+                                        write_index + 1);
+        encoded = in_flight.front().get();
+      }
       in_flight.pop_front();
       if (next_chunk < chunker.chunk_count()) submit_next();
       // On error the early return destroys `pool`, which drains the
       // remaining queued tasks before the chunker and codec go away.
       ISOBAR_RETURN_NOT_OK(encoded.status);
-      out.insert(out.end(), encoded.record.begin(), encoded.record.end());
-      MergeChunkStats(encoded.stats, stats);
-      if (tracing) recorder.RecordChunk(trace_id, std::move(encoded.trace));
+      {
+        telemetry::ScopedSpan append_span("writer.append", trace_id,
+                                          write_index + 1);
+        out.insert(out.end(), encoded.record.begin(), encoded.record.end());
+        MergeChunkStats(encoded.stats, stats);
+        if (tracing) recorder.RecordChunk(trace_id, std::move(encoded.trace));
+      }
+      ++write_index;
     }
+    pool.PublishStats();
   }
 
   stats->output_bytes = out.size();
@@ -324,7 +358,10 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
       RecordSalvage(report, work, ChunkFailureStage::kHeader, policy,
                     annotated, out_bytes, 0);
       if (report != nullptr) report->truncated_tail = true;
-      if (!salvage) return annotated;
+      if (!salvage) {
+        CaptureFlightRecorder(report);
+        return annotated;
+      }
       tail_lost = true;
       break;
     }
@@ -342,6 +379,7 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
       if (!salvage) {
         RecordSalvage(report, work, ChunkFailureStage::kHeader, policy,
                       annotated, out_bytes, 0);
+        CaptureFlightRecorder(report);
         return annotated;
       }
       // The record is still delimited by its (intact) section sizes; its
@@ -395,7 +433,7 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
     DecompressionStats stats;
   };
   auto decode_one = [&](const ChunkWork& work) -> ChunkOutcome {
-    telemetry::ScopedSpan chunk_span("decompress.chunk");
+    telemetry::ScopedSpan chunk_span("decompress.chunk", 0, work.index + 1);
     ChunkOutcome outcome;
     if (work.damaged) {
       outcome.status = work.error;
@@ -407,7 +445,7 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
     outcome.status = DecodeChunkPayload(
         work.header, work.compressed, work.raw, *codec, header.linearization,
         width, options.verify_checksums, dest, &outcome.stats,
-        &outcome.stage, &ScratchArena::ThreadLocal());
+        &outcome.stage, &ScratchArena::ThreadLocal(), work.index);
     if (!outcome.status.ok()) {
       outcome.status =
           AnnotateChunkError(outcome.status, work.index, work.byte_offset);
@@ -454,6 +492,7 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
     if (!salvage) {
       RecordSalvage(report, work, outcome.stage, policy, outcome.status,
                     work.out_offset, 0);
+      CaptureFlightRecorder(report);
       return outcome.status;
     }
     const size_t slice_bytes = static_cast<size_t>(work.dest_elements) * width;
@@ -493,6 +532,9 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
       report->bytes_lost += pad;
     }
   }
+
+  if (pool != nullptr) pool->PublishStats();
+  if (report != nullptr && !report->clean()) CaptureFlightRecorder(report);
 
   stats->input_bytes = container_bytes.size();
   stats->output_bytes = out.size();

@@ -8,6 +8,7 @@
 #include "core/chunker.h"
 #include "core/container.h"
 #include "core/eupa_selector.h"
+#include "telemetry/timeline.h"
 #include "util/bytes.h"
 #include "util/status.h"
 
@@ -124,6 +125,13 @@ struct SalvageReport {
   /// Trailing bytes after the last counted chunk (counted containers only).
   uint64_t trailing_bytes = 0;
   std::vector<ChunkSalvageRecord> damaged;
+
+  /// Flight recorder: the most recent cross-thread timeline events at the
+  /// moment damage was established (bounded window, newest last), so a
+  /// post-mortem of a corrupted decode ships its own trace — export with
+  /// telemetry::FlightRecorderToJson. Empty unless the Timeline was
+  /// enabled during the run.
+  std::vector<telemetry::TimelineEventSnapshot> flight_recorder;
 
   /// True when every chunk decoded cleanly — the salvage run saw exactly
   /// what a kFail run would have accepted.

@@ -8,6 +8,8 @@
 #include "core/chunk_codec.h"
 #include "core/eupa_selector.h"
 #include "telemetry/metrics.h"
+#include "telemetry/span.h"
+#include "telemetry/timeline.h"
 #include "telemetry/trace_export.h"
 #include "util/stopwatch.h"
 
@@ -99,13 +101,14 @@ Status IsobarStreamWriter::EnsurePipeline(ByteSpan training_data) {
 
 Status IsobarStreamWriter::EmitChunk(ByteSpan chunk) {
   ISOBAR_RETURN_NOT_OK(EnsurePipeline(chunk));
+  const uint64_t ordinal = chunks_emitted_++;
   if (num_threads_ <= 1) {
     const Analyzer analyzer(options_.analyzer);
     Bytes record;
     ISOBAR_RETURN_NOT_OK(EncodeChunk(analyzer, *codec_,
                                      decision_.linearization, chunk, width_,
                                      &record, &stats_, trace_id_, nullptr,
-                                     &ScratchArena::ThreadLocal()));
+                                     &ScratchArena::ThreadLocal(), ordinal));
     ISOBAR_RETURN_NOT_OK(sink_->Write(record));
     stats_.output_bytes += record.size();
     return Status::OK();
@@ -116,10 +119,13 @@ Status IsobarStreamWriter::EmitChunk(ByteSpan chunk) {
   // this call, so the task owns a copy of the chunk bytes. codec_,
   // decision_, and trace_id_ are frozen by EnsurePipeline above, before
   // any task can observe them.
-  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_threads_);
+  if (pool_ == nullptr) {
+    telemetry::Timeline::SetCurrentThreadName("writer");
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
   Bytes owned(chunk.begin(), chunk.end());
   in_flight_.push_back(
-      pool_->Submit([this, owned = std::move(owned)]() -> EncodedRecord {
+      pool_->Submit([this, owned = std::move(owned), ordinal]() -> EncodedRecord {
         EncodedRecord encoded;
         const Analyzer analyzer(options_.analyzer);
         // ThreadLocal() inside the task: each pool worker reuses its own
@@ -128,7 +134,7 @@ Status IsobarStreamWriter::EmitChunk(ByteSpan chunk) {
             analyzer, *codec_, decision_.linearization, owned, width_,
             &encoded.record, &encoded.stats, trace_id_,
             trace_id_ != 0 ? &encoded.trace : nullptr,
-            &ScratchArena::ThreadLocal());
+            &ScratchArena::ThreadLocal(), ordinal);
         return encoded;
       }));
   if (in_flight_.size() >= 2 * num_threads_) {
@@ -138,9 +144,17 @@ Status IsobarStreamWriter::EmitChunk(ByteSpan chunk) {
 }
 
 Status IsobarStreamWriter::DrainOne() {
-  EncodedRecord encoded = in_flight_.front().get();
-  in_flight_.pop_front();
+  const uint64_t ordinal = chunks_drained_++;
+  EncodedRecord encoded;
+  {
+    // A long wait here = the in-order writer stalled on a straggler chunk;
+    // the timeline makes the stall and its chunk visible.
+    telemetry::ScopedSpan wait_span("writer.wait", trace_id_, ordinal + 1);
+    encoded = in_flight_.front().get();
+    in_flight_.pop_front();
+  }
   ISOBAR_RETURN_NOT_OK(encoded.status);
+  telemetry::ScopedSpan append_span("writer.append", trace_id_, ordinal + 1);
   ISOBAR_RETURN_NOT_OK(sink_->Write(encoded.record));
   stats_.output_bytes += encoded.record.size();
   MergeChunkStats(encoded.stats, &stats_);
@@ -218,6 +232,7 @@ Status IsobarStreamWriter::Finish() {
   while (!in_flight_.empty()) {
     ISOBAR_RETURN_NOT_OK(Poison(DrainOne()));
   }
+  if (pool_ != nullptr) pool_->PublishStats();
   pool_.reset();
   finished_ = true;
   stats_.total_seconds += timer.ElapsedSeconds();

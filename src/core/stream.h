@@ -97,6 +97,10 @@ class IsobarStreamWriter {
   CompressionStats stats_;
   uint64_t trace_id_ = 0;
   uint64_t header_bytes_ = 0;
+  // Chunk ordinals for timeline tagging: chunks submitted to the pipeline
+  // and chunks retired to the sink (the writer side of the same stream).
+  uint64_t chunks_emitted_ = 0;
+  uint64_t chunks_drained_ = 0;
 
   // Pipelined path (num_threads_ > 1). pool_ is declared last so its
   // destructor drains outstanding tasks while the members they reference

@@ -1,0 +1,79 @@
+#ifndef ISOBAR_TELEMETRY_JSON_READER_H_
+#define ISOBAR_TELEMETRY_JSON_READER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace isobar::telemetry {
+
+/// Parsed JSON document node. A deliberately small DOM — just enough for
+/// the inspector (`isobar_stat`) and the tests to read back what the
+/// exporters in this directory write, and strict (RFC 8259) so the
+/// exporters are continuously validated by their own consumers: no
+/// comments, no trailing commas, no NaN/Infinity, UTF-8 escapes checked.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  /// Insertion-ordered members (exporters emit deterministic order and
+  /// the inspector preserves it when printing).
+  const std::vector<std::pair<std::string, JsonValue>>& object_members()
+      const {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed convenience accessors with a fallback.
+  double NumberOr(double fallback) const {
+    return is_number() ? number_ : fallback;
+  }
+  std::string StringOr(std::string_view fallback) const {
+    return is_string() ? string_ : std::string(fallback);
+  }
+
+  /// Nested lookup sugar: Find(key) then NumberOr / StringOr.
+  double FieldNumberOr(std::string_view key, double fallback) const;
+  std::string FieldStringOr(std::string_view key,
+                            std::string_view fallback) const;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool v);
+  static JsonValue Number(double v);
+  static JsonValue String(std::string v);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::vector<std::pair<std::string, JsonValue>> m);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses a complete JSON document (rejects trailing garbage). Errors
+/// carry 1-based line:column positions.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace isobar::telemetry
+
+#endif  // ISOBAR_TELEMETRY_JSON_READER_H_

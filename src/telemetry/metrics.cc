@@ -1,6 +1,7 @@
 #include "telemetry/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace isobar::telemetry {
 
@@ -54,6 +55,36 @@ void Histogram::Reset() {
   min_.store(UINT64_MAX, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile within the cumulative distribution
+  // (nearest-rank with linear interpolation inside the holding bucket).
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t next = cumulative + buckets[b];
+    if (rank <= static_cast<double>(next) || next == count) {
+      // Bucket 0 holds exactly-zero samples; bucket b >= 1 spans
+      // [2^(b-1), 2^b). Interpolate by the fraction of the bucket's
+      // population below the rank.
+      const double lo = b == 0 ? 0.0 : (b == 1 ? 1.0 : std::ldexp(1.0, b - 1));
+      const double hi = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+      const double frac =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[b]);
+      const double value = lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+      // The exact extrema bound the estimate: they tighten the first and
+      // last buckets (including the open-ended top one).
+      return std::clamp(value, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max);
 }
 
 const CounterSnapshot* MetricsSnapshot::FindCounter(

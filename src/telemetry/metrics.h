@@ -99,6 +99,14 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  /// Estimated value at quantile `q` in [0, 1] (0.5 = median), linearly
+  /// interpolated inside the power-of-two bucket holding that rank and
+  /// clamped to the exact [min, max] — so a single-valued histogram
+  /// reports that value at every quantile, and the open-ended top bucket
+  /// can never report beyond the largest sample actually seen. Returns 0
+  /// for an empty histogram.
+  double Percentile(double q) const;
 };
 
 struct MetricsSnapshot {

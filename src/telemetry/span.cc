@@ -3,6 +3,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "telemetry/timeline.h"
 #include "util/stopwatch.h"
 
 namespace isobar::telemetry {
@@ -73,11 +74,22 @@ ScopedSpan::ScopedSpan(std::string_view name) {
   start_nanos_ = MonotonicNanos();
 }
 
+ScopedSpan::ScopedSpan(std::string_view name, uint64_t arg0, uint64_t arg1)
+    : ScopedSpan(name) {
+  arg0_ = arg0;
+  arg1_ = arg1;
+}
+
 ScopedSpan::~ScopedSpan() {
   if (!active_) return;
   const int64_t duration = MonotonicNanos() - start_nanos_;
   t_span_state.current_id = parent_id_;
   --t_span_state.depth;
+
+  if (Timeline::Enabled()) {
+    Timeline::Emit(name_, TimelinePhase::kComplete, start_nanos_,
+                   duration < 0 ? 0 : duration, arg0_, arg1_);
+  }
 
   GetHistogram("span." + std::string(name_) + ".nanos")
       .Observe(static_cast<uint64_t>(duration < 0 ? 0 : duration));

@@ -56,15 +56,21 @@ class SpanLog {
 ///       └── chunk.solve
 ///
 /// On destruction the duration is observed into the global histogram
-/// `span.<name>.nanos` and the record appended to the SpanLog. When
-/// telemetry is disabled at construction the span is inert (one relaxed
-/// atomic load; no clock read).
+/// `span.<name>.nanos` and the record appended to the SpanLog; when the
+/// cross-thread Timeline is enabled the span also lands there as one
+/// complete event carrying its args. When telemetry is disabled at
+/// construction the span is inert (one relaxed atomic load; no clock
+/// read).
 ///
 /// `name` must outlive the span; instrumentation sites pass string
-/// literals.
+/// literals (the Timeline keeps only the pointer).
 class ScopedSpan {
  public:
   explicit ScopedSpan(std::string_view name);
+  /// As above, tagging the span with the pipeline id (arg0) and chunk
+  /// ordinal + 1 (arg1) so timeline tooling can group slices per chunk.
+  /// Zero means "unset" for both.
+  ScopedSpan(std::string_view name, uint64_t arg0, uint64_t arg1);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -81,6 +87,8 @@ class ScopedSpan {
   uint64_t parent_id_ = 0;
   int depth_ = 0;
   int64_t start_nanos_ = 0;
+  uint64_t arg0_ = 0;
+  uint64_t arg1_ = 0;
 };
 
 /// Monotonic nanoseconds since the first telemetry use in this process;

@@ -77,6 +77,12 @@ void AppendHistogramJson(const HistogramSnapshot& h, std::string* out) {
   AppendU64(h.max, out);
   *out += ",\"mean\":";
   AppendDouble(h.mean(), out);
+  *out += ",\"p50\":";
+  AppendDouble(h.Percentile(0.50), out);
+  *out += ",\"p90\":";
+  AppendDouble(h.Percentile(0.90), out);
+  *out += ",\"p99\":";
+  AppendDouble(h.Percentile(0.99), out);
   // Sparse bucket map keeps the export compact: only non-empty buckets,
   // keyed by the bucket's exclusive upper bound 2^b (0 for the zero
   // bucket).
@@ -169,6 +175,50 @@ void AppendPipelineJson(const PipelineTrace& p, std::string* out) {
   *out += "]}";
 }
 
+// Trace-event timestamps are microseconds; emitting them as integer
+// micros with the nanosecond remainder as an exact 3-digit fraction keeps
+// full precision at any run length (a %.9g double would round once a run
+// passes ~1000 seconds).
+void AppendMicrosFromNanos(int64_t nanos, std::string* out) {
+  if (nanos < 0) nanos = 0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, nanos / 1000,
+                nanos % 1000);
+  *out += buf;
+}
+
+void AppendTimelineEventJson(const TimelineEventSnapshot& e,
+                             std::string* out) {
+  const bool complete = e.phase == TimelinePhase::kComplete;
+  *out += complete ? "{\"ph\":\"X\"" : "{\"ph\":\"i\",\"s\":\"t\"";
+  *out += ",\"pid\":1,\"tid\":";
+  AppendU64(e.tid, out);
+  *out += ",\"ts\":";
+  AppendMicrosFromNanos(e.start_nanos, out);
+  if (complete) {
+    *out += ",\"dur\":";
+    AppendMicrosFromNanos(e.duration_nanos, out);
+  }
+  *out += ",\"name\":";
+  AppendEscaped(e.name, out);
+  if (e.arg0 != 0 || e.arg1 != 0) {
+    *out += ",\"args\":{";
+    bool first = true;
+    if (e.arg0 != 0) {
+      *out += "\"pipeline\":";
+      AppendU64(e.arg0, out);
+      first = false;
+    }
+    if (e.arg1 != 0) {
+      if (!first) out->push_back(',');
+      *out += "\"chunk\":";
+      AppendU64(e.arg1 - 1, out);
+    }
+    *out += "}";
+  }
+  *out += "}";
+}
+
 }  // namespace
 
 TraceRecorder& TraceRecorder::Global() {
@@ -235,6 +285,10 @@ void TraceRecorder::RecordChunk(uint64_t pipeline_id, ChunkTrace chunk) {
   chunk.chunk_index = p->chunks.size() + p->dropped_chunks;
   if (p->chunks.size() >= max_chunks_per_pipeline_) {
     ++p->dropped_chunks;
+    // Same drop counter the timeline rings use: any bounded telemetry
+    // store that sheds data announces it here.
+    static Counter& dropped = GetCounter("telemetry.events_dropped");
+    dropped.Increment();
     return;
   }
   p->chunks.push_back(std::move(chunk));
@@ -283,13 +337,13 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
 }
 
 std::string MetricsToCsv(const MetricsSnapshot& snapshot) {
-  std::string out = "kind,name,count,sum,min,max,mean\n";
+  std::string out = "kind,name,count,sum,min,max,mean,p50,p90,p99\n";
   for (const auto& c : snapshot.counters) {
     out += "counter," + c.name + ",";
     AppendU64(c.value, &out);
     out.push_back(',');
     AppendU64(c.value, &out);
-    out += ",,,\n";
+    out += ",,,,,,\n";
   }
   for (const auto& h : snapshot.histograms) {
     out += "histogram," + h.name + ",";
@@ -302,6 +356,12 @@ std::string MetricsToCsv(const MetricsSnapshot& snapshot) {
     AppendU64(h.max, &out);
     out.push_back(',');
     AppendDouble(h.mean(), &out);
+    out.push_back(',');
+    AppendDouble(h.Percentile(0.50), &out);
+    out.push_back(',');
+    AppendDouble(h.Percentile(0.90), &out);
+    out.push_back(',');
+    AppendDouble(h.Percentile(0.99), &out);
     out.push_back('\n');
   }
   return out;
@@ -376,6 +436,44 @@ std::string SpansToJson(const std::vector<SpanRecord>& spans) {
     out += ",\"duration_nanos\":";
     AppendI64(s.duration_nanos, &out);
     out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string TimelineToJson(const std::vector<ThreadTimelineSnapshot>& threads) {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& thread : threads) {
+    if (!first) out.push_back(',');
+    first = false;
+    // Metadata event naming the track; unnamed threads still get a
+    // stable, readable label.
+    std::string label = thread.name;
+    if (label.empty()) {
+      label = "thread-";
+      AppendU64(thread.tid, &label);
+    }
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    AppendU64(thread.tid, &out);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    AppendEscaped(label, &out);
+    out += "}}";
+    for (const auto& event : thread.events) {
+      out.push_back(',');
+      AppendTimelineEventJson(event, &out);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FlightRecorderToJson(
+    const std::vector<TimelineEventSnapshot>& events) {
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendTimelineEventJson(events[i], &out);
   }
   out += "]";
   return out;

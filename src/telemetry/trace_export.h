@@ -8,6 +8,7 @@
 
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
+#include "telemetry/timeline.h"
 
 namespace isobar::telemetry {
 
@@ -108,7 +109,9 @@ class TraceRecorder {
 // (RFC 8259) so downstream tooling can parse it without a lenient reader.
 
 std::string MetricsToJson(const MetricsSnapshot& snapshot);
-/// CSV with one row per instrument: kind,name,count,sum,min,max,mean
+/// CSV with one row per instrument:
+/// kind,name,count,sum,min,max,mean,p50,p90,p99 (counter rows leave the
+/// histogram-only columns empty)
 /// (counters use value for both count and sum).
 std::string MetricsToCsv(const MetricsSnapshot& snapshot);
 
@@ -117,6 +120,19 @@ std::string TraceToJson(const std::vector<PipelineTrace>& pipelines);
 std::string TraceToCsv(const std::vector<PipelineTrace>& pipelines);
 
 std::string SpansToJson(const std::vector<SpanRecord>& spans);
+
+/// Chrome trace-event JSON (the format chrome://tracing and Perfetto
+/// load): one "X" complete event per timeline slice plus a thread_name
+/// metadata event per track, ts/dur in fractional microseconds relative
+/// to MonotonicNanos()'s epoch. Non-zero args are exported as
+/// args.pipeline and args.chunk (the stored chunk+1 is decoded back to
+/// the 0-based ordinal).
+std::string TimelineToJson(const std::vector<ThreadTimelineSnapshot>& threads);
+
+/// Same trace-event shape for a flat flight-recorder window (as embedded
+/// in a SalvageReport): events carry their tid but no thread names.
+std::string FlightRecorderToJson(
+    const std::vector<TimelineEventSnapshot>& events);
 
 /// The combined report the CLI's --metrics-json writes: current global
 /// metrics, span log, and pipeline traces in one JSON document

@@ -43,6 +43,12 @@ class ScratchArena {
   /// Releases every slot's memory (capacity drops to zero).
   void Trim();
 
+  /// Observes each slot's current capacity into the global histograms
+  /// `arena.<slot>.capacity_bytes` (the histogram max is the process-wide
+  /// slot high-water across all workers). The pipeline calls this once
+  /// per finished chunk; a no-op branch when telemetry is disabled.
+  void PublishStats() const;
+
   /// The calling thread's arena. Pipeline workers each see their own;
   /// the instance lives until the thread exits.
   static ScratchArena& ThreadLocal();

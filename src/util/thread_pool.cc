@@ -1,7 +1,14 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+#include "telemetry/timeline.h"
 
 namespace isobar {
 namespace {
@@ -39,11 +46,21 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Push(std::function<void()> task) {
+  Item item;
+  item.fn = std::move(task);
+  // Clock read only when someone is listening; a zero timestamp tells the
+  // pop side to skip the latency sample.
+  if (telemetry::Enabled()) item.submit_nanos = telemetry::MonotonicNanos();
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   if (t_pool == this) {
     // Spawned from inside a worker: front of the own deque (LIFO).
     WorkerQueue& queue = *queues_[t_worker_index];
     std::lock_guard<std::mutex> lock(queue.mutex);
-    queue.tasks.push_front(std::move(task));
+    queue.tasks.push_front(std::move(item));
+    const uint64_t depth = queue.tasks.size();
+    if (depth > queue.deque_high_water.load(std::memory_order_relaxed)) {
+      queue.deque_high_water.store(depth, std::memory_order_relaxed);
+    }
   } else {
     size_t target;
     {
@@ -53,7 +70,11 @@ void ThreadPool::Push(std::function<void()> task) {
     }
     WorkerQueue& queue = *queues_[target];
     std::lock_guard<std::mutex> lock(queue.mutex);
-    queue.tasks.push_back(std::move(task));
+    queue.tasks.push_back(std::move(item));
+    const uint64_t depth = queue.tasks.size();
+    if (depth > queue.deque_high_water.load(std::memory_order_relaxed)) {
+      queue.deque_high_water.store(depth, std::memory_order_relaxed);
+    }
   }
   {
     std::lock_guard<std::mutex> lock(wake_mutex_);
@@ -62,12 +83,12 @@ void ThreadPool::Push(std::function<void()> task) {
   wake_cv_.notify_one();
 }
 
-bool ThreadPool::TryPop(size_t index, std::function<void()>* task) {
+bool ThreadPool::TryPop(size_t index, Item* item) {
+  WorkerQueue& own = *queues_[index];
   {
-    WorkerQueue& own = *queues_[index];
     std::lock_guard<std::mutex> lock(own.mutex);
     if (!own.tasks.empty()) {
-      *task = std::move(own.tasks.front());
+      *item = std::move(own.tasks.front());
       own.tasks.pop_front();
       return true;
     }
@@ -78,10 +99,14 @@ bool ThreadPool::TryPop(size_t index, std::function<void()>* task) {
     WorkerQueue& victim = *queues_[(index + i) % queues_.size()];
     std::lock_guard<std::mutex> lock(victim.mutex);
     if (!victim.tasks.empty()) {
-      *task = std::move(victim.tasks.back());
+      *item = std::move(victim.tasks.back());
       victim.tasks.pop_back();
+      own.steals.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
+  }
+  if (queues_.size() > 1) {
+    own.failed_steal_scans.fetch_add(1, std::memory_order_relaxed);
   }
   return false;
 }
@@ -89,21 +114,113 @@ bool ThreadPool::TryPop(size_t index, std::function<void()>* task) {
 void ThreadPool::RunWorker(size_t index) {
   t_pool = this;
   t_worker_index = index;
+  if constexpr (telemetry::kCompiledIn) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "worker-%zu", index);
+    telemetry::Timeline::SetCurrentThreadName(name);
+  }
+  WorkerQueue& own = *queues_[index];
   for (;;) {
-    std::function<void()> task;
-    if (TryPop(index, &task)) {
+    Item item;
+    if (TryPop(index, &item)) {
       {
         std::lock_guard<std::mutex> lock(wake_mutex_);
         --queued_;
       }
-      task();
+      if (item.submit_nanos != 0 && telemetry::Enabled()) {
+        static telemetry::Histogram& latency =
+            telemetry::GetHistogram("pool.submit_to_start.nanos");
+        const int64_t waited = telemetry::MonotonicNanos() - item.submit_nanos;
+        latency.Observe(static_cast<uint64_t>(waited < 0 ? 0 : waited));
+      }
+      // Tally before running: fn() fulfills the task's future, and a
+      // caller returning from get() may snapshot stats immediately — the
+      // count must already be there.
+      own.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+      {
+        // Inert single branch when telemetry is off; with the timeline on
+        // it puts one pool.task slice per task on this worker's track, so
+        // the gaps between slices *are* the worker's idle/starvation.
+        telemetry::ScopedSpan task_span("pool.task");
+        item.fn();
+      }
       continue;
     }
     std::unique_lock<std::mutex> lock(wake_mutex_);
     if (queued_ > 0) continue;  // lost a pop race; retry immediately
     if (stop_) return;
+    const auto idle_start = std::chrono::steady_clock::now();
     wake_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    own.idle_nanos.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - idle_start)
+                .count()),
+        std::memory_order_relaxed);
     if (queued_ == 0 && stop_) return;
+  }
+}
+
+uint64_t ThreadPool::StatsSnapshot::TotalExecuted() const {
+  uint64_t total = 0;
+  for (const Worker& w : workers) total += w.tasks_executed;
+  return total;
+}
+
+uint64_t ThreadPool::StatsSnapshot::TotalSteals() const {
+  uint64_t total = 0;
+  for (const Worker& w : workers) total += w.steals;
+  return total;
+}
+
+uint64_t ThreadPool::StatsSnapshot::TotalIdleNanos() const {
+  uint64_t total = 0;
+  for (const Worker& w : workers) total += w.idle_nanos;
+  return total;
+}
+
+uint64_t ThreadPool::StatsSnapshot::MaxDequeHighWater() const {
+  uint64_t max = 0;
+  for (const Worker& w : workers) max = std::max(max, w.deque_high_water);
+  return max;
+}
+
+ThreadPool::StatsSnapshot ThreadPool::Stats() const {
+  StatsSnapshot snapshot;
+  snapshot.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  snapshot.workers.reserve(queues_.size());
+  for (const auto& queue : queues_) {
+    StatsSnapshot::Worker worker;
+    worker.tasks_executed =
+        queue->tasks_executed.load(std::memory_order_relaxed);
+    worker.steals = queue->steals.load(std::memory_order_relaxed);
+    worker.failed_steal_scans =
+        queue->failed_steal_scans.load(std::memory_order_relaxed);
+    worker.idle_nanos = queue->idle_nanos.load(std::memory_order_relaxed);
+    worker.deque_high_water =
+        queue->deque_high_water.load(std::memory_order_relaxed);
+    snapshot.workers.push_back(worker);
+  }
+  return snapshot;
+}
+
+void ThreadPool::PublishStats(std::string_view prefix) const {
+  if (!telemetry::Enabled()) return;
+  const StatsSnapshot stats = Stats();
+  const std::string base(prefix);
+  telemetry::GetCounter(base + ".tasks_submitted").Add(stats.tasks_submitted);
+  telemetry::GetCounter(base + ".tasks_executed").Add(stats.TotalExecuted());
+  telemetry::GetCounter(base + ".steals").Add(stats.TotalSteals());
+  uint64_t failed = 0;
+  for (const auto& w : stats.workers) failed += w.failed_steal_scans;
+  telemetry::GetCounter(base + ".failed_steal_scans").Add(failed);
+  telemetry::GetCounter(base + ".idle_nanos").Add(stats.TotalIdleNanos());
+  telemetry::Histogram& idle = telemetry::GetHistogram(base + ".worker.idle_nanos");
+  telemetry::Histogram& high_water =
+      telemetry::GetHistogram(base + ".deque_high_water");
+  for (const auto& w : stats.workers) {
+    idle.Observe(w.idle_nanos);
+    high_water.Observe(w.deque_high_water);
   }
 }
 

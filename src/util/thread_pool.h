@@ -1,6 +1,7 @@
 #ifndef ISOBAR_UTIL_THREAD_POOL_H_
 #define ISOBAR_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -8,6 +9,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -50,6 +52,52 @@ class ThreadPool {
 
   size_t size() const { return threads_.size(); }
 
+  /// Point-in-time scheduling counters. The plain tallies (submitted,
+  /// executed, steals, high-water, idle time) are kept unconditionally —
+  /// they are relaxed atomic bumps on paths that already hold a lock, so
+  /// they cost nothing measurable and stay meaningful even in
+  /// ISOBAR_TELEMETRY=OFF builds; only the submit-to-start latency
+  /// histogram (which needs clock reads on the hot path) is
+  /// telemetry-gated.
+  ///
+  /// Accounting invariant: after all submitted futures resolved,
+  /// tasks_submitted == sum of workers[i].tasks_executed, and a task
+  /// counts for the worker that *ran* it — steals tally where the thief
+  /// ran, not where the task was queued.
+  struct StatsSnapshot {
+    struct Worker {
+      uint64_t tasks_executed = 0;
+      /// Tasks this worker obtained from a sibling's deque.
+      uint64_t steals = 0;
+      /// Full steal scans (own deque empty, every sibling checked) that
+      /// found nothing. Zero on a single-worker pool.
+      uint64_t failed_steal_scans = 0;
+      /// Time spent asleep waiting for work.
+      uint64_t idle_nanos = 0;
+      /// Deepest this worker's deque has ever been.
+      uint64_t deque_high_water = 0;
+    };
+
+    uint64_t tasks_submitted = 0;
+    std::vector<Worker> workers;
+
+    uint64_t TotalExecuted() const;
+    uint64_t TotalSteals() const;
+    uint64_t TotalIdleNanos() const;
+    uint64_t MaxDequeHighWater() const;
+  };
+
+  /// Safe to call at any time, including while tasks run.
+  StatsSnapshot Stats() const;
+
+  /// Folds the current stats into the global metrics registry (counters
+  /// `<prefix>.tasks_submitted` / `.tasks_executed` / `.steals` /
+  /// `.failed_steal_scans` / `.idle_nanos`, histograms
+  /// `<prefix>.worker.idle_nanos` / `<prefix>.deque_high_water` observed
+  /// once per worker). Pipelines call this right before pool teardown so
+  /// the numbers outlive the pool; no-op when telemetry is disabled.
+  void PublishStats(std::string_view prefix = "pool") const;
+
   /// Schedules `fn` and returns a future for its result. `fn` must be
   /// invocable with no arguments; its return value (or exception) is
   /// delivered through the future.
@@ -66,17 +114,34 @@ class ThreadPool {
   }
 
  private:
+  /// A queued task plus its submit timestamp (0 when telemetry was off at
+  /// submit time — then no latency sample is recorded on pop).
+  struct Item {
+    std::function<void()> fn;
+    int64_t submit_nanos = 0;
+  };
+
   struct WorkerQueue {
     std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    std::deque<Item> tasks;
+
+    // Scheduling tallies for the worker with this queue's index (see
+    // StatsSnapshot for attribution semantics). Relaxed atomics: exact
+    // totals, no cross-counter ordering.
+    std::atomic<uint64_t> tasks_executed{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> failed_steal_scans{0};
+    std::atomic<uint64_t> idle_nanos{0};
+    std::atomic<uint64_t> deque_high_water{0};  // written under `mutex`
   };
 
   void Push(std::function<void()> task);
   void RunWorker(size_t index);
-  bool TryPop(size_t index, std::function<void()>* task);
+  bool TryPop(size_t index, Item* item);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
+  std::atomic<uint64_t> tasks_submitted_{0};
 
   // Sleep/wake protocol: queued_ counts tasks sitting in some deque (not
   // yet popped). It is only mutated under wake_mutex_, so a worker that

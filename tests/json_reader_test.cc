@@ -1,0 +1,105 @@
+// Strict JSON reader suite: the RFC 8259 value grammar the telemetry
+// exporters promise to emit, including the rejections (trailing commas,
+// leading zeros, bare words, unpaired surrogates) that keep the reader an
+// honest validator of the exporters.
+#include "telemetry/json_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace isobar::telemetry {
+namespace {
+
+TEST(JsonReaderTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->bool_value());
+  EXPECT_FALSE(ParseJson("false")->bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-17.5")->number_value(), -17.5);
+  EXPECT_DOUBLE_EQ(ParseJson("6.02e23")->number_value(), 6.02e23);
+  EXPECT_DOUBLE_EQ(ParseJson("0")->number_value(), 0.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+}
+
+TEST(JsonReaderTest, ParsesNestedStructure) {
+  auto doc = ParseJson(R"({"a":[1,2,{"b":"c"}],"d":{"e":null}})");
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array_items().size(), 3u);
+  EXPECT_EQ(a->array_items()[2].FieldStringOr("b", ""), "c");
+  const JsonValue* d = doc->Find("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->Find("e")->is_null());
+}
+
+TEST(JsonReaderTest, PreservesMemberInsertionOrder) {
+  auto doc = ParseJson(R"({"z":1,"a":2,"m":3})");
+  ASSERT_TRUE(doc.ok());
+  const auto& members = doc->object_members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonReaderTest, DecodesEscapesAndSurrogatePairs) {
+  auto doc = ParseJson(R"("\"\\\/\b\f\n\r\t\u0041\u00e9\ud83d\ude00")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string_value(),
+            "\"\\/\b\f\n\r\tA\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReaderTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,2,]").ok());        // trailing comma
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());    // trailing comma
+  EXPECT_FALSE(ParseJson("01").ok());            // leading zero
+  EXPECT_FALSE(ParseJson("NaN").ok());
+  EXPECT_FALSE(ParseJson("Infinity").ok());
+  EXPECT_FALSE(ParseJson("'single'").ok());
+  EXPECT_FALSE(ParseJson("{a:1}").ok());         // unquoted key
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("\"bad \x01 control\"").ok());
+  EXPECT_FALSE(ParseJson("\"\\ud83d\"").ok());   // unpaired surrogate
+  EXPECT_FALSE(ParseJson("1 2").ok());           // trailing garbage
+  EXPECT_FALSE(ParseJson("[1] x").ok());
+}
+
+TEST(JsonReaderTest, ErrorsCarryLineAndColumn) {
+  auto doc = ParseJson("{\n  \"a\": bad\n}");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().ToString().find("2:"), std::string::npos)
+      << doc.status().ToString();
+}
+
+TEST(JsonReaderTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(ParseJson(deep).ok());
+  // 32 levels is comfortably within the limit.
+  std::string ok;
+  for (int i = 0; i < 32; ++i) ok += '[';
+  ok += '1';
+  for (int i = 0; i < 32; ++i) ok += ']';
+  EXPECT_TRUE(ParseJson(ok).ok());
+}
+
+TEST(JsonReaderTest, TypedAccessorsFallBack) {
+  auto doc = ParseJson(R"({"n":3.5,"s":"text"})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_DOUBLE_EQ(doc->FieldNumberOr("n", -1), 3.5);
+  EXPECT_DOUBLE_EQ(doc->FieldNumberOr("missing", -1), -1);
+  EXPECT_DOUBLE_EQ(doc->FieldNumberOr("s", -1), -1);  // wrong type
+  EXPECT_EQ(doc->FieldStringOr("s", "?"), "text");
+  EXPECT_EQ(doc->FieldStringOr("n", "?"), "?");
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+  EXPECT_EQ(ParseJson("[1]")->Find("a"), nullptr);  // not an object
+}
+
+}  // namespace
+}  // namespace isobar::telemetry

@@ -287,6 +287,96 @@ TEST_F(TelemetryTest, HistogramIsThreadSafe) {
   EXPECT_EQ(h.max(), 7u);
 }
 
+TEST_F(TelemetryTest, PercentileOfEmptyHistogramIsZero) {
+  Histogram& h = GetHistogram("test.pct_empty");
+  h.Reset();
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const HistogramSnapshot* s = snapshot.FindHistogram("test.pct_empty");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s->Percentile(0.99), 0.0);
+}
+
+TEST_F(TelemetryTest, PercentileClampsToObservedRange) {
+  // All observations land in one bucket ([64, 128)): interpolation inside
+  // the bucket must clamp to the exact observed min/max, not report a
+  // value that never occurred.
+  Histogram& h = GetHistogram("test.pct_single_bucket");
+  h.Reset();
+  for (int i = 0; i < 1000; ++i) h.Observe(64);
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const HistogramSnapshot* s =
+      snapshot.FindHistogram("test.pct_single_bucket");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->Percentile(0.0), 64.0);
+  EXPECT_DOUBLE_EQ(s->Percentile(0.5), 64.0);
+  EXPECT_DOUBLE_EQ(s->Percentile(1.0), 64.0);
+}
+
+TEST_F(TelemetryTest, PercentileOfAllZerosIsZero) {
+  Histogram& h = GetHistogram("test.pct_zeros");
+  h.Reset();
+  for (int i = 0; i < 10; ++i) h.Observe(0);
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const HistogramSnapshot* s = snapshot.FindHistogram("test.pct_zeros");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s->Percentile(0.99), 0.0);
+}
+
+TEST_F(TelemetryTest, PercentileSkewedTailLandsInTopBucket) {
+  // Nine 1s and one 1024: the median sits in the ones, p99 must reach the
+  // outlier (and clamp to it, not to the outlier's bucket upper bound).
+  Histogram& h = GetHistogram("test.pct_skew");
+  h.Reset();
+  for (int i = 0; i < 9; ++i) h.Observe(1);
+  h.Observe(1024);
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const HistogramSnapshot* s = snapshot.FindHistogram("test.pct_skew");
+  ASSERT_NE(s, nullptr);
+  // The median interpolates inside the [1, 2) bucket holding the nine 1s.
+  EXPECT_GE(s->Percentile(0.5), 1.0);
+  EXPECT_LT(s->Percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(s->Percentile(0.99), 1024.0);
+}
+
+TEST_F(TelemetryTest, PercentilesAreMonotonicAndBounded) {
+  Histogram& h = GetHistogram("test.pct_spread");
+  h.Reset();
+  for (uint64_t v = 1; v <= 1000; ++v) h.Observe(v);
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const HistogramSnapshot* s = snapshot.FindHistogram("test.pct_spread");
+  ASSERT_NE(s, nullptr);
+  const double p50 = s->Percentile(0.50);
+  const double p90 = s->Percentile(0.90);
+  const double p99 = s->Percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  // Power-of-two buckets bound the error to the holding bucket: the true
+  // median 500 lives in [256, 1024).
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LT(p50, 1024.0);
+  // Out-of-range quantiles clamp instead of misbehaving.
+  EXPECT_DOUBLE_EQ(s->Percentile(-0.5), s->Percentile(0.0));
+  EXPECT_DOUBLE_EQ(s->Percentile(2.0), s->Percentile(1.0));
+}
+
+TEST_F(TelemetryTest, ExportersCarryPercentiles) {
+  Histogram& h = GetHistogram("test.pct_export");
+  h.Reset();
+  h.Observe(100);
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const std::string json = MetricsToJson(snapshot);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  const std::string csv = MetricsToCsv(snapshot);
+  EXPECT_NE(csv.find("kind,name,count,sum,min,max,mean,p50,p90,p99"),
+            std::string::npos);
+}
+
 TEST_F(TelemetryTest, SnapshotAndDelta) {
   GetCounter("test.delta").Add(10);
   GetHistogram("test.delta_h").Observe(100);
