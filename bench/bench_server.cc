@@ -1,0 +1,158 @@
+// bench_server: saturation sweep for the isobard serving path. Starts an
+// in-process IsobarServer on a temporary unix socket, then runs the
+// loadgen workload at 1..8 worker connections (closed loop) and reports
+// requests/s plus latency percentiles per point. The snapshot lives in
+// BENCH_server.json; scripts/ci.sh server runs a shortened sweep.
+//
+// Plain main (no google-benchmark): each point is one wall-clock loadgen
+// run, so the framework's repeat/estimate machinery adds nothing here.
+//
+//   ./bench_server [--duration=SECS] [--elements=N] [--max-workers=N]
+//                  [--threads=N] [--json=PATH]
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "io/file_io.h"
+#include "server/loadgen.h"
+#include "server/server.h"
+#include "telemetry/metrics.h"
+#include "util/bytes.h"
+
+namespace {
+
+struct SweepPoint {
+  size_t workers = 0;
+  isobar::server::LoadgenReport report;
+};
+
+std::string SweepToJson(const std::vector<SweepPoint>& points,
+                        const isobar::server::ServerOptions& server,
+                        double duration_seconds, size_t elements) {
+  std::string json = "{\"bench\":\"server_saturation\",";
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "\"server_threads\":%zu,\"queue_depth\":%zu,"
+                "\"duration_seconds\":%.2f,\"payload_elements\":%zu,"
+                "\"sweep\":[",
+                static_cast<size_t>(server.jobs.num_threads),
+                server.jobs.max_queue_depth, duration_seconds, elements);
+  json += buffer;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i != 0) json += ',';
+    const auto& p = points[i];
+    std::snprintf(buffer, sizeof(buffer), "{\"workers\":%zu,\"report\":",
+                  p.workers);
+    json += buffer;
+    json += p.report.ToJson();
+    json += '}';
+  }
+  json += "]}";
+  return json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double duration_seconds = 2.0;
+  size_t elements = 4096;
+  size_t max_workers = 8;
+  uint32_t threads = 0;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--duration=", 11) == 0) {
+      duration_seconds = std::atof(arg + 11);
+    } else if (std::strncmp(arg, "--elements=", 11) == 0) {
+      elements = static_cast<size_t>(std::atoll(arg + 11));
+    } else if (std::strncmp(arg, "--max-workers=", 14) == 0) {
+      max_workers = static_cast<size_t>(std::atoll(arg + 14));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = static_cast<uint32_t>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_server [--duration=SECS] [--elements=N] "
+                   "[--max-workers=N] [--threads=N] [--json=PATH]\n");
+      return 2;
+    }
+  }
+
+  isobar::telemetry::SetEnabled(true);
+
+  isobar::server::ServerOptions server_options;
+  server_options.unix_socket_path =
+      "/tmp/isobar_bench_server." + std::to_string(getpid()) + ".sock";
+  server_options.jobs.num_threads = threads;
+  isobar::server::IsobarServer server(server_options);
+  const isobar::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "bench_server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("# isobard saturation sweep: %.1fs per point, %zu elements, "
+              "%zu server workers\n",
+              duration_seconds, elements, server.job_queue().worker_count());
+  std::printf("%-8s %12s %10s %10s %10s %8s %8s\n", "workers", "req/s",
+              "p50_us", "p90_us", "p99_us", "busy", "errors");
+
+  std::vector<SweepPoint> points;
+  int exit_code = 0;
+  for (size_t workers = 1; workers <= max_workers; ++workers) {
+    isobar::server::LoadgenOptions load;
+    load.unix_socket_path = server_options.unix_socket_path;
+    load.connections = workers;
+    load.duration_seconds = duration_seconds;
+    load.payload_elements = elements;
+    load.seed = 42 + workers;
+    auto run = isobar::server::RunLoadgen(load);
+    if (!run.ok()) {
+      std::fprintf(stderr, "bench_server: sweep point %zu failed: %s\n",
+                   workers, run.status().ToString().c_str());
+      exit_code = 1;
+      break;
+    }
+    if (run->protocol_errors != 0 || run->verify_failures != 0 ||
+        run->unanswered != 0) {
+      std::fprintf(stderr,
+                   "bench_server: point %zu unclean (protocol %llu, verify "
+                   "%llu, unanswered %llu)\n",
+                   workers,
+                   static_cast<unsigned long long>(run->protocol_errors),
+                   static_cast<unsigned long long>(run->verify_failures),
+                   static_cast<unsigned long long>(run->unanswered));
+      exit_code = 1;
+    }
+    std::printf("%-8zu %12.0f %10.0f %10.0f %10.0f %8llu %8llu\n", workers,
+                run->requests_per_second, run->latency_p50_us,
+                run->latency_p90_us, run->latency_p99_us,
+                static_cast<unsigned long long>(run->busy),
+                static_cast<unsigned long long>(run->errors));
+    points.push_back({workers, *run});
+  }
+
+  server.RequestStop();
+  server.Wait();
+  server.Stop();
+
+  if (!json_path.empty() && exit_code == 0) {
+    const std::string json =
+        SweepToJson(points, server_options, duration_seconds, elements);
+    const isobar::ByteSpan bytes(
+        reinterpret_cast<const uint8_t*>(json.data()), json.size());
+    const isobar::Status st = isobar::WriteBytesToFile(json_path, bytes);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench_server: cannot write %s: %s\n",
+                   json_path.c_str(), st.ToString().c_str());
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}

@@ -1,0 +1,128 @@
+// isobard: the ISOBAR compression-as-a-service daemon. Serves concurrent
+// compress/decompress jobs over a Unix or TCP socket using the
+// length-prefixed binary protocol of docs/SERVING.md, with bounded-queue
+// admission control (saturation answers BUSY instead of buffering) and
+// live telemetry snapshots via the STATS op.
+//
+//   ./isobard --unix=/tmp/isobard.sock [options]
+//   ./isobard --tcp=7421 [options]           # 127.0.0.1 only; 0 = ephemeral
+//
+// Options:
+//   --threads=N        worker threads (0 = hardware concurrency)
+//   --queue-depth=N    admitted-but-waiting job bound (default 64)
+//   --per-conn=N       in-flight jobs per connection (default 8)
+//   --max-payload=N    per-frame payload cap in bytes (default 256 MiB)
+//   --max-conns=N      concurrent connections (default 64)
+//   --quiet            suppress the startup/shutdown banner
+//
+// The daemon exits on SIGINT/SIGTERM (drains running jobs first) or when
+// a client sends the shutdown op (drains queued jobs and flushes every
+// pending response first). Drive it with isobar_loadgen; read its STATS
+// snapshots with `isobar_stat print`.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/server.h"
+#include "telemetry/metrics.h"
+
+namespace {
+
+isobar::server::IsobarServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  // Async-signal-safe: a single write() on the server's wake pipe.
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: isobard --unix=<path> | --tcp=<port> [--threads=N]\n"
+               "               [--queue-depth=N] [--per-conn=N]\n"
+               "               [--max-payload=BYTES] [--max-conns=N] "
+               "[--quiet]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  isobar::server::ServerOptions options;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--unix=", 7) == 0) {
+      options.unix_socket_path = arg + 7;
+    } else if (std::strncmp(arg, "--tcp=", 6) == 0) {
+      options.listen_tcp = true;
+      options.tcp_port = static_cast<uint16_t>(std::atoi(arg + 6));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      options.jobs.num_threads = static_cast<uint32_t>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--queue-depth=", 14) == 0) {
+      options.jobs.max_queue_depth =
+          static_cast<size_t>(std::atoll(arg + 14));
+    } else if (std::strncmp(arg, "--per-conn=", 11) == 0) {
+      options.jobs.max_inflight_per_connection =
+          static_cast<size_t>(std::atoll(arg + 11));
+    } else if (std::strncmp(arg, "--max-payload=", 14) == 0) {
+      options.max_payload_bytes = static_cast<uint64_t>(std::atoll(arg + 14));
+    } else if (std::strncmp(arg, "--max-conns=", 12) == 0) {
+      options.max_connections = static_cast<size_t>(std::atoll(arg + 12));
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage();
+    }
+  }
+  if (options.unix_socket_path.empty() && !options.listen_tcp) return Usage();
+
+  // The daemon is an observability endpoint: STATS snapshots are only
+  // meaningful with the metrics registry recording.
+  isobar::telemetry::SetEnabled(true);
+
+  isobar::server::IsobarServer server(options);
+  const isobar::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "isobard: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (!quiet) {
+    if (!options.unix_socket_path.empty()) {
+      std::fprintf(stderr, "isobard: serving on %s (%zu workers, queue %zu)\n",
+                   options.unix_socket_path.c_str(),
+                   server.job_queue().worker_count(),
+                   options.jobs.max_queue_depth);
+    } else {
+      std::fprintf(stderr,
+                   "isobard: serving on 127.0.0.1:%u (%zu workers, queue "
+                   "%zu)\n",
+                   server.bound_tcp_port(), server.job_queue().worker_count(),
+                   options.jobs.max_queue_depth);
+    }
+  }
+
+  server.Wait();
+  g_server = nullptr;
+  server.Stop();
+
+  if (!quiet) {
+    const auto stats = server.job_queue().Stats();
+    std::fprintf(stderr,
+                 "isobard: done (admitted %llu, completed %llu, rejected "
+                 "%llu)\n",
+                 static_cast<unsigned long long>(stats.admitted),
+                 static_cast<unsigned long long>(stats.completed),
+                 static_cast<unsigned long long>(stats.rejected_total()));
+  }
+  return 0;
+}

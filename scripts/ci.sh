@@ -21,6 +21,11 @@
 #   scripts/ci.sh bench            # bench smoke: run the kernel
 #                                  # microbenchmarks and compare against
 #                                  # BENCH_baseline.json (warn-only)
+#   scripts/ci.sh server           # serving smoke: protocol-conformance
+#                                  # tests, then a saturation run of a real
+#                                  # isobard under isobar_loadgen (asserts
+#                                  # zero protocol errors and a sane
+#                                  # reject/accept split)
 #   scripts/ci.sh asan -R telemetry  # extra args are forwarded to ctest
 #
 # The tsan configuration exports ISOBAR_TEST_THREADS (default 4) so every
@@ -160,6 +165,89 @@ bench() {
   echo "=== [${name}] OK ==="
 }
 
+# Serving smoke: the protocol/admission/server conformance tests, then a
+# saturation run against a real daemon — isobard with a deliberately small
+# queue, isobar_loadgen closed-loop on 4 connections for
+# ISOBAR_SERVER_SMOKE_SECONDS (default 10). The loadgen's exit code
+# asserts zero protocol errors, zero byte-identity failures, and zero
+# dropped replies; the Python check then asserts the reject/accept split
+# is sane (some work served, some shed — a saturated bounded queue must do
+# both) and that the STATS snapshot agrees with the client-side counts.
+# The loadgen report and STATS snapshot land in build-ci-server/ (paths
+# overridable via ISOBAR_SERVER_REPORT / ISOBAR_SERVER_STATS) and are kept
+# as CI artifacts.
+server() {
+  local name=server
+  local dir="build-ci-${name}"
+  local sock="/tmp/isobard-ci-$$.sock"
+  local report="${ISOBAR_SERVER_REPORT:-${dir}/server_loadgen.json}"
+  local stats="${ISOBAR_SERVER_STATS:-${dir}/server_stats.json}"
+  local seconds="${ISOBAR_SERVER_SMOKE_SECONDS:-10}"
+  echo "=== [${name}] configure ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release -DISOBAR_WERROR=ON
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j "${JOBS}" \
+    --target isobard isobar_loadgen isobar_stat bench_server isobar_tests
+  echo "=== [${name}] conformance tests ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+    -R 'ProtocolTest|JobQueueTest|ServerTest' \
+    ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
+  echo "=== [${name}] saturation smoke (${seconds}s) ==="
+  rm -f "${sock}"
+  "${dir}/examples/isobard" --unix="${sock}" --threads=2 --queue-depth=8 &
+  local daemon_pid=$!
+  trap 'kill "${daemon_pid}" 2>/dev/null || true; rm -f "${sock}"' RETURN
+  for _ in $(seq 1 50); do
+    [ -S "${sock}" ] && break
+    sleep 0.1
+  done
+  [ -S "${sock}" ] || { echo "isobard never bound ${sock}" >&2; return 1; }
+  # Exit code 1 on any protocol error / verify failure / dropped reply.
+  "${dir}/examples/isobar_loadgen" --unix="${sock}" \
+    --connections=4 --duration="${seconds}" \
+    --json="${report}" --stats-out="${stats}" --shutdown
+  wait "${daemon_pid}"
+  trap - RETURN
+  rm -f "${sock}"
+  echo "=== [${name}] check report ==="
+  python3 - "${report}" "${stats}" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+stats = json.load(open(sys.argv[2]))
+assert report["protocol_errors"] == 0, report
+assert report["verify_failures"] == 0, report
+assert report["unanswered"] == 0, report
+# The workload is entirely valid requests: any kError is a server bug.
+assert report["errors"] == 0, report
+# A saturated bounded queue both serves and sheds: an all-OK run means the
+# smoke never reached saturation, an all-BUSY run means nothing was served.
+assert report["ok"] > 0, report
+assert report["busy"] > 0, report
+# Every request got exactly one reply.
+answered = report["ok"] + report["busy"] + report["errors"]
+assert answered == report["requests_sent"], report
+counters = stats["counters"]
+# Server-side accounting must agree with the client-side tally. BUSY
+# replies map 1:1 to admission rejections (the rejection is tallied
+# before the reply is enqueued, so the count is exact). Completed jobs
+# may lag the OK replies by up to the worker count: the response callback
+# runs before the job is marked complete, and the STATS snapshot can land
+# in that window.
+assert counters["server.rejected"] == report["busy"], (counters, report)
+lag = report["ok"] - counters["server.completed"]
+assert 0 <= lag <= counters["server.workers"], (counters, report)
+assert counters["server.requests"] > 0
+# 4 loadgen workers + the stats/shutdown connection.
+assert counters["server.connections.accepted"] >= 5, counters
+print("serving smoke OK: %d ok, %d busy of %d requests (%.0f req/s)" % (
+    report["ok"], report["busy"], report["requests_sent"],
+    report["requests_per_second"]))
+EOF
+  echo "=== [${name}] stats inspector ==="
+  "${dir}/examples/isobar_stat" print "${stats}" | grep -q 'server\.requests'
+  echo "=== [${name}] OK ==="
+}
+
 # Fuzz smoke: build the decompress fuzzer (ASan-instrumented), generate
 # the seed corpus with make_corpus, and replay it. With clang — the only
 # compiler shipping libFuzzer — also run a short time-boxed fuzz session;
@@ -198,7 +286,7 @@ fuzz() {
 
 for arg in "$@"; do
   case "${arg}" in
-    release|asan|tsan|scalar|notelemetry|ubsan|fuzz|bench) CONFIGS+=("${arg}") ;;
+    release|asan|tsan|scalar|notelemetry|ubsan|fuzz|bench|server) CONFIGS+=("${arg}") ;;
     *) CTEST_ARGS+=("${arg}") ;;
   esac
 done

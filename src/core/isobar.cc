@@ -70,6 +70,17 @@ uint64_t BeginPipelineTrace(const EupaDecision& decision, size_t width) {
 
 }  // namespace
 
+Status ValidateCompressInput(uint64_t data_bytes, size_t width) {
+  if (width == 0 || width > 64) {
+    return Status::InvalidArgument("element width must be in [1, 64]");
+  }
+  if (data_bytes % width != 0) {
+    return Status::InvalidArgument(
+        "data size is not a multiple of the element width");
+  }
+  return Status::OK();
+}
+
 IsobarCompressor::IsobarCompressor(CompressOptions options)
     : options_(std::move(options)) {}
 
@@ -81,13 +92,7 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width) const {
 Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
                                          CompressionStats* stats) const {
   if (stats == nullptr) return Status::InvalidArgument("stats must not be null");
-  if (width == 0 || width > 64) {
-    return Status::InvalidArgument("element width must be in [1, 64]");
-  }
-  if (data.size() % width != 0) {
-    return Status::InvalidArgument(
-        "data size is not a multiple of the element width");
-  }
+  ISOBAR_RETURN_NOT_OK(ValidateCompressInput(data.size(), width));
   if (options_.chunk_elements == 0) {
     return Status::InvalidArgument("chunk_elements must be > 0");
   }

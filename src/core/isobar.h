@@ -179,6 +179,14 @@ struct DecompressionStats {
   }
 };
 
+/// Validates the shape of a compress request — width in [1, 64] and
+/// `data_bytes` a whole number of elements — without touching the data.
+/// Shared by the batch entry point below and by the isobard server, which
+/// rejects malformed requests before they are admitted to the job queue;
+/// keeping one validator guarantees a request the server accepts is a
+/// request the library accepts.
+Status ValidateCompressInput(uint64_t data_bytes, size_t width);
+
 /// The ISOBAR-compress preconditioner pipeline (Alg. 1):
 ///
 ///   analyze → (undetermined ? whole-chunk solve

@@ -1,0 +1,220 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "server/job_queue.h"
+
+namespace isobar::server {
+
+Status Response::ToStatus() const {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return Status::OK();
+    case ResponseStatus::kBusy:
+      return Status::IOError(
+          "server busy: " +
+          std::string(AdmissionToString(static_cast<Admission>(aux))));
+    case ResponseStatus::kError: {
+      std::string message =
+          payload.empty()
+              ? std::string("server error")
+              : std::string(reinterpret_cast<const char*>(payload.data()),
+                            payload.size());
+      const StatusCode code =
+          aux > static_cast<uint64_t>(StatusCode::kNotSupported)
+              ? StatusCode::kInternal
+              : static_cast<StatusCode>(aux);
+      return Status(code, std::move(message));
+    }
+  }
+  return Status::Internal("unknown response status");
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      next_request_id_(other.next_request_id_),
+      parser_(std::move(other.parser_)),
+      pending_(std::move(other.pending_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    next_request_id_ = other.next_request_id_;
+    parser_ = std::move(other.parser_);
+    pending_ = std::move(other.pending_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Client> Client::ConnectUnix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " +
+                                   socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket(AF_UNIX): ") +
+                           std::strerror(errno));
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    close(fd);
+    return Status::IOError("connect(" + socket_path + "): " + error);
+  }
+  return Client(fd);
+}
+
+Result<Client> Client::ConnectTcp(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket(AF_INET): ") +
+                           std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    close(fd);
+    return Status::IOError("connect(127.0.0.1:" + std::to_string(port) +
+                           "): " + error);
+  }
+  return Client(fd);
+}
+
+Status Client::SetReceiveTimeout(double seconds) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  if (setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IOError(std::string("setsockopt(SO_RCVTIMEO): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Client::Send(Op op, uint64_t request_id, uint64_t aux,
+                    ByteSpan payload) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  const Bytes frame = EncodeRequest(op, request_id, aux, payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Response> Client::ReadResponse() {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  uint8_t buffer[64 * 1024];
+  while (pending_.empty()) {
+    const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
+    if (n == 0) {
+      return Status::IOError("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IOError("timed out waiting for a response");
+      }
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    std::vector<Frame> frames;
+    ISOBAR_RETURN_NOT_OK(
+        parser_.Feed(ByteSpan(buffer, static_cast<size_t>(n)), &frames));
+    for (Frame& frame : frames) pending_.push_back(std::move(frame));
+  }
+  Frame frame = std::move(pending_.front());
+  pending_.pop_front();
+  Response response;
+  if (frame.header.op > static_cast<uint8_t>(ResponseStatus::kError)) {
+    return Status::Corruption("unknown response status " +
+                              std::to_string(frame.header.op));
+  }
+  response.status = static_cast<ResponseStatus>(frame.header.op);
+  response.request_id = frame.header.request_id;
+  response.aux = frame.header.aux;
+  response.payload = std::move(frame.payload);
+  return response;
+}
+
+Result<Response> Client::Call(Op op, uint64_t aux, ByteSpan payload) {
+  const uint64_t rid = next_request_id_++;
+  ISOBAR_RETURN_NOT_OK(Send(op, rid, aux, payload));
+  ISOBAR_ASSIGN_OR_RETURN(Response response, ReadResponse());
+  if (response.request_id != rid) {
+    return Status::Corruption(
+        "response id " + std::to_string(response.request_id) +
+        " does not match the only in-flight request " + std::to_string(rid));
+  }
+  return response;
+}
+
+Result<Bytes> Client::Compress(ByteSpan data, const CompressAux& aux) {
+  ISOBAR_ASSIGN_OR_RETURN(Response response,
+                          Call(Op::kCompress, PackCompressAux(aux), data));
+  if (!response.ok()) return response.ToStatus();
+  return std::move(response.payload);
+}
+
+Result<Bytes> Client::Decompress(ByteSpan container) {
+  ISOBAR_ASSIGN_OR_RETURN(Response response,
+                          Call(Op::kDecompress, 0, container));
+  if (!response.ok()) return response.ToStatus();
+  return std::move(response.payload);
+}
+
+Result<std::string> Client::Stats() {
+  ISOBAR_ASSIGN_OR_RETURN(Response response, Call(Op::kStats, 0, {}));
+  if (!response.ok()) return response.ToStatus();
+  if (response.payload.empty()) return std::string();
+  return std::string(reinterpret_cast<const char*>(response.payload.data()),
+                     response.payload.size());
+}
+
+Status Client::Ping() {
+  ISOBAR_ASSIGN_OR_RETURN(Response response, Call(Op::kPing, 0, {}));
+  return response.ToStatus();
+}
+
+Status Client::ShutdownServer() {
+  ISOBAR_ASSIGN_OR_RETURN(Response response, Call(Op::kShutdown, 0, {}));
+  return response.ToStatus();
+}
+
+}  // namespace isobar::server

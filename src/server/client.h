@@ -1,0 +1,85 @@
+#ifndef ISOBAR_SERVER_CLIENT_H_
+#define ISOBAR_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace isobar::server {
+
+/// One decoded response as seen by a client.
+struct Response {
+  ResponseStatus status = ResponseStatus::kOk;
+  uint64_t request_id = 0;
+  uint64_t aux = 0;  ///< StatusCode (kError) or Admission (kBusy).
+  Bytes payload;
+
+  bool ok() const { return status == ResponseStatus::kOk; }
+  bool busy() const { return status == ResponseStatus::kBusy; }
+
+  /// kError responses reconstructed into the library Status they carry.
+  Status ToStatus() const;
+};
+
+/// Blocking client connection to an isobard endpoint. Supports pipelining:
+/// Send() any number of requests, then collect responses with
+/// ReadResponse() — the server answers out of order, so match on
+/// Response::request_id. The Call() convenience does one round trip.
+///
+/// Not thread-safe; use one Client per thread (the loadgen does exactly
+/// that).
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  static Result<Client> ConnectUnix(const std::string& socket_path);
+  static Result<Client> ConnectTcp(uint16_t port);  ///< 127.0.0.1
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Bounds every blocking recv; 0 disables (the default).
+  Status SetReceiveTimeout(double seconds);
+
+  /// Writes one request frame (blocking until fully written).
+  Status Send(Op op, uint64_t request_id, uint64_t aux, ByteSpan payload);
+
+  /// Blocks for the next response frame, whatever its request id.
+  /// IOError on timeout or connection loss; Corruption on bad framing.
+  Result<Response> ReadResponse();
+
+  /// Send + ReadResponse for callers with a single request in flight.
+  Result<Response> Call(Op op, uint64_t aux, ByteSpan payload);
+
+  /// Round-trip conveniences. An error response surfaces as the Status
+  /// it carries; a busy response surfaces as IOError("server busy: ...")
+  /// — callers that need to distinguish shed load use Call() directly.
+  Result<Bytes> Compress(ByteSpan data, const CompressAux& aux);
+  Result<Bytes> Decompress(ByteSpan container);
+  Result<std::string> Stats();
+  Status Ping();
+  Status ShutdownServer();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  FrameParser parser_{kResponseMagic};
+  std::deque<Frame> pending_;
+};
+
+}  // namespace isobar::server
+
+#endif  // ISOBAR_SERVER_CLIENT_H_

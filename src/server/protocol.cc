@@ -1,0 +1,180 @@
+#include "server/protocol.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace isobar::server {
+
+std::string_view OpToString(Op op) {
+  switch (op) {
+    case Op::kPing:
+      return "ping";
+    case Op::kCompress:
+      return "compress";
+    case Op::kDecompress:
+      return "decompress";
+    case Op::kStats:
+      return "stats";
+    case Op::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string_view ResponseStatusToString(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kBusy:
+      return "busy";
+    case ResponseStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr uint8_t kAuxAuto = 0xFF;
+
+void AppendFrame(uint32_t magic, uint8_t op, uint64_t request_id, uint64_t aux,
+                 ByteSpan payload, Bytes* out) {
+  const size_t base = out->size();
+  out->resize(base + kFrameHeaderSize);
+  uint8_t* p = out->data() + base;
+  StoreLE32(p, magic);
+  p[4] = kProtocolVersion;
+  p[5] = op;
+  StoreLE16(p + 6, 0);  // reserved
+  StoreLE64(p + 8, request_id);
+  StoreLE64(p + 16, aux);
+  StoreLE64(p + 24, payload.size());
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+}  // namespace
+
+uint64_t PackCompressAux(const CompressAux& aux) {
+  uint64_t packed = static_cast<uint64_t>(aux.width & 0xFF);
+  packed |= static_cast<uint64_t>(
+                aux.codec ? static_cast<uint8_t>(*aux.codec) : kAuxAuto)
+            << 8;
+  packed |= static_cast<uint64_t>(aux.linearization
+                                      ? static_cast<uint8_t>(*aux.linearization)
+                                      : kAuxAuto)
+            << 16;
+  packed |= static_cast<uint64_t>(static_cast<uint8_t>(aux.preference)) << 24;
+  return packed;
+}
+
+Result<CompressAux> UnpackCompressAux(uint64_t packed) {
+  CompressAux aux;
+  aux.width = static_cast<size_t>(packed & 0xFF);
+  if (aux.width == 0 || aux.width > 64) {
+    return Status::InvalidArgument("compress aux: element width must be in [1, 64]");
+  }
+  const uint8_t codec = static_cast<uint8_t>(packed >> 8);
+  if (codec != kAuxAuto) {
+    if (codec > static_cast<uint8_t>(CodecId::kBwt)) {
+      return Status::InvalidArgument("compress aux: unknown codec selector " +
+                                     std::to_string(codec));
+    }
+    aux.codec = static_cast<CodecId>(codec);
+  }
+  const uint8_t lin = static_cast<uint8_t>(packed >> 16);
+  if (lin != kAuxAuto) {
+    if (lin > static_cast<uint8_t>(Linearization::kColumn)) {
+      return Status::InvalidArgument(
+          "compress aux: unknown linearization selector " +
+          std::to_string(lin));
+    }
+    aux.linearization = static_cast<Linearization>(lin);
+  }
+  const uint8_t pref = static_cast<uint8_t>(packed >> 24);
+  if (pref > static_cast<uint8_t>(Preference::kSpeed)) {
+    return Status::InvalidArgument(
+        "compress aux: unknown preference selector " + std::to_string(pref));
+  }
+  aux.preference = static_cast<Preference>(pref);
+  if ((packed >> 32) != 0) {
+    return Status::InvalidArgument("compress aux: reserved bits must be zero");
+  }
+  return aux;
+}
+
+void AppendRequestFrame(Op op, uint64_t request_id, uint64_t aux,
+                        ByteSpan payload, Bytes* out) {
+  AppendFrame(kRequestMagic, static_cast<uint8_t>(op), request_id, aux,
+              payload, out);
+}
+
+void AppendResponseFrame(ResponseStatus status, uint64_t request_id,
+                         uint64_t aux, ByteSpan payload, Bytes* out) {
+  AppendFrame(kResponseMagic, static_cast<uint8_t>(status), request_id, aux,
+              payload, out);
+}
+
+Bytes EncodeRequest(Op op, uint64_t request_id, uint64_t aux,
+                    ByteSpan payload) {
+  Bytes out;
+  AppendRequestFrame(op, request_id, aux, payload, &out);
+  return out;
+}
+
+Bytes EncodeResponse(ResponseStatus status, uint64_t request_id, uint64_t aux,
+                     ByteSpan payload) {
+  Bytes out;
+  AppendResponseFrame(status, request_id, aux, payload, &out);
+  return out;
+}
+
+Status FrameParser::Feed(ByteSpan data, std::vector<Frame>* out) {
+  if (!error_.ok()) return error_;
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+
+  size_t pos = 0;
+  while (buffer_.size() - pos >= kFrameHeaderSize) {
+    const uint8_t* p = buffer_.data() + pos;
+    FrameHeader header;
+    header.magic = LoadLE32(p);
+    header.version = p[4];
+    header.op = p[5];
+    const uint16_t reserved = LoadLE16(p + 6);
+    header.request_id = LoadLE64(p + 8);
+    header.aux = LoadLE64(p + 16);
+    header.payload_size = LoadLE64(p + 24);
+
+    if (header.magic != expected_magic_) {
+      error_ = Status::Corruption("frame magic mismatch");
+    } else if (header.version != kProtocolVersion) {
+      error_ = Status::Corruption("unsupported protocol version " +
+                                  std::to_string(header.version));
+    } else if (reserved != 0) {
+      error_ = Status::Corruption("nonzero reserved header field");
+    } else if (header.payload_size > max_payload_) {
+      error_ = Status::Corruption(
+          "frame payload of " + std::to_string(header.payload_size) +
+          " bytes exceeds the " + std::to_string(max_payload_) +
+          "-byte limit");
+    }
+    if (!error_.ok()) {
+      buffer_.clear();
+      return error_;
+    }
+
+    const uint64_t frame_size = kFrameHeaderSize + header.payload_size;
+    if (buffer_.size() - pos < frame_size) break;
+
+    Frame frame;
+    frame.header = header;
+    frame.payload.assign(p + kFrameHeaderSize, p + frame_size);
+    out->push_back(std::move(frame));
+    pos += frame_size;
+  }
+
+  buffer_.erase(buffer_.begin(), buffer_.begin() + pos);
+  return Status::OK();
+}
+
+}  // namespace isobar::server

@@ -1,0 +1,263 @@
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "io/fault_injection.h"
+#include "io/sink.h"
+#include "util/bytes.h"
+
+namespace isobar::server {
+namespace {
+
+Bytes SomePayload(size_t n) {
+  Bytes payload(n);
+  for (size_t i = 0; i < n; ++i) payload[i] = static_cast<uint8_t>(i * 7 + 3);
+  return payload;
+}
+
+std::vector<Frame> MustParse(FrameParser* parser, ByteSpan data) {
+  std::vector<Frame> frames;
+  const Status st = parser->Feed(data, &frames);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return frames;
+}
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  const Bytes payload = SomePayload(1000);
+  const Bytes wire = EncodeRequest(Op::kCompress, 77, 0x01020304, payload);
+  ASSERT_EQ(wire.size(), kFrameHeaderSize + payload.size());
+
+  FrameParser parser(kRequestMagic);
+  const std::vector<Frame> frames = MustParse(&parser, wire);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.magic, kRequestMagic);
+  EXPECT_EQ(frames[0].header.version, kProtocolVersion);
+  EXPECT_EQ(frames[0].header.op, static_cast<uint8_t>(Op::kCompress));
+  EXPECT_EQ(frames[0].header.request_id, 77u);
+  EXPECT_EQ(frames[0].header.aux, 0x01020304u);
+  EXPECT_EQ(frames[0].payload, payload);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(ProtocolTest, ResponseRoundTripEmptyPayload) {
+  const Bytes wire = EncodeResponse(ResponseStatus::kBusy, 12,
+                                    static_cast<uint64_t>(1), {});
+  FrameParser parser(kResponseMagic);
+  const std::vector<Frame> frames = MustParse(&parser, wire);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.op, static_cast<uint8_t>(ResponseStatus::kBusy));
+  EXPECT_EQ(frames[0].header.aux, 1u);
+  EXPECT_TRUE(frames[0].payload.empty());
+}
+
+TEST(ProtocolTest, PipelinedFramesInOneBuffer) {
+  Bytes wire;
+  AppendRequestFrame(Op::kPing, 1, 0, SomePayload(10), &wire);
+  AppendRequestFrame(Op::kStats, 2, 0, {}, &wire);
+  AppendRequestFrame(Op::kDecompress, 3, 0, SomePayload(100), &wire);
+
+  FrameParser parser(kRequestMagic);
+  const std::vector<Frame> frames = MustParse(&parser, wire);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].header.request_id, 1u);
+  EXPECT_EQ(frames[1].header.request_id, 2u);
+  EXPECT_EQ(frames[2].header.request_id, 3u);
+  EXPECT_EQ(frames[2].payload.size(), 100u);
+}
+
+TEST(ProtocolTest, ByteAtATimeDelivery) {
+  const Bytes payload = SomePayload(37);
+  const Bytes wire = EncodeRequest(Op::kCompress, 9, 8, payload);
+
+  FrameParser parser(kRequestMagic);
+  std::vector<Frame> frames;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_TRUE(parser.Feed(ByteSpan(&wire[i], 1), &frames).ok());
+    if (i + 1 < wire.size()) {
+      EXPECT_TRUE(frames.empty());
+      EXPECT_EQ(parser.buffered_bytes(), i + 1);
+    }
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload, payload);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+// A torn write — the sender dies mid-frame — must leave the parser
+// waiting for more bytes, never produce a partial frame. Use the
+// FaultInjectionSink to tear the stream exactly as the IO layer would.
+TEST(ProtocolTest, TornWriteLeavesFrameIncomplete) {
+  const Bytes wire = EncodeRequest(Op::kCompress, 5, 8, SomePayload(64));
+
+  for (const size_t tear_at : {1u, 16u, 31u, 32u, 33u, 64u}) {
+    Bytes delivered;
+    MemorySink memory(&delivered);
+    FaultInjectionSink faulty(tear_at, &memory);
+    EXPECT_FALSE(faulty.Write(wire).ok());
+    EXPECT_TRUE(faulty.tripped());
+    ASSERT_EQ(delivered.size(), tear_at);
+
+    FrameParser parser(kRequestMagic);
+    std::vector<Frame> frames;
+    ASSERT_TRUE(parser.Feed(delivered, &frames).ok())
+        << "tear at " << tear_at;
+    EXPECT_TRUE(frames.empty());
+    EXPECT_EQ(parser.buffered_bytes(), tear_at);
+    EXPECT_FALSE(parser.poisoned());
+
+    // The retransmitted remainder completes the frame.
+    ASSERT_TRUE(
+        parser
+            .Feed(ByteSpan(wire.data() + tear_at, wire.size() - tear_at),
+                  &frames)
+            .ok());
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].header.request_id, 5u);
+  }
+}
+
+TEST(ProtocolTest, TruncatedHeaderNeverYieldsAFrame) {
+  const Bytes wire = EncodeRequest(Op::kPing, 1, 0, {});
+  FrameParser parser(kRequestMagic);
+  std::vector<Frame> frames;
+  ASSERT_TRUE(
+      parser.Feed(ByteSpan(wire.data(), kFrameHeaderSize - 1), &frames).ok());
+  EXPECT_TRUE(frames.empty());
+  EXPECT_EQ(parser.buffered_bytes(), kFrameHeaderSize - 1);
+}
+
+TEST(ProtocolTest, BadMagicPoisons) {
+  Bytes wire = EncodeRequest(Op::kPing, 1, 0, {});
+  wire[0] ^= 0xFF;
+  FrameParser parser(kRequestMagic);
+  std::vector<Frame> frames;
+  EXPECT_FALSE(parser.Feed(wire, &frames).ok());
+  EXPECT_TRUE(parser.poisoned());
+  EXPECT_TRUE(frames.empty());
+  // Sticky: even a pristine frame fails after poisoning.
+  const Bytes good = EncodeRequest(Op::kPing, 2, 0, {});
+  EXPECT_FALSE(parser.Feed(good, &frames).ok());
+  EXPECT_TRUE(frames.empty());
+}
+
+TEST(ProtocolTest, UnknownVersionPoisons) {
+  Bytes wire = EncodeRequest(Op::kPing, 1, 0, {});
+  wire[4] = kProtocolVersion + 1;
+  FrameParser parser(kRequestMagic);
+  std::vector<Frame> frames;
+  EXPECT_FALSE(parser.Feed(wire, &frames).ok());
+  EXPECT_TRUE(parser.poisoned());
+}
+
+TEST(ProtocolTest, NonzeroReservedPoisons) {
+  Bytes wire = EncodeRequest(Op::kPing, 1, 0, {});
+  wire[6] = 0x01;
+  FrameParser parser(kRequestMagic);
+  std::vector<Frame> frames;
+  EXPECT_FALSE(parser.Feed(wire, &frames).ok());
+  EXPECT_TRUE(parser.poisoned());
+}
+
+// An oversized length prefix must poison at header-parse time — before
+// any attempt to buffer the declared payload, or a hostile 2^60-byte
+// claim would OOM the server.
+TEST(ProtocolTest, OversizedLengthPrefixPoisonsWithoutBuffering) {
+  Bytes wire = EncodeRequest(Op::kCompress, 1, 8, {});
+  const uint64_t huge = 1ull << 60;
+  std::memcpy(wire.data() + 24, &huge, sizeof(huge));
+
+  FrameParser parser(kRequestMagic, /*max_payload=*/1 << 20);
+  std::vector<Frame> frames;
+  EXPECT_FALSE(parser.Feed(wire, &frames).ok());
+  EXPECT_TRUE(parser.poisoned());
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(ProtocolTest, PayloadExactlyAtLimitIsAccepted) {
+  const Bytes payload = SomePayload(1024);
+  const Bytes wire = EncodeRequest(Op::kCompress, 1, 8, payload);
+  FrameParser parser(kRequestMagic, /*max_payload=*/1024);
+  const std::vector<Frame> frames = MustParse(&parser, wire);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload.size(), 1024u);
+}
+
+// The parser hands over frames completed before the violation: the server
+// answers what it can still trust, then drops the connection.
+TEST(ProtocolTest, FramesBeforeViolationAreDelivered) {
+  Bytes wire;
+  AppendRequestFrame(Op::kPing, 1, 0, SomePayload(8), &wire);
+  Bytes bad = EncodeRequest(Op::kPing, 2, 0, {});
+  bad[0] ^= 0xFF;
+  wire.insert(wire.end(), bad.begin(), bad.end());
+
+  FrameParser parser(kRequestMagic);
+  std::vector<Frame> frames;
+  EXPECT_FALSE(parser.Feed(wire, &frames).ok());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.request_id, 1u);
+  EXPECT_TRUE(parser.poisoned());
+}
+
+TEST(ProtocolTest, WrongDirectionMagicIsRejected) {
+  // A response frame fed to a request parser is a framing violation, not
+  // a silently-misread frame.
+  const Bytes wire = EncodeResponse(ResponseStatus::kOk, 1, 0, {});
+  FrameParser parser(kRequestMagic);
+  std::vector<Frame> frames;
+  EXPECT_FALSE(parser.Feed(wire, &frames).ok());
+}
+
+TEST(ProtocolTest, CompressAuxRoundTrip) {
+  CompressAux aux;
+  aux.width = 8;
+  aux.codec = CodecId::kZlib;
+  aux.linearization = Linearization::kColumn;
+  aux.preference = Preference::kSpeed;
+  const uint64_t packed = PackCompressAux(aux);
+  auto unpacked = UnpackCompressAux(packed);
+  ASSERT_TRUE(unpacked.ok()) << unpacked.status().ToString();
+  EXPECT_EQ(unpacked->width, 8u);
+  ASSERT_TRUE(unpacked->codec.has_value());
+  EXPECT_EQ(*unpacked->codec, CodecId::kZlib);
+  ASSERT_TRUE(unpacked->linearization.has_value());
+  EXPECT_EQ(*unpacked->linearization, Linearization::kColumn);
+  EXPECT_EQ(unpacked->preference, Preference::kSpeed);
+}
+
+TEST(ProtocolTest, CompressAuxAutoSelectorsRoundTrip) {
+  CompressAux aux;
+  aux.width = 4;
+  aux.preference = Preference::kRatio;
+  const uint64_t packed = PackCompressAux(aux);
+  auto unpacked = UnpackCompressAux(packed);
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(unpacked->width, 4u);
+  EXPECT_FALSE(unpacked->codec.has_value());
+  EXPECT_FALSE(unpacked->linearization.has_value());
+  EXPECT_EQ(unpacked->preference, Preference::kRatio);
+}
+
+TEST(ProtocolTest, CompressAuxRejectsBadFields) {
+  EXPECT_FALSE(UnpackCompressAux(0).ok());  // width 0
+  CompressAux wide;
+  wide.width = 65;
+  EXPECT_FALSE(UnpackCompressAux(PackCompressAux(wide)).ok());
+
+  // Width 8, both selectors auto (0xFF) — the valid baseline each case
+  // below corrupts in exactly one byte.
+  const uint64_t base = 8ull | (0xFFull << 8) | (0xFFull << 16);
+  ASSERT_TRUE(UnpackCompressAux(base).ok());
+  EXPECT_FALSE(
+      UnpackCompressAux(8ull | (0x7Bull << 8) | (0xFFull << 16)).ok());
+  EXPECT_FALSE(
+      UnpackCompressAux(8ull | (0xFFull << 8) | (0x7Bull << 16)).ok());
+  EXPECT_FALSE(UnpackCompressAux(base | (0x02ull << 24)).ok());  // preference
+  EXPECT_FALSE(UnpackCompressAux(base | (1ull << 32)).ok());     // padding
+}
+
+}  // namespace
+}  // namespace isobar::server
