@@ -1,7 +1,10 @@
 // Fuzz entry point for the container decode path: every input is fed to
-// IsobarCompressor::Decompress and IsobarStreamReader under all three
-// ChunkErrorPolicy values. The invariant is bounded, crash-free behaviour
-// for arbitrary bytes — any failure must surface as a clean Status.
+// IsobarCompressor::Decompress, DecompressRange, DecompressColumns, and
+// IsobarStreamReader (sequential and SeekToChunk-driven) under all three
+// ChunkErrorPolicy values — so v2 index-footer parsing and its sequential
+// fallback are both explored. The invariant is bounded, crash-free
+// behaviour for arbitrary bytes — any failure must surface as a clean
+// Status.
 //
 // With clang the target links against libFuzzer (-fsanitize=fuzzer, see
 // fuzz/CMakeLists.txt). Other toolchains build the same source as a
@@ -19,9 +22,11 @@
 namespace {
 
 // Large inputs only slow exploration down, and a small container can
-// legally declare huge chunks — cap what one iteration may allocate.
+// legally declare huge chunks (or a huge element total, which salvage
+// paths pad to) — cap what one iteration may allocate.
 constexpr size_t kMaxInputBytes = 1 << 16;
 constexpr uint64_t kMaxDeclaredChunkBytes = 1 << 20;
+constexpr uint64_t kMaxDeclaredTotalBytes = 1 << 22;
 
 void DecodeEveryPolicy(isobar::ByteSpan container) {
   using isobar::ChunkErrorPolicy;
@@ -36,6 +41,14 @@ void DecodeEveryPolicy(isobar::ByteSpan container) {
     auto batch = isobar::IsobarCompressor::Decompress(container, options);
     (void)batch;
 
+    // Range and column reads: the index-footer planner when the input
+    // carries a valid v2 footer, the sequential-walk fallback otherwise.
+    (void)isobar::IsobarCompressor::DecompressRange(container, 0, 1, options);
+    (void)isobar::IsobarCompressor::DecompressRange(container, 500, 1700,
+                                                    options);
+    (void)isobar::IsobarCompressor::DecompressRange(container, 7, 7, options);
+    (void)isobar::IsobarCompressor::DecompressColumns(container, 0x5, options);
+
     isobar::IsobarStreamReader reader(container, options);
     if (reader.Init().ok()) {
       isobar::Bytes chunk;
@@ -43,6 +56,15 @@ void DecodeEveryPolicy(isobar::ByteSpan container) {
         auto more = reader.NextChunk(&chunk);
         if (!more.ok() || !*more) break;
       }
+    }
+
+    // Seek-driven access: forward past a record, decode, rewind to the
+    // start — O(1) through the index, SkipChunk-driven without one.
+    isobar::IsobarStreamReader seeker(container, options);
+    if (seeker.Init().ok()) {
+      isobar::Bytes chunk;
+      if (seeker.SeekToChunk(1).ok()) (void)seeker.NextChunk(&chunk);
+      if (seeker.SeekToChunk(0).ok()) (void)seeker.NextChunk(&chunk);
     }
   }
 }
@@ -56,9 +78,19 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   // to turn one iteration into an allocation benchmark.
   size_t offset = 0;
   auto header = isobar::container::ParseHeader(container, &offset);
-  if (header.ok() &&
-      header->chunk_elements * header->width > kMaxDeclaredChunkBytes) {
-    return 0;
+  if (header.ok()) {
+    uint64_t chunk_bytes = 0, total_bytes = 0;
+    if (!isobar::container::CheckedMul64(header->chunk_elements,
+                                         header->width, &chunk_bytes) ||
+        chunk_bytes > kMaxDeclaredChunkBytes) {
+      return 0;
+    }
+    if (header->element_count != isobar::container::kUnknownCount &&
+        (!isobar::container::CheckedMul64(header->element_count,
+                                          header->width, &total_bytes) ||
+         total_bytes > kMaxDeclaredTotalBytes)) {
+      return 0;
+    }
   }
   DecodeEveryPolicy(container);
   return 0;

@@ -31,13 +31,14 @@ bool WriteFile(const std::filesystem::path& dir, const std::string& name,
   return true;
 }
 
-Result<Bytes> BatchContainer() {
+Result<Bytes> BatchContainer(uint16_t container_version) {
   ISOBAR_ASSIGN_OR_RETURN(const DatasetSpec* spec,
                           FindDatasetSpec("s3d_vmag"));
   ISOBAR_ASSIGN_OR_RETURN(auto dataset, GenerateDataset(*spec, 3000));
   CompressOptions options;
   options.chunk_elements = 1000;
   options.eupa.sample_elements = 512;
+  options.container_version = container_version;
   const IsobarCompressor compressor(options);
   return compressor.Compress(dataset.bytes(), dataset.width());
 }
@@ -90,16 +91,21 @@ Status WriteCodecSeeds(const std::filesystem::path& dir) {
 int Run(const std::filesystem::path& dir) {
   std::filesystem::create_directories(dir);
 
-  auto batch = BatchContainer();
+  auto batch = BatchContainer(container::kVersion);
+  auto batch_v1 = BatchContainer(container::kVersionV1);
   auto streamed = StreamedContainer();
-  if (!batch.ok() || !streamed.ok()) {
+  if (!batch.ok() || !batch_v1.ok() || !streamed.ok()) {
     std::cerr << "corpus generation failed: "
-              << (!batch.ok() ? batch.status() : streamed.status()).ToString()
+              << (!batch.ok()
+                      ? batch.status()
+                      : (!batch_v1.ok() ? batch_v1.status() : streamed.status()))
+                     .ToString()
               << "\n";
     return 1;
   }
 
   bool ok = WriteFile(dir, "batch.isbr", *batch) &&
+            WriteFile(dir, "batch-v1.isbr", *batch_v1) &&
             WriteFile(dir, "streamed.isbr", *streamed);
 
   // Damaged variants exercising each salvage path: a flipped payload bit
@@ -120,6 +126,22 @@ int Run(const std::filesystem::path& dir) {
   Bytes tiny;
   ok = ok && WriteFile(dir, "empty.isbr", tiny);
 
+  // v2 index-footer damage, the two CRC domains separately: a smashed
+  // trailer (footer rejected wholesale) and a smashed entry table (trailer
+  // parses, entry CRC mismatch) — both must fall back to the sequential
+  // walk under salvage and fail cleanly under kFail.
+  Bytes trailer_smash = *batch;
+  SmashBytes(&trailer_smash, trailer_smash.size() - container::kFooterTrailerSize,
+             8, 0xA5);
+  ok = ok && WriteFile(dir, "footer-trailer-smash.isbr", trailer_smash);
+
+  Bytes entry_smash = *batch;
+  SmashBytes(&entry_smash,
+             entry_smash.size() - container::FooterBytes(3) +
+                 container::kIndexEntrySize,
+             8, 0x5A);
+  ok = ok && WriteFile(dir, "footer-entry-smash.isbr", entry_smash);
+
   Status codec_seeds = WriteCodecSeeds(dir);
   if (!codec_seeds.ok()) {
     std::cerr << "codec seed generation failed: " << codec_seeds.ToString()
@@ -127,7 +149,7 @@ int Run(const std::filesystem::path& dir) {
     return 1;
   }
 
-  if (ok) std::cout << "wrote 9 corpus seeds to " << dir << "\n";
+  if (ok) std::cout << "wrote 12 corpus seeds to " << dir << "\n";
   return ok ? 0 : 1;
 }
 

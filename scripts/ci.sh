@@ -85,6 +85,15 @@ asan() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DISOBAR_SANITIZE=address \
     -DISOBAR_BUILD_BENCHMARKS=OFF
+  # Second, focused pass over the seekable-container suites: the
+  # range/column planners do exactly the offset arithmetic the index
+  # footer enables, which is where an off-by-one becomes a heap
+  # over-read — worth a dedicated lane entry so a failure names the
+  # feature, not just the build.
+  echo "=== [asan] range/column focus ==="
+  ctest --test-dir build-ci-asan --output-on-failure -j "${JOBS}" \
+    -R 'RangeReadTest|ColumnReadTest|SeekToChunkTest|FooterIdentityTest'
+  echo "=== [asan] range/column focus OK ==="
 }
 
 tsan() {
@@ -249,10 +258,13 @@ EOF
 }
 
 # Fuzz smoke: build the decompress fuzzer (ASan-instrumented), generate
-# the seed corpus with make_corpus, and replay it. With clang — the only
-# compiler shipping libFuzzer — also run a short time-boxed fuzz session;
-# with other compilers the target is a plain replay driver, which still
-# exercises every corpus seed through all three chunk-error policies.
+# the seed corpus with make_corpus — including the v1, damaged-footer,
+# and streamed-container seeds that steer exploration at the index
+# footer — and replay it. With clang — the only compiler shipping
+# libFuzzer — also run a short time-boxed fuzz session; with other
+# compilers the target is a plain replay driver, which still exercises
+# every corpus seed through all three chunk-error policies (and the
+# range/column/seek entry points).
 fuzz() {
   local name=fuzz
   local dir="build-ci-${name}"

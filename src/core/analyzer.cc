@@ -1,9 +1,21 @@
 #include "core/analyzer.h"
 
+#include <cmath>
+
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
 
 namespace isobar {
+
+Status ValidateAnalyzerOptions(const AnalyzerOptions& options) {
+  // Written as !(in-range) so NaN — for which both ordered comparisons
+  // are false — fails the check instead of sailing through it.
+  if (!(options.tau >= 1.0 && options.tau <= 256.0) ||
+      !std::isfinite(options.tau)) {
+    return Status::InvalidArgument("tau must be a finite value in [1, 256]");
+  }
+  return Status::OK();
+}
 
 int AnalysisResult::compressible_columns() const {
   uint64_t mask = compressible_mask;
@@ -56,9 +68,7 @@ Result<AnalysisResult> Analyzer::Analyze(ByteSpan data, size_t width) const {
 
 Result<AnalysisResult> Analyzer::Classify(
     const ColumnHistogramSet& histograms) const {
-  if (options_.tau < 1.0 || options_.tau > 256.0) {
-    return Status::InvalidArgument("tau must be in [1, 256]");
-  }
+  ISOBAR_RETURN_NOT_OK(ValidateAnalyzerOptions(options_));
   if (histograms.element_count() == 0) {
     return Status::InvalidArgument("no elements accumulated");
   }

@@ -20,6 +20,12 @@ struct AnalyzerOptions {
   double tau = 1.42;
 };
 
+/// Rejects a τ outside [1, 256] — including NaN and infinities, which
+/// slip through naive range comparisons. Pipeline entry points call this
+/// before τ is used in arithmetic or serialized into a container header
+/// (tau_centi is a uint16_t; casting an unvalidated double is UB).
+Status ValidateAnalyzerOptions(const AnalyzerOptions& options);
+
 /// Outcome of analyzing one array (or chunk) of N elements of ω bytes.
 struct AnalysisResult {
   uint64_t element_count = 0;

@@ -23,7 +23,7 @@ Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
                    Bytes* out, CompressionStats* stats,
                    uint64_t trace_pipeline_id,
                    telemetry::ChunkTrace* trace_out, ScratchArena* arena,
-                   uint64_t chunk_ordinal) {
+                   uint64_t chunk_ordinal, Linearization raw_linearization) {
   const uint64_t full_mask = FullMask(width);
   telemetry::ScopedSpan chunk_span("compress.chunk", trace_pipeline_id,
                                    chunk_ordinal + 1);
@@ -71,7 +71,8 @@ Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
     Stopwatch partition_timer;
     ISOBAR_RETURN_NOT_OK(PartitionDataInto(chunk, width,
                                            analysis.compressible_mask,
-                                           linearization, &gathered, &raw));
+                                           linearization, &gathered, &raw,
+                                           raw_linearization));
     partition_seconds = partition_timer.ElapsedSeconds();
     raw_section = ByteSpan(raw);
   } else {
@@ -187,7 +188,8 @@ Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
                           size_t width, bool verify_checksums,
                           MutableByteSpan dest, DecompressionStats* stats,
                           ChunkFailureStage* failed_stage,
-                          ScratchArena* arena, uint64_t chunk_ordinal) {
+                          ScratchArena* arena, uint64_t chunk_ordinal,
+                          Linearization raw_linearization) {
   if (failed_stage != nullptr) *failed_stage = ChunkFailureStage::kPayload;
   const uint64_t full_mask = FullMask(width);
   const bool undetermined =
@@ -236,7 +238,7 @@ Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
   ISOBAR_RETURN_NOT_OK(
       ScatterColumns(packed, width, mask, linearization, dest));
   ISOBAR_RETURN_NOT_OK(ScatterColumns(raw_section, width, full_mask & ~mask,
-                                      Linearization::kRow, dest));
+                                      raw_linearization, dest));
 
   if (verify_checksums) {
     const uint32_t crc = crc32c::Extend(0, dest.data(), dest.size());
@@ -268,7 +270,8 @@ Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
                    size_t width, uint64_t max_elements, bool verify_checksums,
                    Bytes* out, DecompressionStats* stats,
                    uint64_t chunk_index, ChunkFailureStage* failed_stage,
-                   container::ChunkHeader* header_out, ScratchArena* arena) {
+                   container::ChunkHeader* header_out, ScratchArena* arena,
+                   Linearization raw_linearization) {
   telemetry::ScopedSpan chunk_span("decompress.chunk", 0, chunk_index + 1);
   if (failed_stage != nullptr) *failed_stage = ChunkFailureStage::kHeader;
   const size_t record_offset = *offset;
@@ -305,7 +308,8 @@ Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
   Status status = DecodeChunkPayload(chunk_header, compressed_section,
                                      raw_section, codec, linearization, width,
                                      verify_checksums, dest, stats,
-                                     failed_stage, arena, chunk_index);
+                                     failed_stage, arena, chunk_index,
+                                     raw_linearization);
   if (!status.ok()) {
     out->resize(chunk_base);  // Drop partially scattered bytes.
     return AnnotateChunkError(status, chunk_index, record_offset);

@@ -31,12 +31,17 @@ namespace isobar {
 /// `chunk_ordinal` is the chunk's 0-based position in its pipeline, used
 /// only to tag the chunk's timeline events (so a trace viewer can follow
 /// one chunk across workers); it does not affect the encoding.
+/// `raw_linearization` is the container-version-dependent layout of the
+/// record's raw (incompressible) section — kRow for v1, kColumn for v2
+/// (see container::RawSectionLinearization); encoder and decoder must
+/// agree on it for a given record.
 Status EncodeChunk(const Analyzer& analyzer, const Codec& codec,
                    Linearization linearization, ByteSpan chunk, size_t width,
                    Bytes* out, CompressionStats* stats,
                    uint64_t trace_pipeline_id = 0,
                    telemetry::ChunkTrace* trace_out = nullptr,
-                   ScratchArena* arena = nullptr, uint64_t chunk_ordinal = 0);
+                   ScratchArena* arena = nullptr, uint64_t chunk_ordinal = 0,
+                   Linearization raw_linearization = Linearization::kRow);
 
 /// Prefixes a failed `status` with the failing record's position —
 /// "chunk 17 (container offset 123456): ..." — so corruption reports name
@@ -71,7 +76,8 @@ Status DecodeChunk(ByteSpan container_bytes, size_t* offset,
                    uint64_t chunk_index = 0,
                    ChunkFailureStage* failed_stage = nullptr,
                    container::ChunkHeader* header_out = nullptr,
-                   ScratchArena* arena = nullptr);
+                   ScratchArena* arena = nullptr,
+                   Linearization raw_linearization = Linearization::kRow);
 
 /// Folds a stats contribution covering `chunk.chunk_count` chunks into a
 /// pipeline total, in chunk order. mean_htc_fraction merges weighted by
@@ -102,7 +108,8 @@ Status DecodeChunkPayload(const container::ChunkHeader& chunk_header,
                           DecompressionStats* stats = nullptr,
                           ChunkFailureStage* failed_stage = nullptr,
                           ScratchArena* arena = nullptr,
-                          uint64_t chunk_ordinal = 0);
+                          uint64_t chunk_ordinal = 0,
+                          Linearization raw_linearization = Linearization::kRow);
 
 }  // namespace isobar
 

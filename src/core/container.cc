@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "util/crc32c.h"
+
 namespace isobar::container {
 namespace {
 
@@ -11,6 +13,32 @@ Status CheckRoom(ByteSpan buffer, size_t offset, size_t need,
     return Status::Corruption(std::string("container: truncated ") + what);
   }
   return Status::OK();
+}
+
+void AppendIndexEntry(const IndexEntry& entry, Bytes* out) {
+  const size_t base = out->size();
+  out->resize(base + kIndexEntrySize);
+  uint8_t* p = out->data() + base;
+  StoreLE64(p + 0, entry.record_offset);
+  StoreLE64(p + 8, entry.element_offset);
+  StoreLE64(p + 16, entry.element_count);
+  StoreLE64(p + 24, entry.compressible_mask);
+  StoreLE64(p + 32, entry.compressed_size);
+  StoreLE32(p + 40, entry.crc32c);
+  p[44] = entry.flags;
+  p[45] = p[46] = p[47] = 0;  // reserved
+}
+
+IndexEntry ParseIndexEntry(const uint8_t* p) {
+  IndexEntry entry;
+  entry.record_offset = LoadLE64(p + 0);
+  entry.element_offset = LoadLE64(p + 8);
+  entry.element_count = LoadLE64(p + 16);
+  entry.compressible_mask = LoadLE64(p + 24);
+  entry.compressed_size = LoadLE64(p + 32);
+  entry.crc32c = LoadLE32(p + 40);
+  entry.flags = p[44];
+  return entry;
 }
 
 }  // namespace
@@ -41,7 +69,7 @@ Result<Header> ParseHeader(ByteSpan buffer, size_t* offset) {
   }
   Header header;
   header.version = LoadLE16(p + 4);
-  if (header.version != kVersion) {
+  if (header.version < kVersionV1 || header.version > kVersion) {
     return Status::NotSupported("container: unsupported format version " +
                                 std::to_string(header.version));
   }
@@ -73,8 +101,9 @@ Result<Header> ParseHeader(ByteSpan buffer, size_t* offset) {
   if (header.chunk_elements > kMaxChunkBytes / header.width) {
     return Status::Corruption("container: chunk size exceeds format limit");
   }
+  uint64_t total_bytes = 0;
   if (header.element_count != kUnknownCount &&
-      header.element_count > ~0ull / header.width) {
+      !CheckedMul64(header.element_count, header.width, &total_bytes)) {
     return Status::Corruption("container: element count overflows");
   }
   *offset += kHeaderSize;
@@ -117,6 +146,136 @@ Result<ChunkHeader> ParseChunkHeader(ByteSpan buffer, size_t* offset) {
     return Status::Corruption("container: truncated chunk payload");
   }
   return header;
+}
+
+Result<IndexEntry> MakeIndexEntry(ByteSpan container_bytes,
+                                  size_t record_offset,
+                                  uint64_t element_offset) {
+  size_t offset = record_offset;
+  ISOBAR_ASSIGN_OR_RETURN(ChunkHeader chunk_header,
+                          ParseChunkHeader(container_bytes, &offset));
+  IndexEntry entry;
+  entry.record_offset = record_offset;
+  entry.element_offset = element_offset;
+  entry.element_count = chunk_header.element_count;
+  entry.compressible_mask = chunk_header.compressible_mask;
+  entry.compressed_size = chunk_header.compressed_size;
+  entry.crc32c = chunk_header.crc32c;
+  entry.flags = chunk_header.flags;
+  return entry;
+}
+
+void AppendFooter(const std::vector<IndexEntry>& entries,
+                  uint64_t element_count, Bytes* out) {
+  const size_t index_base = out->size();
+  for (const IndexEntry& entry : entries) {
+    AppendIndexEntry(entry, out);
+  }
+  const uint64_t index_bytes = out->size() - index_base;
+  const uint32_t index_crc =
+      crc32c::Extend(0, out->data() + index_base, index_bytes);
+
+  const size_t trailer_base = out->size();
+  out->resize(trailer_base + kFooterTrailerSize);
+  uint8_t* p = out->data() + trailer_base;
+  StoreLE64(p + 0, static_cast<uint64_t>(entries.size()));
+  StoreLE64(p + 8, element_count);
+  StoreLE64(p + 16, index_bytes);
+  StoreLE32(p + 24, index_crc);
+  StoreLE32(p + 28, crc32c::Extend(0, p, 28));
+  StoreLE32(p + 32, /*reserved=*/0);
+  StoreLE32(p + 36, kFooterMagic);
+}
+
+Result<ChunkIndex> ParseFooter(ByteSpan container_bytes,
+                               const Header& header) {
+  if (container_bytes.size() < kHeaderSize + kFooterTrailerSize) {
+    return Status::Corruption("container: no room for index footer");
+  }
+  const uint8_t* trailer =
+      container_bytes.data() + container_bytes.size() - kFooterTrailerSize;
+  if (LoadLE32(trailer + 36) != kFooterMagic) {
+    return Status::Corruption("container: bad index footer magic");
+  }
+  if (LoadLE32(trailer + 28) != crc32c::Extend(0, trailer, 28)) {
+    return Status::Corruption("container: index footer trailer checksum "
+                              "mismatch");
+  }
+  const uint64_t chunk_count = LoadLE64(trailer + 0);
+  const uint64_t total_elements = LoadLE64(trailer + 8);
+  const uint64_t index_bytes = LoadLE64(trailer + 16);
+  const uint32_t index_crc = LoadLE32(trailer + 24);
+
+  const uint64_t room =
+      container_bytes.size() - kHeaderSize - kFooterTrailerSize;
+  uint64_t expected_index_bytes = 0;
+  if (!CheckedMul64(chunk_count, kIndexEntrySize, &expected_index_bytes) ||
+      expected_index_bytes != index_bytes || index_bytes > room) {
+    return Status::Corruption("container: index footer size mismatch");
+  }
+  const size_t payload_end = container_bytes.size() - kFooterTrailerSize -
+                             static_cast<size_t>(index_bytes);
+  const uint8_t* index = container_bytes.data() + payload_end;
+  if (index_crc != crc32c::Extend(0, index, index_bytes)) {
+    return Status::Corruption("container: index footer checksum mismatch");
+  }
+  if (header.chunk_count != kUnknownCount &&
+      header.chunk_count != chunk_count) {
+    return Status::Corruption("container: index footer chunk count disagrees "
+                              "with header");
+  }
+  if (header.element_count != kUnknownCount &&
+      header.element_count != total_elements) {
+    return Status::Corruption("container: index footer element count "
+                              "disagrees with header");
+  }
+  uint64_t total_bytes = 0;
+  if (!CheckedMul64(total_elements, header.width, &total_bytes)) {
+    return Status::Corruption("container: index footer element count "
+                              "overflows");
+  }
+
+  ChunkIndex chunk_index;
+  chunk_index.element_count = total_elements;
+  chunk_index.payload_end = payload_end;
+  chunk_index.entries.reserve(static_cast<size_t>(chunk_count));
+  uint64_t elements_seen = 0;
+  // Minimum offset the next record may start at: the entry does not carry
+  // the raw-section size, so a record's known extent is header +
+  // compressed section, with the raw section filling the gap to the next
+  // record (or to payload_end for the last one).
+  uint64_t floor_offset = kHeaderSize;
+  for (uint64_t i = 0; i < chunk_count; ++i) {
+    const IndexEntry entry = ParseIndexEntry(index + i * kIndexEntrySize);
+    if ((i == 0 && entry.record_offset != kHeaderSize) ||
+        entry.record_offset < floor_offset ||
+        entry.record_offset > payload_end ||
+        payload_end - entry.record_offset < kChunkHeaderSize ||
+        entry.compressed_size >
+            payload_end - entry.record_offset - kChunkHeaderSize) {
+      return Status::Corruption("container: index entry offsets out of "
+                                "bounds");
+    }
+    floor_offset = entry.record_offset + kChunkHeaderSize +
+                   entry.compressed_size;
+    if (entry.element_offset != elements_seen ||
+        entry.element_count > header.chunk_elements ||
+        total_elements - elements_seen < entry.element_count) {
+      return Status::Corruption("container: index entry element accounting "
+                                "is inconsistent");
+    }
+    elements_seen += entry.element_count;
+    if ((entry.flags & ~(kChunkUndetermined | kChunkStoredRaw)) != 0) {
+      return Status::Corruption("container: index entry has unknown chunk "
+                                "flags");
+    }
+    chunk_index.entries.push_back(entry);
+  }
+  if (elements_seen != total_elements) {
+    return Status::Corruption("container: index entries do not cover the "
+                              "declared element count");
+  }
+  return chunk_index;
 }
 
 }  // namespace isobar::container

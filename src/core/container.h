@@ -2,6 +2,7 @@
 #define ISOBAR_CORE_CONTAINER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "compressors/codec.h"
 #include "core/eupa_selector.h"
@@ -13,10 +14,21 @@ namespace isobar::container {
 
 /// "ISBR" in little-endian byte order.
 inline constexpr uint32_t kMagic = 0x52425349u;
-inline constexpr uint16_t kVersion = 1;
+/// "ISBX" in little-endian byte order: the chunk-index footer trailer.
+inline constexpr uint32_t kFooterMagic = 0x58425349u;
+
+/// Format versions. v1 is the footer-less layout; v2 appends a
+/// chunk-index footer after the last chunk record and stores each chunk's
+/// raw (incompressible) section column-major, so individual byte-planes
+/// are contiguous and range/column readers can address records without a
+/// sequential walk. Writers emit kVersion by default; readers accept both.
+inline constexpr uint16_t kVersionV1 = 1;
+inline constexpr uint16_t kVersion = 2;
 
 inline constexpr size_t kHeaderSize = 40;
 inline constexpr size_t kChunkHeaderSize = 38;
+inline constexpr size_t kIndexEntrySize = 48;
+inline constexpr size_t kFooterTrailerSize = 40;
 
 /// Per-chunk flags.
 inline constexpr uint8_t kChunkUndetermined = 0x01;  ///< Alg. 1 lines 2-3 path.
@@ -24,13 +36,37 @@ inline constexpr uint8_t kChunkStoredRaw = 0x02;     ///< Solver output grew; ga
 
 /// Sentinel for element_count / chunk_count written by the streaming
 /// writer, which cannot know the totals up front: readers consume chunks
-/// until the end of the container instead of counting.
+/// until the end of the container instead of counting. (v2 streamed
+/// containers recover the true totals from the index footer.)
 inline constexpr uint64_t kUnknownCount = ~0ull;
 
 /// Hard format limit on chunk_elements * width. Decoders size buffers
 /// from header fields, so untrusted counts must be bounded before any
 /// allocation; 256 MiB is ~85x the paper's 3 MB design point.
 inline constexpr uint64_t kMaxChunkBytes = 1ull << 28;
+
+/// Overflow-checked uint64 multiply: false when a*b wraps. Untrusted
+/// header counts must go through this before they size buffers or enter
+/// totals — a wrapped product can make a corruption check pass (or fail)
+/// arbitrarily.
+inline bool CheckedMul64(uint64_t a, uint64_t b, uint64_t* out) {
+#if defined(__GNUC__) || defined(__clang__)
+  return !__builtin_mul_overflow(a, b, out);
+#else
+  if (b != 0 && a > ~0ull / b) return false;
+  *out = a * b;
+  return true;
+#endif
+}
+
+/// Layout of a chunk record's raw (incompressible) section for a given
+/// container version: v1 interleaves the noise bytes element-major (kRow);
+/// v2 stores each noise byte-plane contiguously (kColumn), which is what
+/// lets DecompressColumns serve an incompressible plane with one memcpy
+/// and no solver work.
+inline Linearization RawSectionLinearization(uint16_t version) {
+  return version >= 2 ? Linearization::kColumn : Linearization::kRow;
+}
 
 /// File-level metadata (Fig. 7 "overall metadata"): everything a reader
 /// needs to reverse the pipeline with no side information.
@@ -57,6 +93,30 @@ struct ChunkHeader {
   uint64_t raw_size = 0;           ///< Bytes of the incompressible section.
 };
 
+/// One chunk record as seen by the v2 index footer: where the record
+/// lives, which elements it covers, and enough of its chunk-header fields
+/// (mask, sizes, CRC, flags) that range and column readers can plan a
+/// partial decode — including every per-column section offset — without
+/// touching the record itself.
+struct IndexEntry {
+  uint64_t record_offset = 0;      ///< Container offset of the chunk header.
+  uint64_t element_offset = 0;     ///< First element the chunk covers.
+  uint64_t element_count = 0;
+  uint64_t compressible_mask = 0;
+  uint64_t compressed_size = 0;    ///< Compressed-section bytes; the raw
+                                   ///< section starts at record_offset +
+                                   ///< kChunkHeaderSize + compressed_size.
+  uint32_t crc32c = 0;             ///< Copy of the chunk's plaintext CRC.
+  uint8_t flags = 0;
+};
+
+/// Parsed v2 chunk-index footer.
+struct ChunkIndex {
+  uint64_t element_count = 0;  ///< Total elements across all chunks.
+  size_t payload_end = 0;      ///< Offset where chunk records end (= footer start).
+  std::vector<IndexEntry> entries;
+};
+
 /// Serializes `header` onto `out`.
 void AppendHeader(const Header& header, Bytes* out);
 
@@ -65,6 +125,35 @@ Result<Header> ParseHeader(ByteSpan buffer, size_t* offset);
 
 void AppendChunkHeader(const ChunkHeader& header, Bytes* out);
 Result<ChunkHeader> ParseChunkHeader(ByteSpan buffer, size_t* offset);
+
+/// Builds the index entry for the chunk record starting at
+/// `record_offset` in `container_bytes` (the record's header and payload
+/// must already be present), covering elements starting at
+/// `element_offset`. Writers call this as they retire each record.
+Result<IndexEntry> MakeIndexEntry(ByteSpan container_bytes,
+                                  size_t record_offset,
+                                  uint64_t element_offset);
+
+/// Serializes the chunk-index footer (entry table + trailer) onto `out`.
+/// `element_count` is the container's true element total — v2 streamed
+/// containers carry it here, since their file header holds sentinels.
+void AppendFooter(const std::vector<IndexEntry>& entries,
+                  uint64_t element_count, Bytes* out);
+
+/// Bytes AppendFooter will emit for `chunk_count` chunks.
+inline size_t FooterBytes(uint64_t chunk_count) {
+  return kFooterTrailerSize +
+         static_cast<size_t>(chunk_count) * kIndexEntrySize;
+}
+
+/// Parses and validates the chunk-index footer at the end of
+/// `container_bytes`, cross-checking it against the parsed file `header`
+/// (counted totals must agree, per-chunk element counts must respect the
+/// nominal chunk size, record offsets must be strictly increasing and in
+/// bounds). Both the entry table and the trailer are CRC-32C protected;
+/// any mismatch is kCorruption — callers decide whether to fail or fall
+/// back to a sequential record walk.
+Result<ChunkIndex> ParseFooter(ByteSpan container_bytes, const Header& header);
 
 }  // namespace isobar::container
 

@@ -1,8 +1,10 @@
 #include "core/isobar.h"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 #include <future>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -93,8 +95,13 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
                                          CompressionStats* stats) const {
   if (stats == nullptr) return Status::InvalidArgument("stats must not be null");
   ISOBAR_RETURN_NOT_OK(ValidateCompressInput(data.size(), width));
+  ISOBAR_RETURN_NOT_OK(ValidateAnalyzerOptions(options_.analyzer));
   if (options_.chunk_elements == 0) {
     return Status::InvalidArgument("chunk_elements must be > 0");
+  }
+  if (options_.container_version < container::kVersionV1 ||
+      options_.container_version > container::kVersion) {
+    return Status::InvalidArgument("unsupported container_version");
   }
 
   *stats = CompressionStats{};
@@ -155,25 +162,36 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
   out.reserve(data.size() / 2 + container::kHeaderSize);
 
   container::Header header;
+  header.version = options_.container_version;
   header.width = static_cast<uint8_t>(width);
   header.codec = decision.codec;
   header.linearization = decision.linearization;
   header.preference = options_.eupa.preference;
+  // Safe cast: ValidateAnalyzerOptions bounded tau to a finite [1, 256].
   header.tau_centi = static_cast<uint16_t>(options_.analyzer.tau * 100.0 + 0.5);
   header.element_count = data.size() / width;
   header.chunk_elements = options_.chunk_elements;
   header.chunk_count = chunker.chunk_count();
   container::AppendHeader(header, &out);
   const size_t header_bytes = out.size();
+  const Linearization raw_linearization =
+      container::RawSectionLinearization(header.version);
+
+  // Container offset of each chunk record as it is appended; v2 builds
+  // its index footer from these after the pipeline drains.
+  std::vector<size_t> record_offsets;
+  record_offsets.reserve(static_cast<size_t>(chunker.chunk_count()));
 
   const size_t num_threads = ResolveNumThreads(options_.num_threads);
   if (num_threads <= 1 || chunker.chunk_count() <= 1) {
     ScratchArena& arena = ScratchArena::ThreadLocal();
     for (uint64_t ci = 0; ci < chunker.chunk_count(); ++ci) {
+      record_offsets.push_back(out.size());
       ISOBAR_RETURN_NOT_OK(EncodeChunk(analyzer, *codec,
                                        decision.linearization,
                                        chunker.chunk(ci), width, &out, stats,
-                                       trace_id, nullptr, &arena, ci));
+                                       trace_id, nullptr, &arena, ci,
+                                       raw_linearization));
     }
   } else {
     // Fan each chunk's analyze→partition→solve out as a pool task; this
@@ -194,7 +212,7 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
       const ByteSpan chunk = chunker.chunk(ordinal);
       in_flight.push_back(
           pool.Submit([&analyzer, &codec, &decision, chunk, width, trace_id,
-                       tracing, ordinal]() -> EncodedChunk {
+                       tracing, ordinal, raw_linearization]() -> EncodedChunk {
             EncodedChunk encoded;
             // ThreadLocal() inside the task: each pool worker gets (and
             // keeps) its own arena across every chunk it encodes.
@@ -202,7 +220,7 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
                 analyzer, *codec, decision.linearization, chunk, width,
                 &encoded.record, &encoded.stats, trace_id,
                 tracing ? &encoded.trace : nullptr,
-                &ScratchArena::ThreadLocal(), ordinal);
+                &ScratchArena::ThreadLocal(), ordinal, raw_linearization);
             return encoded;
           }));
     };
@@ -228,6 +246,7 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
       {
         telemetry::ScopedSpan append_span("writer.append", trace_id,
                                           write_index + 1);
+        record_offsets.push_back(out.size());
         out.insert(out.end(), encoded.record.begin(), encoded.record.end());
         MergeChunkStats(encoded.stats, stats);
         if (tracing) recorder.RecordChunk(trace_id, std::move(encoded.trace));
@@ -235,6 +254,24 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
       ++write_index;
     }
     pool.PublishStats();
+  }
+
+  if (header.version >= container::kVersion) {
+    // Build the chunk-index footer from the records just written; both
+    // this path and the streaming writer derive entries from the final
+    // byte layout, so batch and streamed containers of the same input
+    // carry byte-identical footers.
+    std::vector<container::IndexEntry> entries;
+    entries.reserve(record_offsets.size());
+    uint64_t element_offset = 0;
+    for (const size_t record_offset : record_offsets) {
+      ISOBAR_ASSIGN_OR_RETURN(
+          container::IndexEntry entry,
+          container::MakeIndexEntry(out, record_offset, element_offset));
+      element_offset += entry.element_count;
+      entries.push_back(entry);
+    }
+    container::AppendFooter(entries, header.element_count, &out);
   }
 
   stats->output_bytes = out.size();
@@ -246,6 +283,46 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
 }
 
 namespace {
+
+/// Outcome of looking for a v2 chunk-index footer.
+struct IndexResolution {
+  bool have_index = false;
+  container::ChunkIndex index;
+};
+
+/// Parses the v2 chunk-index footer (a no-op on v1 containers), adopting
+/// its totals into `header` (streamed containers carry sentinels in the
+/// file header) and bounding the record walk at the footer's start. A
+/// damaged footer is an error under kFail; under a salvage policy the
+/// caller falls back to the v1 sequential walk over the whole buffer and
+/// the footer region surfaces as trailing damage.
+Status ResolveChunkIndex(ByteSpan container_bytes, bool salvage,
+                         container::Header* header, size_t* payload_end,
+                         IndexResolution* resolution) {
+  *payload_end = container_bytes.size();
+  if (header->version < container::kVersion) return Status::OK();
+  static telemetry::Counter& index_hits =
+      telemetry::GetCounter("pipeline.index_hits");
+  static telemetry::Counter& index_fallbacks =
+      telemetry::GetCounter("pipeline.index_fallbacks");
+  auto parsed = container::ParseFooter(container_bytes, *header);
+  if (parsed.ok()) {
+    index_hits.Increment();
+    resolution->have_index = true;
+    resolution->index = std::move(*parsed);
+    *payload_end = resolution->index.payload_end;
+    if (header->element_count == container::kUnknownCount) {
+      header->element_count = resolution->index.element_count;
+    }
+    if (header->chunk_count == container::kUnknownCount) {
+      header->chunk_count = resolution->index.entries.size();
+    }
+    return Status::OK();
+  }
+  if (!salvage) return parsed.status();
+  index_fallbacks.Increment();
+  return Status::OK();
+}
 
 /// One parsed chunk record of the decode plan: payload slices, destination
 /// range, and (in salvage mode) any header-stage damage verdict.
@@ -264,10 +341,11 @@ struct ChunkWork {
 /// Appends a damaged-chunk entry to `report` (when non-null) and, for the
 /// salvaging policies, bumps the salvage telemetry counters. With action
 /// kFail the entry only documents the chunk that aborted the decode.
-void RecordSalvage(SalvageReport* report, const ChunkWork& work,
-                   ChunkFailureStage stage, ChunkErrorPolicy action,
-                   const Status& error, uint64_t output_offset,
-                   uint64_t lost_bytes) {
+void RecordSalvageEntry(SalvageReport* report, uint64_t chunk_index,
+                        uint64_t byte_offset, uint64_t element_count,
+                        ChunkFailureStage stage, ChunkErrorPolicy action,
+                        const Status& error, uint64_t output_offset,
+                        uint64_t lost_bytes) {
   if (action != ChunkErrorPolicy::kFail) {
     static telemetry::Counter& salvaged =
         telemetry::GetCounter("pipeline.chunks_salvaged");
@@ -278,9 +356,9 @@ void RecordSalvage(SalvageReport* report, const ChunkWork& work,
   }
   if (report == nullptr) return;
   ChunkSalvageRecord record;
-  record.chunk_index = work.index;
-  record.byte_offset = work.byte_offset;
-  record.element_count = work.header.element_count;
+  record.chunk_index = chunk_index;
+  record.byte_offset = byte_offset;
+  record.element_count = element_count;
   record.output_offset = output_offset;
   record.lost_bytes = lost_bytes;
   record.stage = stage;
@@ -293,6 +371,116 @@ void RecordSalvage(SalvageReport* report, const ChunkWork& work,
     ++report->chunks_skipped;
   }
   report->bytes_lost += lost_bytes;
+}
+
+void RecordSalvage(SalvageReport* report, const ChunkWork& work,
+                   ChunkFailureStage stage, ChunkErrorPolicy action,
+                   const Status& error, uint64_t output_offset,
+                   uint64_t lost_bytes) {
+  RecordSalvageEntry(report, work.index, work.byte_offset,
+                     work.header.element_count, stage, action, error,
+                     output_offset, lost_bytes);
+}
+
+/// One chunk record in a range/column read plan: like ChunkWork, but
+/// addressed by the element offset the record covers rather than by an
+/// output-buffer offset (partial reads compute those per intersection).
+struct PlannedChunk {
+  container::ChunkHeader header;
+  uint64_t index = 0;
+  uint64_t byte_offset = 0;
+  uint64_t element_offset = 0;  ///< First element the record covers.
+  ByteSpan compressed;
+  ByteSpan raw;
+  bool damaged = false;
+  Status error;  ///< Set when damaged.
+};
+
+/// Sequential record walk shared by the range/column readers when no
+/// (valid) index footer is available — and by the column reader always,
+/// since every chunk holds a slice of every column. Parses records into
+/// `result->plan` until `stop_after_element` elements are covered (pass
+/// kUnknownCount to walk everything). A record over-declaring its element
+/// count is marked damaged and assumed full-size, keeping element
+/// addressing monotone; a record whose framing is destroyed ends the walk
+/// with tail_lost. Both abort the walk with an error under kFail.
+struct WalkResult {
+  std::vector<PlannedChunk> plan;
+  uint64_t total_elements = 0;  ///< Elements covered by parsed records.
+  size_t end_offset = container::kHeaderSize;  ///< Past the last good record.
+  bool tail_lost = false;
+  Status tail_error;            ///< The framing failure when tail_lost.
+  uint64_t tail_index = 0;      ///< Record index where framing died.
+  uint64_t tail_offset = 0;     ///< Container offset of that record.
+};
+
+Status WalkChunkRecords(ByteSpan container_bytes,
+                        const container::Header& header, bool counted,
+                        size_t payload_end, ChunkErrorPolicy policy,
+                        uint64_t stop_after_element, WalkResult* result,
+                        double* parse_seconds) {
+  const bool salvage = policy != ChunkErrorPolicy::kFail;
+  Stopwatch parse_timer;
+  size_t offset = container::kHeaderSize;
+  uint64_t element_offset = 0;
+  uint64_t chunk_i = 0;
+  while ((counted ? chunk_i < header.chunk_count : offset < payload_end) &&
+         element_offset < stop_after_element) {
+    PlannedChunk work;
+    work.index = chunk_i;
+    work.byte_offset = offset;
+    work.element_offset = element_offset;
+    auto parsed = container::ParseChunkHeader(container_bytes, &offset);
+    if (!parsed.ok()) {
+      result->tail_lost = true;
+      result->tail_error =
+          AnnotateChunkError(parsed.status(), chunk_i, work.byte_offset);
+      result->tail_index = chunk_i;
+      result->tail_offset = work.byte_offset;
+      if (!salvage) {
+        if (parse_seconds != nullptr) {
+          *parse_seconds += parse_timer.ElapsedSeconds();
+        }
+        return result->tail_error;
+      }
+      break;
+    }
+    work.header = *parsed;
+    work.compressed =
+        container_bytes.subspan(offset, work.header.compressed_size);
+    offset += work.header.compressed_size;
+    work.raw = container_bytes.subspan(offset, work.header.raw_size);
+    offset += work.header.raw_size;
+    if (work.header.element_count > header.chunk_elements) {
+      work.damaged = true;
+      work.error = AnnotateChunkError(
+          Status::Corruption("container: chunk claims more elements than "
+                             "the header's chunk size"),
+          chunk_i, work.byte_offset);
+      if (!salvage) {
+        if (parse_seconds != nullptr) {
+          *parse_seconds += parse_timer.ElapsedSeconds();
+        }
+        return work.error;
+      }
+      // Element addressing must stay monotone for the ranges that follow;
+      // assume a full chunk, the true shape of every record but the last.
+      work.header.element_count = header.chunk_elements;
+    }
+    element_offset += work.header.element_count;
+    result->plan.push_back(std::move(work));
+    result->end_offset = offset;
+    ++chunk_i;
+  }
+  result->total_elements = element_offset;
+  if (parse_seconds != nullptr) *parse_seconds += parse_timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+/// Rank of column `c` inside `mask`: how many selected columns precede it.
+size_t ColumnRank(uint64_t mask, size_t c) {
+  return static_cast<size_t>(
+      __builtin_popcountll(mask & ((c == 0) ? 0ull : (~0ull >> (64 - c)))));
 }
 
 }  // namespace
@@ -324,11 +512,17 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
   ISOBAR_ASSIGN_OR_RETURN(container::Header header,
                           container::ParseHeader(container_bytes, &offset));
   ISOBAR_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(header.codec));
+
+  size_t payload_end = container_bytes.size();
+  IndexResolution resolution;
+  ISOBAR_RETURN_NOT_OK(ResolveChunkIndex(container_bytes, salvage, &header,
+                                         &payload_end, &resolution));
   stats->parse_seconds += parse_timer.ElapsedSeconds();
 
   const size_t width = header.width;
-  // Counted containers (batch writer) carry the chunk total; streamed
-  // containers use the kUnknownCount sentinel and run to the end.
+  // Counted containers (batch writer, or any container with a valid
+  // footer) carry the chunk total; footer-less streamed containers use
+  // the kUnknownCount sentinel and run to the end.
   const bool counted = header.chunk_count != container::kUnknownCount;
 
   // --- Parse pass: chunk records are self-delimiting, so one cheap
@@ -348,7 +542,7 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
   size_t out_bytes = 0;
   bool tail_lost = false;
   while (counted ? chunks.size() < header.chunk_count
-                 : offset < container_bytes.size()) {
+                 : offset < payload_end) {
     Stopwatch chunk_parse_timer;
     ChunkWork work;
     work.index = chunks.size();
@@ -403,17 +597,21 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
     chunks.push_back(work);
     stats->parse_seconds += chunk_parse_timer.ElapsedSeconds();
   }
-  if (!tail_lost && offset != container_bytes.size()) {
+  if (!tail_lost && offset != payload_end) {
     if (!salvage) {
       return Status::Corruption("container: trailing bytes after last chunk");
     }
-    if (report != nullptr) {
-      report->trailing_bytes = container_bytes.size() - offset;
+    if (report != nullptr && offset < payload_end) {
+      report->trailing_bytes = payload_end - offset;
     }
   }
   uint64_t declared_total = container::kUnknownCount;
-  if (header.element_count != container::kUnknownCount) {
-    declared_total = header.element_count * width;
+  if (header.element_count != container::kUnknownCount &&
+      !container::CheckedMul64(header.element_count, width,
+                               &declared_total)) {
+    // A hostile element_count near 2^64 would wrap the product and make
+    // the mismatch check below pass (or fail) arbitrarily.
+    return Status::Corruption("container: element count overflows");
   }
   const bool any_parse_damage =
       tail_lost || std::any_of(chunks.begin(), chunks.end(),
@@ -450,7 +648,8 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
     outcome.status = DecodeChunkPayload(
         work.header, work.compressed, work.raw, *codec, header.linearization,
         width, options.verify_checksums, dest, &outcome.stats,
-        &outcome.stage, &ScratchArena::ThreadLocal(), work.index);
+        &outcome.stage, &ScratchArena::ThreadLocal(), work.index,
+        container::RawSectionLinearization(header.version));
     if (!outcome.status.ok()) {
       outcome.status =
           AnnotateChunkError(outcome.status, work.index, work.byte_offset);
@@ -545,6 +744,476 @@ Result<Bytes> IsobarCompressor::Decompress(ByteSpan container_bytes,
   stats->output_bytes = out.size();
   stats->total_seconds = total_timer.ElapsedSeconds();
   decompress_output.Add(out.size());
+  return out;
+}
+
+Result<Bytes> IsobarCompressor::DecompressRange(
+    ByteSpan container_bytes, uint64_t first_element, uint64_t end_element,
+    const DecompressOptions& options, DecompressionStats* stats) {
+  telemetry::ScopedSpan range_span("decompress.range");
+  static telemetry::Counter& range_reads =
+      telemetry::GetCounter("pipeline.range_reads");
+  static telemetry::Counter& range_chunks =
+      telemetry::GetCounter("pipeline.range_chunks_decoded");
+  range_reads.Increment();
+
+  DecompressionStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = DecompressionStats{};
+  if (first_element > end_element) {
+    return Status::InvalidArgument("range: first_element > end_element");
+  }
+  const ChunkErrorPolicy policy = options.on_chunk_error;
+  const bool salvage = policy != ChunkErrorPolicy::kFail;
+  SalvageReport* report = options.salvage_report;
+  if (report != nullptr) *report = SalvageReport{};
+
+  Stopwatch total_timer;
+  Stopwatch parse_timer;
+  size_t offset = 0;
+  ISOBAR_ASSIGN_OR_RETURN(container::Header header,
+                          container::ParseHeader(container_bytes, &offset));
+  ISOBAR_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(header.codec));
+  size_t payload_end = container_bytes.size();
+  IndexResolution resolution;
+  ISOBAR_RETURN_NOT_OK(ResolveChunkIndex(container_bytes, salvage, &header,
+                                         &payload_end, &resolution));
+  stats->parse_seconds += parse_timer.ElapsedSeconds();
+  const size_t width = header.width;
+  const bool counted = header.chunk_count != container::kUnknownCount;
+  const Linearization raw_linearization =
+      container::RawSectionLinearization(header.version);
+
+  if (header.element_count != container::kUnknownCount &&
+      end_element > header.element_count) {
+    return Status::InvalidArgument(
+        "range: end_element past the container's element count");
+  }
+  uint64_t out_bytes = 0;
+  if (!container::CheckedMul64(end_element - first_element, width,
+                               &out_bytes) ||
+      out_bytes > std::numeric_limits<size_t>::max()) {
+    return Status::InvalidArgument("range: output size overflows");
+  }
+  Bytes out(static_cast<size_t>(out_bytes), 0);
+  stats->input_bytes = container_bytes.size();
+  if (first_element == end_element) {
+    stats->output_bytes = 0;
+    stats->total_seconds = total_timer.ElapsedSeconds();
+    return out;
+  }
+
+  // --- Plan: the chunk records covering [first, end). With an index the
+  // covering entries are found by binary search and only those records'
+  // headers are parsed; without one (v1, or damaged footer under salvage)
+  // a sequential header walk runs just far enough to cover the range.
+  std::vector<PlannedChunk> plan;
+  bool tail_lost = false;
+  Status tail_error;
+  uint64_t tail_index = 0;
+  uint64_t tail_offset = 0;
+  uint64_t walked_elements = container::kUnknownCount;
+  if (resolution.have_index) {
+    const std::vector<container::IndexEntry>& entries =
+        resolution.index.entries;
+    size_t i = static_cast<size_t>(
+        std::upper_bound(entries.begin(), entries.end(), first_element,
+                         [](uint64_t value, const container::IndexEntry& e) {
+                           return value < e.element_offset;
+                         }) -
+        entries.begin());
+    if (i > 0) --i;
+    Stopwatch plan_timer;
+    for (; i < entries.size() && entries[i].element_offset < end_element;
+         ++i) {
+      const container::IndexEntry& entry = entries[i];
+      if (entry.element_offset + entry.element_count <= first_element) {
+        continue;  // The search's candidate may end before the range.
+      }
+      PlannedChunk work;
+      work.index = i;
+      work.byte_offset = entry.record_offset;
+      work.element_offset = entry.element_offset;
+      size_t record_offset = static_cast<size_t>(entry.record_offset);
+      auto parsed = container::ParseChunkHeader(container_bytes,
+                                                &record_offset);
+      if (parsed.ok() && parsed->element_count == entry.element_count) {
+        work.header = *parsed;
+        work.compressed = container_bytes.subspan(
+            record_offset, work.header.compressed_size);
+        work.raw = container_bytes.subspan(
+            record_offset + work.header.compressed_size,
+            work.header.raw_size);
+      } else {
+        const Status cause =
+            parsed.ok() ? Status::Corruption(
+                              "container: chunk record disagrees with its "
+                              "index entry")
+                        : parsed.status();
+        work.damaged = true;
+        work.header.element_count = entry.element_count;
+        work.error = AnnotateChunkError(cause, i, entry.record_offset);
+      }
+      plan.push_back(std::move(work));
+    }
+    stats->parse_seconds += plan_timer.ElapsedSeconds();
+  } else {
+    WalkResult walk;
+    ISOBAR_RETURN_NOT_OK(WalkChunkRecords(container_bytes, header, counted,
+                                          payload_end, policy, end_element,
+                                          &walk, &stats->parse_seconds));
+    plan = std::move(walk.plan);
+    tail_lost = walk.tail_lost;
+    tail_error = walk.tail_error;
+    tail_index = walk.tail_index;
+    tail_offset = walk.tail_offset;
+    walked_elements = walk.total_elements;
+    if (tail_lost && report != nullptr) report->truncated_tail = true;
+    if (!tail_lost && walk.total_elements < end_element &&
+        header.element_count == container::kUnknownCount) {
+      // Footer-less streamed container that ran out of records before the
+      // range's end: the range is out of bounds, not damaged.
+      return Status::InvalidArgument(
+          "range: end_element past the container's element count");
+    }
+  }
+
+  // --- Decode pass over the covering chunks only. A chunk fully inside
+  // the range decodes straight into its output slice; boundary chunks
+  // decode into scratch and copy the intersection out.
+  ScratchArena& arena = ScratchArena::ThreadLocal();
+  Bytes scratch;
+  for (const PlannedChunk& work : plan) {
+    const uint64_t n = work.header.element_count;
+    const uint64_t inter_begin = std::max(first_element, work.element_offset);
+    const uint64_t inter_end = std::min(end_element, work.element_offset + n);
+    if (inter_begin >= inter_end) continue;  // Walk-collected early chunk.
+    const size_t inter_bytes =
+        static_cast<size_t>(inter_end - inter_begin) * width;
+    const size_t out_offset =
+        static_cast<size_t>(inter_begin - first_element) * width;
+    if (report != nullptr) ++report->chunks_total;
+    ChunkFailureStage stage = ChunkFailureStage::kHeader;
+    Status status = work.error;
+    if (!work.damaged) {
+      const bool whole = work.element_offset >= first_element &&
+                         work.element_offset + n <= end_element;
+      MutableByteSpan dest;
+      if (whole) {
+        dest = MutableByteSpan(out.data() + out_offset,
+                               static_cast<size_t>(n) * width);
+      } else {
+        scratch.resize(static_cast<size_t>(n) * width);
+        dest = MutableByteSpan(scratch);
+      }
+      status = DecodeChunkPayload(work.header, work.compressed, work.raw,
+                                  *codec, header.linearization, width,
+                                  options.verify_checksums, dest, stats,
+                                  &stage, &arena, work.index,
+                                  raw_linearization);
+      if (status.ok()) {
+        range_chunks.Increment();
+        if (!whole) {
+          std::memcpy(out.data() + out_offset,
+                      scratch.data() +
+                          static_cast<size_t>(inter_begin -
+                                              work.element_offset) *
+                              width,
+                      inter_bytes);
+        }
+        if (report != nullptr) {
+          ++report->chunks_recovered;
+          report->bytes_recovered += inter_bytes;
+        }
+        continue;
+      }
+      status = AnnotateChunkError(status, work.index, work.byte_offset);
+    }
+    if (!salvage) {
+      RecordSalvageEntry(report, work.index, work.byte_offset, n, stage,
+                         policy, status, out_offset, 0);
+      CaptureFlightRecorder(report);
+      return status;
+    }
+    // Both salvage policies zero-fill here: dropping the slice would shift
+    // the range's element addressing. A failed whole-chunk decode may have
+    // partially scattered into the output; re-zero its slice.
+    std::fill(out.begin() + out_offset, out.begin() + out_offset + inter_bytes,
+              uint8_t{0});
+    RecordSalvageEntry(report, work.index, work.byte_offset, n, stage, policy,
+                       status, out_offset, inter_bytes);
+  }
+  if (tail_lost && walked_elements < end_element) {
+    // Sequential fallback died before covering the range; the uncovered
+    // slice stays zeroed and is billed to the framing failure.
+    const uint64_t lost_begin = std::max(first_element, walked_elements);
+    RecordSalvageEntry(report, tail_index, tail_offset, 0,
+                       ChunkFailureStage::kHeader, policy, tail_error,
+                       (lost_begin - first_element) * width,
+                       (end_element - lost_begin) * width);
+    CaptureFlightRecorder(report);
+  }
+  if (report != nullptr && !report->clean()) CaptureFlightRecorder(report);
+
+  stats->output_bytes = out.size();
+  stats->total_seconds = total_timer.ElapsedSeconds();
+  return out;
+}
+
+Result<Bytes> IsobarCompressor::DecompressColumns(
+    ByteSpan container_bytes, uint64_t column_mask,
+    const DecompressOptions& options, DecompressionStats* stats) {
+  telemetry::ScopedSpan columns_span("decompress.columns");
+  static telemetry::Counter& column_reads =
+      telemetry::GetCounter("pipeline.column_reads");
+  static telemetry::Counter& planes_raw =
+      telemetry::GetCounter("pipeline.column_planes_raw");
+  static telemetry::Counter& planes_decoded =
+      telemetry::GetCounter("pipeline.column_planes_decoded");
+  column_reads.Increment();
+
+  DecompressionStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = DecompressionStats{};
+  const ChunkErrorPolicy policy = options.on_chunk_error;
+  const bool salvage = policy != ChunkErrorPolicy::kFail;
+  SalvageReport* report = options.salvage_report;
+  if (report != nullptr) *report = SalvageReport{};
+
+  Stopwatch total_timer;
+  Stopwatch parse_timer;
+  size_t offset = 0;
+  ISOBAR_ASSIGN_OR_RETURN(container::Header header,
+                          container::ParseHeader(container_bytes, &offset));
+  ISOBAR_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(header.codec));
+  size_t payload_end = container_bytes.size();
+  IndexResolution resolution;
+  ISOBAR_RETURN_NOT_OK(ResolveChunkIndex(container_bytes, salvage, &header,
+                                         &payload_end, &resolution));
+  stats->parse_seconds += parse_timer.ElapsedSeconds();
+  const size_t width = header.width;
+  const bool counted = header.chunk_count != container::kUnknownCount;
+  const uint64_t full_mask = FullMask(width);
+  const Linearization raw_linearization =
+      container::RawSectionLinearization(header.version);
+
+  if (column_mask == 0) {
+    return Status::InvalidArgument("columns: empty column mask");
+  }
+  if ((column_mask & ~full_mask) != 0) {
+    return Status::InvalidArgument(
+        "columns: mask has bits beyond the element width");
+  }
+  const size_t requested = static_cast<size_t>(
+      PopcountMask(column_mask, width));
+
+  // Every chunk holds a slice of every column, so the record walk always
+  // runs in full; the index's contribution is the trustworthy totals and
+  // payload bound resolved above.
+  WalkResult walk;
+  ISOBAR_RETURN_NOT_OK(WalkChunkRecords(container_bytes, header, counted,
+                                        payload_end, policy,
+                                        container::kUnknownCount, &walk,
+                                        &stats->parse_seconds));
+  if (walk.tail_lost && report != nullptr) report->truncated_tail = true;
+  if (!walk.tail_lost && walk.end_offset != payload_end) {
+    if (!salvage) {
+      return Status::Corruption("container: trailing bytes after last chunk");
+    }
+    if (report != nullptr && walk.end_offset < payload_end) {
+      report->trailing_bytes = payload_end - walk.end_offset;
+    }
+  }
+  const bool any_parse_damage =
+      walk.tail_lost ||
+      std::any_of(walk.plan.begin(), walk.plan.end(),
+                  [](const PlannedChunk& w) { return w.damaged; });
+  if (header.element_count != container::kUnknownCount && !any_parse_damage &&
+      walk.total_elements != header.element_count) {
+    return Status::Corruption("container: element count mismatch");
+  }
+  // Damage can only shrink coverage; size the planes to the declared total
+  // when one exists so holes stay holes instead of shifting planes.
+  const uint64_t total_elements =
+      header.element_count != container::kUnknownCount
+          ? header.element_count
+          : walk.total_elements;
+  uint64_t out_bytes = 0;
+  if (!container::CheckedMul64(total_elements, requested, &out_bytes) ||
+      out_bytes > std::numeric_limits<size_t>::max()) {
+    return Status::Corruption("columns: output size overflows");
+  }
+  Bytes out(static_cast<size_t>(out_bytes), 0);
+  stats->input_bytes = container_bytes.size();
+
+  // Plane p (the p-th requested column, ascending) occupies
+  // out[p * total_elements, (p + 1) * total_elements).
+  const size_t plane_stride = static_cast<size_t>(total_elements);
+  ScratchArena& arena = ScratchArena::ThreadLocal();
+  Bytes& decoded = arena.buffer(ScratchArena::kDecoded);
+  for (const PlannedChunk& work : walk.plan) {
+    const uint64_t n = work.header.element_count;
+    const size_t elem_off = static_cast<size_t>(work.element_offset);
+    if (report != nullptr) ++report->chunks_total;
+    if (work.element_offset + n > total_elements) {
+      // Over-declared records under salvage can run past the declared
+      // total; their planes stay zero rather than write out of bounds.
+      RecordSalvageEntry(report, work.index, work.byte_offset, n,
+                         ChunkFailureStage::kHeader, policy,
+                         work.damaged
+                             ? work.error
+                             : Status::Corruption(
+                                   "container: chunk extends past the "
+                                   "declared element count"),
+                         elem_off, 0);
+      continue;
+    }
+    // Failure helper: zero is already the content of every unwritten
+    // plane segment, so "losing" planes is pure bookkeeping.
+    auto fail_chunk = [&](ChunkFailureStage stage, const Status& error,
+                          uint64_t lost_mask) -> Status {
+      const uint64_t lost_bytes =
+          n * static_cast<uint64_t>(PopcountMask(lost_mask, width));
+      if (!salvage) {
+        RecordSalvageEntry(report, work.index, work.byte_offset, n, stage,
+                           policy, error, elem_off, 0);
+        CaptureFlightRecorder(report);
+        return error;
+      }
+      RecordSalvageEntry(report, work.index, work.byte_offset, n, stage,
+                         policy, error, elem_off, lost_bytes);
+      return Status::OK();
+    };
+    if (work.damaged) {
+      ISOBAR_RETURN_NOT_OK(
+          fail_chunk(ChunkFailureStage::kHeader, work.error, column_mask));
+      continue;
+    }
+    const bool undetermined =
+        (work.header.flags & container::kChunkUndetermined) != 0;
+    const uint64_t chunk_mask =
+        undetermined ? full_mask : work.header.compressible_mask;
+    if ((chunk_mask & ~full_mask) != 0) {
+      ISOBAR_RETURN_NOT_OK(fail_chunk(
+          ChunkFailureStage::kPayload,
+          AnnotateChunkError(
+              Status::Corruption(
+                  "container: chunk mask exceeds element width"),
+              work.index, work.byte_offset),
+          column_mask));
+      continue;
+    }
+    const uint64_t raw_mask = full_mask & ~chunk_mask;
+    const size_t raw_width = static_cast<size_t>(
+        PopcountMask(raw_mask, width));
+    const size_t selected = width - raw_width;
+    if (work.header.raw_size != n * raw_width) {
+      ISOBAR_RETURN_NOT_OK(fail_chunk(
+          ChunkFailureStage::kPayload,
+          AnnotateChunkError(
+              Status::Corruption("container: raw section size mismatch"),
+              work.index, work.byte_offset),
+          column_mask));
+      continue;
+    }
+    const uint64_t req_raw = column_mask & raw_mask;
+    const uint64_t req_solver = column_mask & chunk_mask;
+    uint64_t recovered_mask = 0;
+
+    // Noise planes come straight off the raw section — on v2 one memcpy
+    // per plane; v1 interleaved them, so the legacy layout pays a strided
+    // gather.
+    for (uint64_t rest = req_raw; rest != 0; rest &= rest - 1) {
+      const size_t c = static_cast<size_t>(__builtin_ctzll(rest));
+      const size_t r = ColumnRank(raw_mask, c);
+      const size_t p = ColumnRank(column_mask, c);
+      uint8_t* dest = out.data() + p * plane_stride + elem_off;
+      if (raw_linearization == Linearization::kColumn) {
+        std::memcpy(dest, work.raw.data() + r * n,
+                    static_cast<size_t>(n));
+      } else {
+        const uint8_t* src = work.raw.data() + r;
+        for (size_t i = 0; i < n; ++i) dest[i] = src[i * raw_width];
+      }
+      planes_raw.Increment();
+    }
+    recovered_mask |= req_raw;
+
+    // Solver-held planes need the chunk's packed section materialized
+    // once; stored-raw chunks skip the codec and project directly.
+    if (req_solver != 0) {
+      const size_t expected_packed = static_cast<size_t>(n) * selected;
+      ByteSpan packed;
+      Status solver_status;
+      if ((work.header.flags & container::kChunkStoredRaw) != 0) {
+        if (work.compressed.size() != expected_packed) {
+          solver_status = Status::Corruption(
+              "container: stored section size mismatch");
+        } else {
+          packed = work.compressed;
+        }
+      } else {
+        Stopwatch decode_timer;
+        decoded.clear();
+        solver_status =
+            codec->Decompress(work.compressed, expected_packed, &decoded);
+        stats->decode_seconds += decode_timer.ElapsedSeconds();
+        if (solver_status.ok() && decoded.size() != expected_packed) {
+          solver_status = Status::Corruption(
+              "container: packed section size mismatch");
+        }
+        packed = ByteSpan(decoded);
+      }
+      if (!solver_status.ok()) {
+        // The raw planes above already served; only the solver-held
+        // planes of this chunk are lost.
+        ISOBAR_RETURN_NOT_OK(fail_chunk(
+            ChunkFailureStage::kPayload,
+            AnnotateChunkError(solver_status, work.index, work.byte_offset),
+            req_solver));
+        if (report != nullptr && req_raw != 0) {
+          report->bytes_recovered +=
+              n * static_cast<uint64_t>(PopcountMask(req_raw, width));
+        }
+        continue;
+      }
+      for (uint64_t rest = req_solver; rest != 0; rest &= rest - 1) {
+        const size_t c = static_cast<size_t>(__builtin_ctzll(rest));
+        const size_t r = ColumnRank(chunk_mask, c);
+        const size_t p = ColumnRank(column_mask, c);
+        uint8_t* dest = out.data() + p * plane_stride + elem_off;
+        if (header.linearization == Linearization::kColumn) {
+          std::memcpy(dest, packed.data() + r * n, static_cast<size_t>(n));
+        } else {
+          const uint8_t* src = packed.data() + r;
+          for (size_t i = 0; i < n; ++i) dest[i] = src[i * selected];
+        }
+        if ((work.header.flags & container::kChunkStoredRaw) != 0) {
+          planes_raw.Increment();
+        } else {
+          planes_decoded.Increment();
+        }
+      }
+      recovered_mask |= req_solver;
+    }
+    ++stats->chunk_count;
+    if (report != nullptr) {
+      ++report->chunks_recovered;
+      report->bytes_recovered +=
+          n * static_cast<uint64_t>(PopcountMask(recovered_mask, width));
+    }
+  }
+  if (walk.tail_lost) {
+    RecordSalvageEntry(report, walk.tail_index, walk.tail_offset, 0,
+                       ChunkFailureStage::kHeader, policy, walk.tail_error,
+                       static_cast<size_t>(walk.total_elements),
+                       (total_elements - walk.total_elements) * requested);
+    CaptureFlightRecorder(report);
+  }
+  if (report != nullptr && !report->clean()) CaptureFlightRecorder(report);
+
+  stats->output_bytes = out.size();
+  stats->total_seconds = total_timer.ElapsedSeconds();
   return out;
 }
 

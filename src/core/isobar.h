@@ -30,6 +30,12 @@ struct CompressOptions {
   /// byte-identical for every thread count: chunks are encoded
   /// independently and assembled in chunk order.
   uint32_t num_threads = 0;
+
+  /// Container format version to emit. Version 2 (the default) appends a
+  /// chunk-index footer enabling range/column-addressable reads and
+  /// stores raw byte-planes contiguously; version 1 reproduces the legacy
+  /// footer-less layout for compatibility tests and old readers.
+  uint16_t container_version = container::kVersion;
 };
 
 /// Instrumentation of one Compress() run; everything the paper's tables
@@ -212,6 +218,42 @@ class IsobarCompressor {
   static Result<Bytes> Decompress(ByteSpan container_bytes,
                                   const DecompressOptions& options = {},
                                   DecompressionStats* stats = nullptr);
+
+  /// Decodes only elements [first_element, end_element) — the returned
+  /// buffer is (end - first) * width bytes. On a v2 container the chunk
+  /// index identifies the covering records directly; v1 containers (and
+  /// v2 containers whose footer is damaged, under a salvage policy) fall
+  /// back to a sequential chunk-header walk that stops once the range is
+  /// covered. Only covering chunks are payload-decoded. A damaged chunk
+  /// fails only the ranges it covers: under kFail the call errors, while
+  /// both salvage policies zero-fill the damaged chunk's intersection
+  /// with the range (skip-compaction would shift the range's element
+  /// addressing, so kSkip behaves like kZeroFill here) and document it in
+  /// the SalvageReport, whose output_offset fields are relative to the
+  /// range's first byte.
+  static Result<Bytes> DecompressRange(ByteSpan container_bytes,
+                                       uint64_t first_element,
+                                       uint64_t end_element,
+                                       const DecompressOptions& options = {},
+                                       DecompressionStats* stats = nullptr);
+
+  /// Materializes only the byte-columns set in `column_mask` (bit j =
+  /// column j, as in the analyzer's compressible mask). The returned
+  /// buffer holds the requested byte-planes concatenated in ascending
+  /// column order, each element_count bytes long. Planes the partitioner
+  /// stored raw are served straight from the container — on a v2
+  /// container with one memcpy per chunk and no solver call; solver-held
+  /// planes decode their chunk's packed section once and project the
+  /// requested columns out of it. Per-chunk CRCs cover the full
+  /// reconstructed chunk, so column reads cannot verify them;
+  /// options.verify_checksums is ignored here. Damage is contained per
+  /// chunk and per section: a failed solver decode zero-fills only the
+  /// solver-held planes of that chunk (raw planes still serve), and the
+  /// SalvageReport records output_offset as the chunk's first element.
+  static Result<Bytes> DecompressColumns(ByteSpan container_bytes,
+                                         uint64_t column_mask,
+                                         const DecompressOptions& options = {},
+                                         DecompressionStats* stats = nullptr);
 
  private:
   CompressOptions options_;

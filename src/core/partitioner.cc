@@ -8,7 +8,8 @@ namespace isobar {
 Status PartitionDataInto(ByteSpan data, size_t width,
                          uint64_t compressible_mask,
                          Linearization linearization, Bytes* compressible,
-                         Bytes* incompressible) {
+                         Bytes* incompressible,
+                         Linearization raw_linearization) {
   if (width == 0 || width > 64) {
     return Status::InvalidArgument("element width must be in [1, 64]");
   }
@@ -25,11 +26,12 @@ Status PartitionDataInto(ByteSpan data, size_t width,
 
   ISOBAR_RETURN_NOT_OK(GatherColumns(data, width, compressible_mask,
                                      linearization, compressible));
-  // Noise bytes keep element-major (row) order: they are never entropy
-  // coded, and row order makes the merge a cheap interleave.
+  // Noise bytes are never entropy coded; their layout is a container
+  // format decision the caller passes down (v1 row order for a cheap
+  // interleaving merge, v2 column order for memcpy-served byte-planes).
   ISOBAR_RETURN_NOT_OK(GatherColumns(data, width,
                                      full_mask & ~compressible_mask,
-                                     Linearization::kRow, incompressible));
+                                     raw_linearization, incompressible));
 
   static telemetry::Counter& calls = telemetry::GetCounter("partitioner.calls");
   static telemetry::Counter& compressible_bytes =

@@ -42,10 +42,15 @@ Status PartitionData(ByteSpan data, size_t width, uint64_t compressible_mask,
 /// pipeline passes ScratchArena slots here so the two streams reuse their
 /// steady-state allocations instead of growing a fresh Partition per
 /// chunk. Both buffers are overwritten (resized) in full.
+/// `raw_linearization` controls the layout of the incompressible stream:
+/// container v1 interleaves the noise bytes element-major (kRow), v2
+/// stores each noise byte-plane contiguously (kColumn) so column readers
+/// can serve a raw plane with one memcpy.
 Status PartitionDataInto(ByteSpan data, size_t width,
                          uint64_t compressible_mask,
                          Linearization linearization, Bytes* compressible,
-                         Bytes* incompressible);
+                         Bytes* incompressible,
+                         Linearization raw_linearization = Linearization::kRow);
 
 /// Inverse of PartitionData: interleaves the two streams back into the
 /// original element-major byte order. This is the paper's "merger" acting

@@ -1,7 +1,7 @@
 #include "core/stream.h"
 
 #include <algorithm>
-
+#include <limits>
 #include <string>
 
 #include "compressors/registry.h"
@@ -31,6 +31,11 @@ IsobarStreamWriter::IsobarStreamWriter(CompressOptions options, size_t width,
     init_status_ = Status::InvalidArgument("chunk_elements must be > 0");
   } else if (sink_ == nullptr) {
     init_status_ = Status::InvalidArgument("sink must not be null");
+  } else if (options_.container_version < container::kVersionV1 ||
+             options_.container_version > container::kVersion) {
+    init_status_ = Status::InvalidArgument("unsupported container_version");
+  } else {
+    init_status_ = ValidateAnalyzerOptions(options_.analyzer);
   }
   stats_.decision.preference = options_.eupa.preference;
   num_threads_ = ResolveNumThreads(options_.num_threads);
@@ -81,10 +86,12 @@ Status IsobarStreamWriter::EnsurePipeline(ByteSpan training_data) {
   ISOBAR_ASSIGN_OR_RETURN(codec_, GetCodec(decision_.codec));
 
   container::Header header;
+  header.version = options_.container_version;
   header.width = static_cast<uint8_t>(width_);
   header.codec = decision_.codec;
   header.linearization = decision_.linearization;
   header.preference = options_.eupa.preference;
+  // Safe cast: ValidateAnalyzerOptions bounded tau to a finite [1, 256].
   header.tau_centi =
       static_cast<uint16_t>(options_.analyzer.tau * 100.0 + 0.5);
   header.element_count = container::kUnknownCount;
@@ -99,16 +106,34 @@ Status IsobarStreamWriter::EnsurePipeline(ByteSpan training_data) {
   return Status::OK();
 }
 
+Status IsobarStreamWriter::IndexRecord(ByteSpan record) {
+  if (options_.container_version < container::kVersion) return Status::OK();
+  // The record bytes are about to leave through the sink, so the index
+  // entry is derived from the local buffer; only the record's stream
+  // position (= bytes written so far) comes from the writer's accounting.
+  ISOBAR_ASSIGN_OR_RETURN(container::IndexEntry entry,
+                          container::MakeIndexEntry(record, /*record_offset=*/0,
+                                                    elements_indexed_));
+  entry.record_offset = stats_.output_bytes;
+  elements_indexed_ += entry.element_count;
+  index_entries_.push_back(entry);
+  return Status::OK();
+}
+
 Status IsobarStreamWriter::EmitChunk(ByteSpan chunk) {
   ISOBAR_RETURN_NOT_OK(EnsurePipeline(chunk));
   const uint64_t ordinal = chunks_emitted_++;
+  const Linearization raw_linearization =
+      container::RawSectionLinearization(options_.container_version);
   if (num_threads_ <= 1) {
     const Analyzer analyzer(options_.analyzer);
     Bytes record;
     ISOBAR_RETURN_NOT_OK(EncodeChunk(analyzer, *codec_,
                                      decision_.linearization, chunk, width_,
                                      &record, &stats_, trace_id_, nullptr,
-                                     &ScratchArena::ThreadLocal(), ordinal));
+                                     &ScratchArena::ThreadLocal(), ordinal,
+                                     raw_linearization));
+    ISOBAR_RETURN_NOT_OK(IndexRecord(record));
     ISOBAR_RETURN_NOT_OK(sink_->Write(record));
     stats_.output_bytes += record.size();
     return Status::OK();
@@ -124,8 +149,9 @@ Status IsobarStreamWriter::EmitChunk(ByteSpan chunk) {
     pool_ = std::make_unique<ThreadPool>(num_threads_);
   }
   Bytes owned(chunk.begin(), chunk.end());
-  in_flight_.push_back(
-      pool_->Submit([this, owned = std::move(owned), ordinal]() -> EncodedRecord {
+  in_flight_.push_back(pool_->Submit(
+      [this, owned = std::move(owned), ordinal,
+       raw_linearization]() -> EncodedRecord {
         EncodedRecord encoded;
         const Analyzer analyzer(options_.analyzer);
         // ThreadLocal() inside the task: each pool worker reuses its own
@@ -134,7 +160,7 @@ Status IsobarStreamWriter::EmitChunk(ByteSpan chunk) {
             analyzer, *codec_, decision_.linearization, owned, width_,
             &encoded.record, &encoded.stats, trace_id_,
             trace_id_ != 0 ? &encoded.trace : nullptr,
-            &ScratchArena::ThreadLocal(), ordinal);
+            &ScratchArena::ThreadLocal(), ordinal, raw_linearization);
         return encoded;
       }));
   if (in_flight_.size() >= 2 * num_threads_) {
@@ -155,6 +181,7 @@ Status IsobarStreamWriter::DrainOne() {
   }
   ISOBAR_RETURN_NOT_OK(encoded.status);
   telemetry::ScopedSpan append_span("writer.append", trace_id_, ordinal + 1);
+  ISOBAR_RETURN_NOT_OK(IndexRecord(encoded.record));
   ISOBAR_RETURN_NOT_OK(sink_->Write(encoded.record));
   stats_.output_bytes += encoded.record.size();
   MergeChunkStats(encoded.stats, &stats_);
@@ -234,6 +261,15 @@ Status IsobarStreamWriter::Finish() {
   }
   if (pool_ != nullptr) pool_->PublishStats();
   pool_.reset();
+  if (options_.container_version >= container::kVersion) {
+    // Seal the stream with the chunk-index footer. The trailer carries the
+    // element total the sentinel header could not: a reader of the streamed
+    // container gets counted-container semantics from the footer alone.
+    Bytes footer;
+    container::AppendFooter(index_entries_, elements_indexed_, &footer);
+    ISOBAR_RETURN_NOT_OK(Poison(sink_->Write(footer)));
+    stats_.output_bytes += footer.size();
+  }
   finished_ = true;
   stats_.total_seconds += timer.ElapsedSeconds();
   telemetry::TraceRecorder::Global().EndPipeline(
@@ -248,6 +284,33 @@ IsobarStreamReader::IsobarStreamReader(ByteSpan container_bytes,
 Status IsobarStreamReader::Init() {
   ISOBAR_ASSIGN_OR_RETURN(header_, container::ParseHeader(container_, &offset_));
   ISOBAR_ASSIGN_OR_RETURN(codec_, GetCodec(header_.codec));
+  payload_end_ = container_.size();
+  if (header_.version >= container::kVersion) {
+    static telemetry::Counter& index_hits =
+        telemetry::GetCounter("pipeline.index_hits");
+    static telemetry::Counter& index_fallbacks =
+        telemetry::GetCounter("pipeline.index_fallbacks");
+    Result<container::ChunkIndex> parsed =
+        container::ParseFooter(container_, header_);
+    if (parsed.ok()) {
+      index_ = std::move(*parsed);
+      have_index_ = true;
+      payload_end_ = index_.payload_end;
+      // A streamed container's header holds sentinel totals; the validated
+      // footer supplies the real ones, so end-of-stream accounting (and
+      // SeekToChunk bounds) work as on a counted container.
+      header_.element_count = index_.element_count;
+      header_.chunk_count = index_.entries.size();
+      index_hits.Increment();
+    } else if (options_.on_chunk_error == ChunkErrorPolicy::kFail) {
+      return parsed.status();
+    } else {
+      // Damaged footer under a salvaging policy: fall back to the
+      // sequential record walk, which treats the footer bytes as whatever
+      // trailing damage they are.
+      index_fallbacks.Increment();
+    }
+  }
   initialized_ = true;
   return Status::OK();
 }
@@ -263,13 +326,15 @@ Result<bool> IsobarStreamReader::AtEnd() {
       options_.on_chunk_error != ChunkErrorPolicy::kFail;
   const bool counted = header_.chunk_count != container::kUnknownCount;
   const bool done = counted ? chunks_read_ == header_.chunk_count
-                            : offset_ == container_.size();
+                            : offset_ == payload_end_;
   if (!done) return false;
-  if (offset_ != container_.size()) {
+  if (offset_ != payload_end_) {
     if (!salvage) {
       return Status::Corruption("container: trailing bytes after last chunk");
     }
-    report_.trailing_bytes = container_.size() - offset_;
+    if (offset_ < payload_end_) {
+      report_.trailing_bytes = payload_end_ - offset_;
+    }
     return true;
   }
   // Skipped chunks contribute their (header-declared) element counts, so
@@ -346,7 +411,8 @@ Result<bool> IsobarStreamReader::NextChunk(Bytes* chunk) {
     const Status status = DecodeChunk(
         container_, &offset_, *codec_, header_.linearization, header_.width,
         header_.chunk_elements, options_.verify_checksums, chunk, nullptr,
-        index, &stage, &chunk_header, &ScratchArena::ThreadLocal());
+        index, &stage, &chunk_header, &ScratchArena::ThreadLocal(),
+        container::RawSectionLinearization(header_.version));
     if (status.ok()) {
       ++chunks_read_;
       ++report_.chunks_total;
@@ -388,8 +454,12 @@ Result<bool> IsobarStreamReader::SkipChunk() {
   offset_ += chunk_header.compressed_size + chunk_header.raw_size;
   // Validate before the declared count enters the running element total:
   // a corrupt skipped record must not make the end-of-stream accounting
-  // pass (or fail) arbitrarily.
-  if (chunk_header.element_count > header_.chunk_elements) {
+  // pass (or fail) arbitrarily. The second clause guards the running total
+  // itself against uint64 wrap-around — the same checked-arithmetic rule
+  // the batch decoder applies to element_count * width.
+  if (chunk_header.element_count > header_.chunk_elements ||
+      chunk_header.element_count >
+          std::numeric_limits<uint64_t>::max() - elements_read_) {
     const Status annotated = AnnotateChunkError(
         Status::Corruption("container: chunk claims more elements than the "
                            "header's chunk size"),
@@ -404,6 +474,54 @@ Result<bool> IsobarStreamReader::SkipChunk() {
   ++report_.chunks_total;
   elements_read_ += chunk_header.element_count;
   return true;
+}
+
+Status IsobarStreamReader::SeekToChunk(uint64_t n) {
+  if (!initialized_) {
+    return Status::InvalidArgument("reader not initialized (call Init)");
+  }
+  static telemetry::Counter& index_seeks =
+      telemetry::GetCounter("pipeline.index_seeks");
+  static telemetry::Counter& sequential_seeks =
+      telemetry::GetCounter("pipeline.sequential_seeks");
+  if (have_index_) {
+    if (n > index_.entries.size()) {
+      return Status::InvalidArgument("seek beyond the container's chunk count");
+    }
+    if (n == index_.entries.size()) {
+      offset_ = payload_end_;
+      elements_read_ = index_.element_count;
+    } else {
+      offset_ = static_cast<size_t>(index_.entries[n].record_offset);
+      elements_read_ = index_.entries[n].element_offset;
+    }
+    chunks_read_ = n;
+    tail_lost_ = false;
+    index_seeks.Increment();
+    return Status::OK();
+  }
+  if (header_.chunk_count != container::kUnknownCount &&
+      n > header_.chunk_count) {
+    return Status::InvalidArgument("seek beyond the container's chunk count");
+  }
+  if (n < chunks_read_) {
+    // Rewind to the first record. The salvage report restarts with the
+    // rewound position so records re-examined on the way forward are not
+    // double-counted.
+    offset_ = container::kHeaderSize;
+    chunks_read_ = 0;
+    elements_read_ = 0;
+    tail_lost_ = false;
+    report_ = SalvageReport{};
+  }
+  while (chunks_read_ < n) {
+    ISOBAR_ASSIGN_OR_RETURN(const bool advanced, SkipChunk());
+    if (!advanced) {
+      return Status::InvalidArgument("seek beyond the container's chunk count");
+    }
+  }
+  sequential_seeks.Increment();
+  return Status::OK();
 }
 
 }  // namespace isobar

@@ -75,6 +75,8 @@ class IsobarStreamWriter {
   };
 
   Status EnsurePipeline(ByteSpan training_data);
+  /// Appends `record`'s index entry (v2 containers) before it is sunk.
+  Status IndexRecord(ByteSpan record);
   Status EmitChunk(ByteSpan chunk);
   /// Waits for the oldest in-flight chunk and writes it out.
   Status DrainOne();
@@ -88,6 +90,13 @@ class IsobarStreamWriter {
   ByteSink* sink_;
   Status init_status_;
   Status error_status_;
+
+  // v2 chunk-index footer under construction: one entry per record retired
+  // to the sink, appended by Finish(). Derived from the same record bytes
+  // the batch compressor indexes, so batch and streamed containers of the
+  // same input carry byte-identical footers.
+  std::vector<container::IndexEntry> index_entries_;
+  uint64_t elements_indexed_ = 0;
 
   Bytes pending_;
   bool header_written_ = false;
@@ -141,8 +150,28 @@ class IsobarStreamReader {
   /// end-of-stream accounting.
   Result<bool> SkipChunk();
 
+  /// Positions the reader so the next NextChunk()/SkipChunk() call sees
+  /// chunk `n` (n == chunk count seeks to end-of-stream). On a v2
+  /// container with a valid index footer this is O(1): offset and element
+  /// accounting come straight from the index, and records seeked over are
+  /// not inspected (they do not enter the salvage report). Without an
+  /// index the reader rewinds (when seeking backwards) and SkipChunk()s
+  /// forward, sharing its per-record validation and salvage accounting —
+  /// after a backward rewind the salvage report restarts from the
+  /// beginning of the stream so records are not double-counted. Seeking
+  /// past the last chunk is InvalidArgument when the chunk count is
+  /// known (and detected at the stream's end otherwise).
+  Status SeekToChunk(uint64_t n);
+
+  /// True when Init() found (and validated) a v2 chunk-index footer:
+  /// SeekToChunk is O(1) and header() carries the footer's adopted totals.
+  bool has_chunk_index() const { return have_index_; }
+
   /// Chunks consumed so far (decoded, skipped, or salvaged).
   uint64_t chunks_read() const { return chunks_read_; }
+
+  /// Elements consumed (or accounted, for skipped/seeked records) so far.
+  uint64_t elements_read() const { return elements_read_; }
 
   /// Per-chunk salvage outcome accumulated so far. Only meaningful (i.e.
   /// possibly non-clean) when DecompressOptions::on_chunk_error is kSkip
@@ -169,6 +198,11 @@ class IsobarStreamReader {
   const Codec* codec_ = nullptr;
   bool initialized_ = false;
   size_t offset_ = 0;
+  /// Offset where chunk records end: the index footer's start on a v2
+  /// container, the container's end otherwise.
+  size_t payload_end_ = 0;
+  bool have_index_ = false;
+  container::ChunkIndex index_;
   uint64_t chunks_read_ = 0;
   uint64_t elements_read_ = 0;
   SalvageReport report_;

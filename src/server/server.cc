@@ -197,7 +197,13 @@ void IsobarServer::RunEventLoop() {
     fd_conn_ids.clear();
     fds.push_back({wake_read_fd_, POLLIN, 0});
     fd_conn_ids.push_back(0);
-    if (listen_fd_ >= 0 && connections_.size() < options_.max_connections) {
+    // While parked after fd exhaustion the listener is left out of the
+    // poll set: it would report readable forever without a free fd to
+    // accept into. The finite poll timeout below re-arms it.
+    const bool accept_parked =
+        std::chrono::steady_clock::now() < accept_backoff_until_;
+    if (listen_fd_ >= 0 && !accept_parked &&
+        connections_.size() < options_.max_connections) {
       fds.push_back({listen_fd_, POLLIN, 0});
       fd_conn_ids.push_back(0);
     }
@@ -219,7 +225,13 @@ void IsobarServer::RunEventLoop() {
       break;
     }
 
-    if (poll(fds.data(), fds.size(), -1) < 0) {
+    int poll_timeout_ms = -1;
+    if (accept_parked) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          accept_backoff_until_ - std::chrono::steady_clock::now());
+      poll_timeout_ms = std::max<int>(1, static_cast<int>(remaining.count()));
+    }
+    if (poll(fds.data(), fds.size(), poll_timeout_ms) < 0) {
       if (errno == EINTR) continue;
       break;
     }
@@ -275,7 +287,20 @@ void IsobarServer::AcceptConnections() {
   while (connections_.size() < options_.max_connections) {
     const int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      break;  // EAGAIN or transient error; poll again.
+      if (errno == EINTR) continue;  // a signal is not a failed client
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // backlog drained
+      accept_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Out of fds or kernel buffers: the pending connection stays in
+        // the backlog and the listener stays readable, so accepting again
+        // right away would busy-spin the IO thread. Park the listener and
+        // let established connections finish (and release fds) first.
+        accept_backoff_until_ =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(options_.accept_backoff_ms);
+      }
+      break;
     }
     if (!SetNonBlocking(fd).ok()) {
       close(fd);
@@ -536,6 +561,8 @@ std::string IsobarServer::BuildStatsJson() const {
       connections_active_.load(std::memory_order_relaxed));
   add("server.connections.dropped_protocol",
       connections_dropped_protocol_.load(std::memory_order_relaxed));
+  add("server.accept_errors",
+      accept_errors_.load(std::memory_order_relaxed));
   add("server.bytes_in", bytes_in_.load(std::memory_order_relaxed));
   add("server.bytes_out", bytes_out_.load(std::memory_order_relaxed));
   std::sort(snapshot.counters.begin(), snapshot.counters.end(),

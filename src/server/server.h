@@ -2,6 +2,7 @@
 #define ISOBAR_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -33,6 +34,13 @@ struct ServerOptions {
 
   /// Concurrent connections; excess accepts wait in the listen backlog.
   size_t max_connections = 64;
+
+  /// How long the listener is parked after accept() fails with fd or
+  /// buffer exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM). The listener stays
+  /// readable in that state, so re-polling it immediately would spin the
+  /// IO thread at 100% while starving the connections that could release
+  /// fds; backing off lets in-flight work finish first.
+  uint32_t accept_backoff_ms = 100;
 };
 
 /// isobard's engine: accepts pipelined compress/decompress jobs over a
@@ -114,6 +122,9 @@ class IsobarServer {
   std::map<uint64_t, std::shared_ptr<Connection>> connections_;
   uint64_t next_connection_id_ = 1;
   bool draining_ = false;
+  /// Listener parked until this instant after accept() hit resource
+  /// exhaustion (IO thread only).
+  std::chrono::steady_clock::time_point accept_backoff_until_{};
 
   std::atomic<bool> stop_requested_{false};
   /// Admitted jobs whose response frame is not yet enqueued; graceful
@@ -132,6 +143,7 @@ class IsobarServer {
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_active_{0};
   std::atomic<uint64_t> connections_dropped_protocol_{0};
+  std::atomic<uint64_t> accept_errors_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
 

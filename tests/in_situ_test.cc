@@ -122,7 +122,9 @@ TEST(InSituTest, EmptyDataset) {
       SimulateInSituWrite(WriteStrategy::kIsobar, Options(), {}, 8, 100.0);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->raw_bytes, 0u);
-  EXPECT_EQ(report->stored_bytes, container::kHeaderSize);
+  // An empty v2 stream is a bare header plus a zero-entry index footer.
+  EXPECT_EQ(report->stored_bytes,
+            container::kHeaderSize + container::FooterBytes(0));
 }
 
 TEST(InSituTest, InvalidArgumentsRejected) {

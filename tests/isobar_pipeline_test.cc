@@ -219,14 +219,17 @@ TEST_F(PipelineTelemetryTest, TraceByteTotalsMatchContainer) {
   EXPECT_EQ(p.chunks.size(), stats.chunk_count);
 
   // The acceptance invariant: per-chunk byte accounting reconstructs the
-  // container's totals exactly (chunk records plus the one header).
+  // container's totals exactly (chunk records plus the one header and the
+  // v2 chunk-index footer).
   uint64_t chunk_in = 0, chunk_out = 0;
   for (const telemetry::ChunkTrace& chunk : p.chunks) {
     chunk_in += chunk.input_bytes;
     chunk_out += chunk.output_bytes;
   }
   EXPECT_EQ(chunk_in, p.input_bytes);
-  EXPECT_EQ(chunk_out + p.header_bytes, p.output_bytes);
+  EXPECT_EQ(chunk_out + p.header_bytes +
+                container::FooterBytes(stats.chunk_count),
+            p.output_bytes);
 
   // EUPA evidence rides along on the trace.
   EXPECT_EQ(p.candidates.size(), stats.decision.evaluations.size());
@@ -248,10 +251,13 @@ class CorruptionTest : public ::testing::Test {
     auto compressed = compressor.Compress(original_, 8);
     ASSERT_TRUE(compressed.ok());
     container_ = std::move(*compressed);
+    // Chunk records end where the v2 index footer begins.
+    payload_end_ = container_.size() - container::FooterBytes(3);
   }
 
   Bytes original_;
   Bytes container_;
+  size_t payload_end_ = 0;
 };
 
 TEST_F(CorruptionTest, CleanContainerVerifies) {
@@ -273,9 +279,10 @@ TEST_F(CorruptionTest, FlippedPayloadByteIsDetected) {
 TEST_F(CorruptionTest, FlippedRawSectionByteCaughtByChecksum) {
   // The raw (incompressible) section is not protected by the solver's own
   // stream format, so only the CRC can catch damage there. The last bytes
-  // of the last chunk belong to the raw section.
+  // of the last chunk (just before the index footer) belong to the raw
+  // section.
   Bytes mutated = container_;
-  mutated[mutated.size() - 3] ^= 0x40;
+  mutated[payload_end_ - 3] ^= 0x40;
   auto restored = IsobarCompressor::Decompress(mutated);
   EXPECT_FALSE(restored.ok());
   EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
@@ -283,7 +290,7 @@ TEST_F(CorruptionTest, FlippedRawSectionByteCaughtByChecksum) {
 
 TEST_F(CorruptionTest, ChecksumVerificationCanBeDisabled) {
   Bytes mutated = container_;
-  mutated[mutated.size() - 3] ^= 0x40;
+  mutated[payload_end_ - 3] ^= 0x40;
   DecompressOptions options;
   options.verify_checksums = false;
   auto restored = IsobarCompressor::Decompress(mutated, options);

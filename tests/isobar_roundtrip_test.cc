@@ -202,8 +202,9 @@ TEST(IsobarRoundTripTest, PureNoiseWithStoredFallbackDoesNotExpandPayload) {
   CompressionStats stats;
   auto compressed = compressor.Compress(data, 8, &stats);
   ASSERT_TRUE(compressed.ok());
-  const size_t overhead =
-      container::kHeaderSize + stats.chunk_count * container::kChunkHeaderSize;
+  const size_t overhead = container::kHeaderSize +
+                          stats.chunk_count * container::kChunkHeaderSize +
+                          container::FooterBytes(stats.chunk_count);
   EXPECT_EQ(compressed->size(), data.size() + overhead);
   auto restored = IsobarCompressor::Decompress(*compressed);
   ASSERT_TRUE(restored.ok());

@@ -188,9 +188,11 @@ TEST_F(ParallelTelemetryTest, ChunkTracesReconstructContainerUnderConcurrency) {
     input_total += trace.chunks[i].input_bytes;
     output_total += trace.chunks[i].output_bytes;
   }
-  // Every container byte is accounted for: header + per-chunk records.
+  // Every container byte is accounted for: header + per-chunk records +
+  // the v2 chunk-index footer.
   EXPECT_EQ(input_total, dataset->data.size());
-  EXPECT_EQ(trace.header_bytes + output_total, container->size());
+  EXPECT_EQ(trace.header_bytes + output_total + container::FooterBytes(8),
+            container->size());
   EXPECT_EQ(trace.output_bytes, container->size());
 }
 
@@ -213,7 +215,8 @@ TEST_F(ParallelTelemetryTest, StreamWriterTracesStitchedInChunkOrder) {
     EXPECT_EQ(trace.chunks[i].chunk_index, i);
     output_total += trace.chunks[i].output_bytes;
   }
-  EXPECT_EQ(trace.header_bytes + output_total, buffer.size());
+  EXPECT_EQ(trace.header_bytes + output_total + container::FooterBytes(8),
+            buffer.size());
 }
 
 }  // namespace

@@ -41,13 +41,15 @@ struct RecordRange {
   size_t end_offset = 0;      // One past the record.
 };
 
-// Walks the container's (self-delimiting) records.
+// Walks the container's (self-delimiting) records. Bounded by the
+// header's chunk count: a v2 container's records are followed by the
+// chunk-index footer, not by end-of-buffer.
 std::vector<RecordRange> FindRecords(const Bytes& container) {
   std::vector<RecordRange> records;
   size_t offset = 0;
   auto header = container::ParseHeader(container, &offset);
   EXPECT_TRUE(header.ok());
-  while (offset < container.size()) {
+  while (records.size() < header->chunk_count && offset < container.size()) {
     RecordRange range;
     range.header_offset = offset;
     auto chunk = container::ParseChunkHeader(container, &offset);

@@ -186,7 +186,10 @@ TEST(StreamReaderTest, IteratesChunksOfStreamedContainer) {
 
   IsobarStreamReader reader(stream_out);
   ASSERT_TRUE(reader.Init().ok());
-  EXPECT_EQ(reader.header().element_count, container::kUnknownCount);
+  // The streamed header itself holds sentinels, but the v2 chunk-index
+  // footer supplies the real totals at Init().
+  EXPECT_TRUE(reader.has_chunk_index());
+  EXPECT_EQ(reader.header().element_count, 45000u);
 
   Bytes reassembled, chunk;
   for (;;) {
@@ -254,8 +257,14 @@ TEST(StreamReaderTest, DetectsCorruptChunkMidStream) {
   Bytes mutated = *compressed;
   // Damage the last chunk's payload. (Note: not every bit matters —
   // deflate's final-block padding bits are don't-care — so hit the last
-  // byte, which is always load-bearing: solver checksum or raw data.)
-  mutated[mutated.size() - 1] ^= 0x20;
+  // byte before the index footer, which is always load-bearing: solver
+  // checksum or raw data.)
+  size_t header_offset = 0;
+  auto header = container::ParseHeader(mutated, &header_offset);
+  ASSERT_TRUE(header.ok());
+  const size_t payload_end =
+      mutated.size() - container::FooterBytes(header->chunk_count);
+  mutated[payload_end - 1] ^= 0x20;
 
   IsobarStreamReader reader(mutated);
   ASSERT_TRUE(reader.Init().ok());
