@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "compressors/registry.h"
+#include "compressors/tans.h"
 #include "core/analyzer.h"
 #include "core/eupa_selector.h"
 #include "core/isobar.h"
@@ -136,7 +137,8 @@ BENCHMARK(BM_SolverCompress)
     ->Arg(static_cast<int>(CodecId::kBzip2))
     ->Arg(static_cast<int>(CodecId::kRle))
     ->Arg(static_cast<int>(CodecId::kLzss))
-    ->Arg(static_cast<int>(CodecId::kHuffman));
+    ->Arg(static_cast<int>(CodecId::kHuffman))
+    ->Arg(static_cast<int>(CodecId::kLzans));
 
 void BM_SolverDecompress(benchmark::State& state) {
   const Dataset dataset = HardDataset(131072);
@@ -155,7 +157,8 @@ void BM_SolverDecompress(benchmark::State& state) {
 BENCHMARK(BM_SolverDecompress)
     ->Arg(static_cast<int>(CodecId::kZlib))
     ->Arg(static_cast<int>(CodecId::kBzip2))
-    ->Arg(static_cast<int>(CodecId::kHuffman));
+    ->Arg(static_cast<int>(CodecId::kHuffman))
+    ->Arg(static_cast<int>(CodecId::kLzans));
 
 // Compressible solver input: the structured, repetitive byte-planes the
 // partitioner actually hands the homegrown solvers (noise columns are
@@ -219,6 +222,89 @@ void BM_LzssDecode(benchmark::State& state) {
                           static_cast<int64_t>(data.size()));
 }
 BENCHMARK(BM_LzssDecode);
+
+void BM_LzAnsCompress(benchmark::State& state) {
+  const Bytes data = CompressibleBytes(131072);
+  auto codec = GetCodec(CodecId::kLzans);
+  Bytes out;
+  for (auto _ : state) {
+    Status status = (*codec)->Compress(data, &out);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+  state.SetLabel("ratio=" + std::to_string(static_cast<double>(data.size()) /
+                                           static_cast<double>(out.size())));
+}
+BENCHMARK(BM_LzAnsCompress);
+
+void BM_LzAnsDecompress(benchmark::State& state) {
+  const Bytes data = CompressibleBytes(131072);
+  auto codec = GetCodec(CodecId::kLzans);
+  Bytes compressed, out;
+  (void)(*codec)->Compress(data, &compressed);
+  for (auto _ : state) {
+    Status status = (*codec)->Decompress(compressed, data.size(), &out);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_LzAnsDecompress);
+
+// The tANS entropy-coder core in isolation (no LZ parse): the 4-way
+// interleaved stream over the literal distribution of the compressible
+// corpus, same shape the lzans literal section uses.
+tans::NormalizedHistogram TansLiteralHistogram(const Bytes& data) {
+  std::array<uint64_t, 256> counts{};
+  for (uint8_t b : data) ++counts[b];
+  size_t alphabet = 0;
+  for (size_t s = 0; s < 256; ++s) {
+    if (counts[s] != 0) alphabet = s + 1;
+  }
+  tans::NormalizedHistogram hist;
+  Status st = tans::Normalize(counts.data(), alphabet, 11, &hist);
+  if (!st.ok()) std::abort();
+  return hist;
+}
+
+void BM_TansEncode(benchmark::State& state) {
+  const Bytes data = CompressibleBytes(131072);
+  const tans::NormalizedHistogram hist = TansLiteralHistogram(data);
+  tans::EncodeTable table;
+  if (!table.Init(hist).ok()) std::abort();
+  Bytes stream;
+  for (auto _ : state) {
+    Status status =
+        tans::EncodeInterleaved(data.data(), data.size(), table, 4, &stream);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_TansEncode);
+
+void BM_TansDecode(benchmark::State& state) {
+  const Bytes data = CompressibleBytes(131072);
+  const tans::NormalizedHistogram hist = TansLiteralHistogram(data);
+  tans::EncodeTable enc;
+  tans::DecodeTable dec;
+  if (!enc.Init(hist).ok() || !dec.Init(hist).ok()) std::abort();
+  Bytes stream;
+  if (!tans::EncodeInterleaved(data.data(), data.size(), enc, 4, &stream)
+           .ok()) {
+    std::abort();
+  }
+  Bytes out(data.size());
+  for (auto _ : state) {
+    Status status =
+        tans::DecodeInterleaved(stream, dec, 4, data.size(), out.data());
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_TansDecode);
 
 // EUPA selection cost on a mixed dataset (6 noise + 2 structured byte
 // columns): arg 0 runs the estimator-gated default, arg 1 the exhaustive

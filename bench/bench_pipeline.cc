@@ -64,6 +64,7 @@ constexpr Solver kSolvers[] = {
     {"bzip2", Preference::kSpeed, CodecId::kBzip2},
     {"lzss", Preference::kSpeed, CodecId::kLzss},
     {"huffman", Preference::kSpeed, CodecId::kHuffman},
+    {"lzans", Preference::kSpeed, CodecId::kLzans},
 };
 
 CompressOptions MakeOptions(const Solver& solver, uint32_t threads) {

@@ -3,7 +3,7 @@
 // elements into a self-describing .isobar container and back.
 //
 //   ./isobar_cli c <input> <output.isobar> [--width=8] [--pref=speed|ratio]
-//                 [--codec=zlib|bzip2|rle|lzss] [--lin=row|column]
+//                 [--codec=<name>] [--lin=row|column]
 //                 [--tau=1.42] [--chunk=375000] [--threads=N] [--verbose]
 //                 [--metrics-json=<path>] [--metrics-csv=<path>]
 //                 [--trace=<path>] [--trace-timeline=<path>]
@@ -185,7 +185,7 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s c <input> <output.isobar> [--width=8] [--pref=speed|ratio]\n"
-      "          [--codec=zlib|bzip2|rle|lzss] [--lin=row|column]\n"
+      "          [--codec=%s] [--lin=row|column]\n"
       "          [--tau=1.42] [--chunk=375000] [--threads=N] [--verbose]\n"
       "          [--metrics-json=<path>] [--metrics-csv=<path>]\n"
       "          [--trace=<path>] [--trace-timeline=<path>]\n"
@@ -214,7 +214,7 @@ int Usage(const char* argv0) {
       "concatenated in ascending column order.\n"
       "       %s info <input.isobar>\n"
       "       %s verify <input.isobar>\n",
-      argv0, argv0, argv0, argv0);
+      argv0, CodecNameList().c_str(), argv0, argv0, argv0);
   return 2;
 }
 

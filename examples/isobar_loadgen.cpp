@@ -14,8 +14,8 @@
 //   --mix=F             compress fraction in [0,1] (default 0.7)
 //   --elements=N        elements per payload (default 4096)
 //   --width=N           element width in bytes (default 8)
-//   --codec=NAME        forced solver (zlib|bzip2|rle|lzss|huffman|bwt|
-//                       stored|auto; default zlib — auto disables --verify)
+//   --codec=NAME        forced solver (any registered codec name, or auto;
+//                       default zlib — auto disables --verify)
 //   --no-verify         skip byte-identity checks against the library
 //   --seed=N            workload seed (default 42)
 //   --timeout=SECS      per-receive timeout (default 30)
@@ -50,7 +50,9 @@ int Usage() {
       "  [--connections=N] [--pipeline=N] [--duration=SECS] [--rate=RPS]\n"
       "  [--mix=F] [--elements=N] [--width=N] [--codec=NAME] [--no-verify]\n"
       "  [--seed=N] [--timeout=SECS] [--json=PATH] [--stats-out=PATH]\n"
-      "  [--shutdown] [--quiet]\n");
+      "  [--shutdown] [--quiet]\n"
+      "--codec accepts %s, or auto.\n",
+      isobar::CodecNameList().c_str());
   return 2;
 }
 

@@ -1,7 +1,8 @@
-// Fuzz entry point for the solver codecs' hot paths (Huffman, LZSS, RLE):
-// the table-driven Huffman decoder and the memcpy-run LZSS copy-out are
-// exactly the kind of code where an off-by-one means a heap overflow, so
-// they get their own target on top of the container-level fuzzer.
+// Fuzz entry point for the solver codecs' hot paths (Huffman, LZSS, RLE,
+// LZ+ANS): the table-driven Huffman decoder, the memcpy-run LZ copy-outs
+// and the tANS bit-stream reader are exactly the kind of code where an
+// off-by-one means a heap overflow, so they get their own target on top
+// of the container-level fuzzer.
 //
 // The first input byte selects codec and mode; the rest is payload.
 //  - decode mode: the payload is treated as a compressed stream and
@@ -29,7 +30,8 @@ const isobar::Codec* SelectCodec(uint8_t selector) {
   using isobar::CodecId;
   const CodecId id = selector == 0   ? CodecId::kHuffman
                      : selector == 1 ? CodecId::kLzss
-                                     : CodecId::kRle;
+                     : selector == 2 ? CodecId::kRle
+                                     : CodecId::kLzans;
   auto codec = isobar::GetCodec(id);
   return codec.ok() ? *codec : nullptr;
 }

@@ -59,10 +59,10 @@ Result<Bytes> StreamedContainer() {
   return container;
 }
 
-// Codec-stream seeds for codec_roundtrip_fuzzer: real Huffman/LZSS/RLE
-// streams prefixed with the fuzzer's selector byte (codec in the low two
-// bits, decode mode), so exploration starts from well-formed bitstreams
-// instead of rediscovering the framing.
+// Codec-stream seeds for codec_roundtrip_fuzzer: real Huffman/LZSS/RLE/
+// LZ+ANS streams prefixed with the fuzzer's selector byte (codec in the
+// low two bits, decode mode), so exploration starts from well-formed
+// bitstreams instead of rediscovering the framing.
 Status WriteCodecSeeds(const std::filesystem::path& dir) {
   ISOBAR_ASSIGN_OR_RETURN(const DatasetSpec* spec,
                           FindDatasetSpec("msg_sppm"));
@@ -75,7 +75,8 @@ Status WriteCodecSeeds(const std::filesystem::path& dir) {
   for (const CodecSeed& seed :
        {CodecSeed{CodecId::kHuffman, 0, "huffman-stream.bin"},
         CodecSeed{CodecId::kLzss, 1, "lzss-stream.bin"},
-        CodecSeed{CodecId::kRle, 2, "rle-stream.bin"}}) {
+        CodecSeed{CodecId::kRle, 2, "rle-stream.bin"},
+        CodecSeed{CodecId::kLzans, 3, "lzans-stream.bin"}}) {
     ISOBAR_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(seed.id));
     Bytes stream(1, seed.selector);
     Bytes compressed;
@@ -84,6 +85,41 @@ Status WriteCodecSeeds(const std::filesystem::path& dir) {
     if (!WriteFile(dir, seed.name, stream)) {
       return Status::IOError("cannot write codec seed");
     }
+  }
+
+  // Damaged lzans decode seeds: a corrupt tANS table header (counts no
+  // longer sum to the table size), a truncated ANS bit-stream, and an
+  // impossible match offset (block type smashed onto garbage). All must
+  // fail closed in the fuzzer's decode mode; none should ever overread.
+  ISOBAR_ASSIGN_OR_RETURN(const Codec* lzans, GetCodec(CodecId::kLzans));
+  Bytes lz_stream;
+  ISOBAR_RETURN_NOT_OK(lzans->Compress(dataset.bytes(), &lz_stream));
+
+  Bytes table_smash(1, 3);  // selector 3, decode mode
+  table_smash.insert(table_smash.end(), lz_stream.begin(), lz_stream.end());
+  // Byte 0 is the block type, 1-4 raw_size; histogram headers follow the
+  // literal section, so smear a window in the middle of the payload.
+  SmashBytes(&table_smash, 1 + lz_stream.size() / 2, 6, 0xFF);
+  if (!WriteFile(dir, "lzans-table-smash.bin", table_smash)) {
+    return Status::IOError("cannot write codec seed");
+  }
+
+  Bytes lz_truncated(1, 3);
+  lz_truncated.insert(lz_truncated.end(), lz_stream.begin(),
+                      lz_stream.begin() + lz_stream.size() / 2);
+  if (!WriteFile(dir, "lzans-truncated.bin", lz_truncated)) {
+    return Status::IOError("cannot write codec seed");
+  }
+
+  Bytes lz_offsets(1, 3);
+  lz_offsets.insert(lz_offsets.end(), lz_stream.begin(), lz_stream.end());
+  // Flipping high bits late in the stream turns small offsets into
+  // references before the start of output — the decoder must reject them.
+  for (size_t i = lz_offsets.size() * 3 / 4; i < lz_offsets.size(); i += 7) {
+    lz_offsets[i] ^= 0xE0;
+  }
+  if (!WriteFile(dir, "lzans-bad-offsets.bin", lz_offsets)) {
+    return Status::IOError("cannot write codec seed");
   }
   return Status::OK();
 }
@@ -149,7 +185,7 @@ int Run(const std::filesystem::path& dir) {
     return 1;
   }
 
-  if (ok) std::cout << "wrote 12 corpus seeds to " << dir << "\n";
+  if (ok) std::cout << "wrote 16 corpus seeds to " << dir << "\n";
   return ok ? 0 : 1;
 }
 

@@ -12,6 +12,10 @@
 #   scripts/ci.sh scalar           # Release suite with ISOBAR_SIMD=scalar,
 #                                  # pinning the kernel dispatch to the
 #                                  # reference tier
+#   scripts/ci.sh lzans            # Release suite with
+#                                  # ISOBAR_FORCE_CODEC=lzans: every
+#                                  # pipeline-level test runs with the
+#                                  # LZ77+tANS solver forced
 #   scripts/ci.sh notelemetry      # Release suite with telemetry compiled
 #                                  # out (-DISOBAR_TELEMETRY=OFF): the
 #                                  # instrumentation must vanish cleanly
@@ -67,6 +71,12 @@ run_config() {
     ISOBAR_SIMD=scalar \
       ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
         ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
+  elif [ "${name}" = "lzans" ]; then
+    # Force the LZ77+tANS solver for every pipeline that doesn't pick a
+    # codec explicitly: the whole suite must round-trip through it.
+    ISOBAR_FORCE_CODEC=lzans \
+      ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+        ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
   else
     ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
       ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
@@ -108,10 +118,24 @@ ubsan() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DISOBAR_SANITIZE=undefined \
     -DISOBAR_BUILD_BENCHMARKS=OFF
+  # Second pass with the LZ77+tANS solver forced: the tANS bit readers
+  # and state machines are exactly where a shift-width or overflow bug
+  # would hide, so the whole suite runs through them under UBSan too.
+  echo "=== [ubsan] lzans-forced pass ==="
+  ISOBAR_FORCE_CODEC=lzans \
+    ctest --test-dir build-ci-ubsan --output-on-failure -j "${JOBS}" \
+      ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
+  echo "=== [ubsan] lzans-forced pass OK ==="
 }
 
 scalar() {
   run_config scalar \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DISOBAR_WERROR=ON
+}
+
+lzans() {
+  run_config lzans \
     -DCMAKE_BUILD_TYPE=Release \
     -DISOBAR_WERROR=ON
 }
@@ -146,7 +170,7 @@ bench() {
   cmake --build "${dir}" -j "${JOBS}" --target bench_micro bench_pipeline
   echo "=== [${name}] run ==="
   "${dir}/bench/bench_micro" \
-    --benchmark_filter='Kernel|Crc32c|BwtCompressRepetitive|^BM_HistogramUpdate$|^BM_GatherColumns|^BM_ScatterColumns|^BM_HuffmanEncode$|^BM_HuffmanDecode$|^BM_LzssEncode$|^BM_LzssDecode$|^BM_MtfEncode$|^BM_RunScan$' \
+    --benchmark_filter='Kernel|Crc32c|BwtCompressRepetitive|^BM_HistogramUpdate$|^BM_GatherColumns|^BM_ScatterColumns|^BM_HuffmanEncode$|^BM_HuffmanDecode$|^BM_LzssEncode$|^BM_LzssDecode$|^BM_LzAnsCompress$|^BM_LzAnsDecompress$|^BM_TansEncode$|^BM_TansDecode$|^BM_MtfEncode$|^BM_RunScan$' \
     --benchmark_min_time="${ISOBAR_BENCH_MIN_TIME:-0.1}" \
     --benchmark_format=json > "${out}"
   echo "=== [${name}] compare ==="
@@ -298,7 +322,7 @@ fuzz() {
 
 for arg in "$@"; do
   case "${arg}" in
-    release|asan|tsan|scalar|notelemetry|ubsan|fuzz|bench|server) CONFIGS+=("${arg}") ;;
+    release|asan|tsan|scalar|lzans|notelemetry|ubsan|fuzz|bench|server) CONFIGS+=("${arg}") ;;
     *) CTEST_ARGS+=("${arg}") ;;
   esac
 done

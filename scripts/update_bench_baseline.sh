@@ -13,7 +13,7 @@ MIN_TIME="${ISOBAR_BENCH_MIN_TIME:-0.5}"
 # The baseline tracks the per-kernel rows (every dispatch tier), the CRC
 # paths, the BWT worst-case block, the solver codec hot paths, and the
 # end-to-end stage benchmarks the kernels feed.
-FILTER='Kernel|Crc32c|BwtCompressRepetitive|^BM_HistogramUpdate$|^BM_GatherColumns|^BM_ScatterColumns|^BM_HuffmanEncode$|^BM_HuffmanDecode$|^BM_LzssEncode$|^BM_LzssDecode$|^BM_MtfEncode$|^BM_RunScan$'
+FILTER='Kernel|Crc32c|BwtCompressRepetitive|^BM_HistogramUpdate$|^BM_GatherColumns|^BM_ScatterColumns|^BM_HuffmanEncode$|^BM_HuffmanDecode$|^BM_LzssEncode$|^BM_LzssDecode$|^BM_LzAnsCompress$|^BM_LzAnsDecompress$|^BM_TansEncode$|^BM_TansDecode$|^BM_MtfEncode$|^BM_RunScan$'
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_micro bench_pipeline

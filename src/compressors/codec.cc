@@ -18,8 +18,14 @@ std::string_view CodecIdToString(CodecId id) {
       return "huffman";
     case CodecId::kBwt:
       return "bwt";
+    case CodecId::kLzans:
+      return "lzans";
   }
   return "unknown";
+}
+
+bool IsKnownCodecId(uint8_t raw) {
+  return CodecIdToString(static_cast<CodecId>(raw)) != "unknown";
 }
 
 Status StoredCodec::Compress(ByteSpan input, Bytes* out) const {

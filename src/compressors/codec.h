@@ -20,10 +20,16 @@ enum class CodecId : uint8_t {
   kLzss = 4,    ///< Homegrown LZSS (4 KiB window) codec (ablation/testing).
   kHuffman = 5, ///< Homegrown order-0 canonical Huffman codec.
   kBwt = 6,     ///< Homegrown block-sorting (BWT+MTF+RLE+Huffman) codec.
+  kLzans = 7,   ///< Homegrown LZ77+tANS (128 KiB window) zstd-class codec.
 };
 
 /// Returns the canonical name of a codec id ("zlib", "bzip2", ...).
 std::string_view CodecIdToString(CodecId id);
+
+/// True when `raw` is the wire value of a defined CodecId. The single
+/// source of truth for validating codec bytes read from containers or the
+/// server protocol; grows automatically with the enum via CodecIdToString.
+bool IsKnownCodecId(uint8_t raw);
 
 /// Abstract general-purpose lossless byte compressor.
 ///

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <array>
-#include <bit>
 #include <cstring>
 #include <vector>
+
+#include "compressors/match_finder.h"
 
 namespace isobar {
 namespace {
@@ -12,7 +13,7 @@ namespace {
 constexpr size_t kWindow = 4096;
 constexpr size_t kMinMatch = 3;
 constexpr size_t kMaxMatch = 18;
-constexpr size_t kHashBits = 13;
+constexpr uint32_t kHashBits = 13;
 constexpr size_t kHashSize = 1u << kHashBits;
 constexpr int kMaxChain = 32;
 
@@ -20,33 +21,6 @@ constexpr int kMaxChain = 32;
 // next position only runs for shorter ones, where a one-byte deferral can
 // still pay for itself.
 constexpr size_t kLazyThreshold = 16;
-
-uint32_t Hash3(const uint8_t* p) {
-  uint32_t v = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
-               static_cast<uint32_t>(p[2]) << 16;
-  return (v * 2654435761u) >> (32 - kHashBits);
-}
-
-// Length of the common prefix of a and b, at most `limit`, compared a
-// word at a time.
-size_t MatchLength(const uint8_t* a, const uint8_t* b, size_t limit) {
-  size_t len = 0;
-  if constexpr (std::endian::native == std::endian::little) {
-    while (len + 8 <= limit) {
-      uint64_t va;
-      uint64_t vb;
-      std::memcpy(&va, a + len, 8);
-      std::memcpy(&vb, b + len, 8);
-      const uint64_t diff = va ^ vb;
-      if (diff != 0) {
-        return len + (static_cast<size_t>(std::countr_zero(diff)) >> 3);
-      }
-      len += 8;
-    }
-  }
-  while (len < limit && a[len] == b[len]) ++len;
-  return len;
-}
 
 struct Match {
   size_t len = 0;
@@ -61,7 +35,7 @@ Match FindMatch(ByteSpan input, size_t i, const std::vector<uint32_t>& head,
   if (i + kMinMatch > input.size()) return best;
   const size_t limit = std::min(kMaxMatch, input.size() - i);
   const uint8_t* const data = input.data();
-  uint32_t candidate = head[Hash3(data + i)];
+  uint32_t candidate = head[lz::Hash3(data + i, kHashBits)];
   int chain = 0;
   while (candidate != 0 && chain++ < kMaxChain) {
     const size_t pos = candidate - 1;
@@ -69,7 +43,7 @@ Match FindMatch(ByteSpan input, size_t i, const std::vector<uint32_t>& head,
     // Cheap reject: a strictly longer match must agree one byte past the
     // current best, so most chain entries never reach the full compare.
     if (best.len == 0 || data[pos + best.len] == data[i + best.len]) {
-      const size_t len = MatchLength(data + pos, data + i, limit);
+      const size_t len = lz::MatchLength(data + pos, data + i, limit);
       if (len > best.len) {
         best.len = len;
         best.dist = i - pos;
@@ -110,7 +84,7 @@ Status LzssCodec::Compress(ByteSpan input, Bytes* out) const {
 
   auto insert_pos = [&](size_t pos) {
     if (pos + kMinMatch > input.size()) return;
-    uint32_t h = Hash3(input.data() + pos);
+    uint32_t h = lz::Hash3(input.data() + pos, kHashBits);
     prev[pos % kWindow] = head[h];
     head[h] = static_cast<uint32_t>(pos + 1);
   };

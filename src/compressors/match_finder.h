@@ -1,0 +1,59 @@
+#ifndef ISOBAR_COMPRESSORS_MATCH_FINDER_H_
+#define ISOBAR_COMPRESSORS_MATCH_FINDER_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace isobar::lz {
+
+/// Shared LZ match machinery used by the LZSS and lzans parsers: the
+/// multiplicative window hashes and the word-at-a-time common-prefix
+/// compare from the PR 5 LZSS rewrite. Header-only so both codecs inline
+/// the hot paths.
+
+/// Multiplicative hash of the 3 bytes at `p`, folded to `bits` bits.
+inline uint32_t Hash3(const uint8_t* p, uint32_t bits) {
+  const uint32_t v = static_cast<uint32_t>(p[0]) |
+                     static_cast<uint32_t>(p[1]) << 8 |
+                     static_cast<uint32_t>(p[2]) << 16;
+  return (v * 2654435761u) >> (32 - bits);
+}
+
+/// Multiplicative hash of the 4 bytes at `p`, folded to `bits` bits. The
+/// wider window halves chain pollution on low-entropy byte-planes, where
+/// 3-byte windows collide constantly.
+inline uint32_t Hash4(const uint8_t* p, uint32_t bits) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap32(v);
+  }
+  return (v * 2654435761u) >> (32 - bits);
+}
+
+/// Length of the common prefix of `a` and `b`, at most `limit`, compared
+/// 8 bytes at a time: one XOR + countr_zero locates the first differing
+/// byte without a per-byte branch.
+inline size_t MatchLength(const uint8_t* a, const uint8_t* b, size_t limit) {
+  size_t len = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len + 8 <= limit) {
+      uint64_t va;
+      uint64_t vb;
+      std::memcpy(&va, a + len, 8);
+      std::memcpy(&vb, b + len, 8);
+      const uint64_t diff = va ^ vb;
+      if (diff != 0) {
+        return len + (static_cast<size_t>(std::countr_zero(diff)) >> 3);
+      }
+      len += 8;
+    }
+  }
+  while (len < limit && a[len] == b[len]) ++len;
+  return len;
+}
+
+}  // namespace isobar::lz
+
+#endif  // ISOBAR_COMPRESSORS_MATCH_FINDER_H_

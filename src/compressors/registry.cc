@@ -5,6 +5,7 @@
 #include "compressors/bwt_codec.h"
 #include "compressors/bzip2_codec.h"
 #include "compressors/huffman_codec.h"
+#include "compressors/lzans_codec.h"
 #include "compressors/lzss_codec.h"
 #include "compressors/rle_codec.h"
 #include "compressors/zlib_codec.h"
@@ -136,6 +137,8 @@ Result<const Codec*> GetCodec(CodecId id) {
       return Instrumented<HuffmanCodec>();
     case CodecId::kBwt:
       return Instrumented<BwtCodec>();
+    case CodecId::kLzans:
+      return Instrumented<LzAnsCodec>();
   }
   return Status::NotFound("unknown codec id " +
                           std::to_string(static_cast<int>(id)));
@@ -149,8 +152,18 @@ Result<const Codec*> GetCodecByName(std::string_view name) {
 }
 
 std::vector<CodecId> AllCodecIds() {
-  return {CodecId::kStored,  CodecId::kZlib, CodecId::kBzip2, CodecId::kRle,
-          CodecId::kLzss,    CodecId::kHuffman, CodecId::kBwt};
+  return {CodecId::kStored, CodecId::kZlib,    CodecId::kBzip2,
+          CodecId::kRle,    CodecId::kLzss,    CodecId::kHuffman,
+          CodecId::kBwt,    CodecId::kLzans};
+}
+
+std::string CodecNameList(std::string_view sep) {
+  std::string out;
+  for (CodecId id : AllCodecIds()) {
+    if (!out.empty()) out += sep;
+    out += CodecIdToString(id);
+  }
+  return out;
 }
 
 }  // namespace isobar

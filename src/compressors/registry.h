@@ -1,6 +1,7 @@
 #ifndef ISOBAR_COMPRESSORS_REGISTRY_H_
 #define ISOBAR_COMPRESSORS_REGISTRY_H_
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -20,6 +21,11 @@ Result<const Codec*> GetCodecByName(std::string_view name);
 
 /// All registered codec ids, in stable order.
 std::vector<CodecId> AllCodecIds();
+
+/// The registered codec names joined with `sep` ("stored|zlib|...|lzans"):
+/// the single source of truth for CLI usage strings and option docs, so
+/// adding a codec never leaves a stale hardcoded list behind.
+std::string CodecNameList(std::string_view sep = "|");
 
 }  // namespace isobar
 

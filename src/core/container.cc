@@ -78,7 +78,7 @@ Result<Header> ParseHeader(ByteSpan buffer, size_t* offset) {
     return Status::Corruption("container: element width out of range");
   }
   header.codec = static_cast<CodecId>(p[9]);
-  if (p[9] > static_cast<uint8_t>(CodecId::kBwt)) {
+  if (!IsKnownCodecId(p[9])) {
     return Status::Corruption("container: unknown codec id");
   }
   if (p[10] > 1) {

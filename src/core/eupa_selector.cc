@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 
 #include "compressors/registry.h"
@@ -110,28 +111,49 @@ double PredictRatio(CodecId codec, const SampleSignals& s) {
                       coverage_ratio(s.run_fraction, 8.5));
     case CodecId::kZlib:
       // Dictionary + entropy stages multiply, so bound by the product of
-      // both optimistic factors (with margin to spare for the 32 KiB
-      // window and length codes the probes cannot see).
-      return std::min(400.0, 1.25 * s.entropy_ratio *
-                                 std::max(coverage_ratio(s.match_fraction,
-                                                         150.0),
-                                          coverage_ratio(s.run_fraction,
-                                                         150.0)));
+      // both optimistic factors. The saturation value must be deflate's
+      // own format ceiling (~1032:1 — 258-byte matches at a couple of
+      // bits each): when every probe hits, the fractions carry no upper
+      // bound at all, and any tighter clamp would prune trials the codec
+      // can win outright.
+      return std::min(1032.0, 1.25 * s.entropy_ratio *
+                                  std::max(coverage_ratio(s.match_fraction,
+                                                          1032.0),
+                                           coverage_ratio(s.run_fraction,
+                                                          1032.0)));
+    case CodecId::kLzans:
+      // LZ77 over a 128 KiB window (4x zlib's) + tANS entropy stage: its
+      // long-range matches reach block-sort-class ratios on structure
+      // the 3-byte probes cannot see (e.g. num_plasma), so it shares the
+      // bzip2/BWT bound — anything tighter starves the trial it would win.
     case CodecId::kBzip2:
     case CodecId::kBwt:
-      // Block sorting can beat LZ on high-order structure the probes
-      // cannot see; inflate the same product bound further.
-      return std::min(500.0, 1.4 * s.entropy_ratio *
-                                 std::max(coverage_ratio(s.match_fraction,
-                                                         250.0),
-                                          coverage_ratio(s.run_fraction,
-                                                         250.0)));
+      // Block sorting (and lzans's RLE block escape) collapses whole
+      // 128 KiB blocks to a handful of bytes, so the honest format
+      // ceiling sits in the tens of thousands. Saturated probes must
+      // predict that ceiling, not a round number: measured ratios on the
+      // smooth-field profiles run past 2500:1, and a clamp below them
+      // made the gate prune the exhaustive winner.
+      return std::min(20000.0, 1.4 * s.entropy_ratio *
+                                   std::max(coverage_ratio(s.match_fraction,
+                                                           20000.0),
+                                            coverage_ratio(s.run_fraction,
+                                                           20000.0)));
   }
   // Codecs without a model are never pruned.
   return 1e12;
 }
 
 }  // namespace
+
+std::optional<CodecId> ForcedCodecFromEnv() {
+  const char* env = std::getenv("ISOBAR_FORCE_CODEC");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  for (CodecId id : AllCodecIds()) {
+    if (CodecIdToString(id) == env) return id;
+  }
+  return std::nullopt;
+}
 
 std::string_view PreferenceToString(Preference preference) {
   switch (preference) {

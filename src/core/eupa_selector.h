@@ -51,14 +51,26 @@ struct EupaOptions {
   uint64_t sample_runs = 8;
   uint64_t seed = 0x15D0BA5ull;
 
-  /// Solvers the selector measures. Defaults to the paper's pair.
-  std::vector<CodecId> candidate_codecs = {CodecId::kZlib, CodecId::kBzip2};
+  /// Solvers the selector measures. The paper's pair plus the homegrown
+  /// LZ77+tANS codec, whose decode speed dominates the auto-speed front
+  /// and whose 128 KiB window competes with zlib on ratio.
+  std::vector<CodecId> candidate_codecs = {CodecId::kZlib, CodecId::kBzip2,
+                                           CodecId::kLzans};
 
   /// Explicit overrides (§II.C: "explicit specification of input
   /// parameters is also permitted"). A forced dimension is not measured.
   std::optional<CodecId> forced_codec;
   std::optional<Linearization> forced_linearization;
 };
+
+/// CI/test hook: the codec named by the ISOBAR_FORCE_CODEC environment
+/// variable, or nullopt when unset or unrecognized. The pipeline entry
+/// points (batch compressor, stream writer) apply it only when the caller
+/// did not force a codec themselves, so an entire ctest run can be
+/// re-executed with every auto-selected pipeline pinned to one solver —
+/// mirroring the ISOBAR_SIMD=scalar lane. EupaSelector itself never reads
+/// it: selector-semantics tests see exactly the options they construct.
+std::optional<CodecId> ForcedCodecFromEnv();
 
 /// Measured performance of one (codec × linearization) candidate on the
 /// training sample.

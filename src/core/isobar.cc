@@ -118,23 +118,26 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
   Stopwatch total_timer;
 
   const Analyzer analyzer(options_.analyzer);
-  const EupaSelector selector(options_.eupa);
+  // The ISOBAR_FORCE_CODEC CI hook pins auto-selected pipelines to one
+  // solver; explicit caller overrides always win.
+  EupaOptions eupa = options_.eupa;
+  if (!eupa.forced_codec) eupa.forced_codec = ForcedCodecFromEnv();
+  const EupaSelector selector(eupa);
   const uint64_t full_mask = FullMask(width);
 
   // --- EUPA phase: pick the (solver × linearization) pipeline once per
   // dataset from a training sample (§II.C). The analyzer verdict for the
   // sampling region determines which bytes the candidates are measured on.
   EupaDecision decision;
-  decision.preference = options_.eupa.preference;
-  if (options_.eupa.forced_codec && options_.eupa.forced_linearization) {
-    decision.codec = *options_.eupa.forced_codec;
-    decision.linearization = *options_.eupa.forced_linearization;
+  decision.preference = eupa.preference;
+  if (eupa.forced_codec && eupa.forced_linearization) {
+    decision.codec = *eupa.forced_codec;
+    decision.linearization = *eupa.forced_linearization;
   } else if (!data.empty()) {
     Stopwatch analysis_timer;
     const uint64_t n = data.size() / width;
     const uint64_t probe_elements =
-        std::min<uint64_t>(n, std::max<uint64_t>(options_.eupa.sample_elements,
-                                                 1));
+        std::min<uint64_t>(n, std::max<uint64_t>(eupa.sample_elements, 1));
     ByteSpan probe = data.subspan(0, probe_elements * width);
     ISOBAR_ASSIGN_OR_RETURN(AnalysisResult probe_result,
                             analyzer.Analyze(probe, width));
@@ -146,9 +149,9 @@ Result<Bytes> IsobarCompressor::Compress(ByteSpan data, size_t width,
                             selector.Select(data, width, eupa_mask));
   } else {
     // Empty input: nothing to measure; fall back to configured defaults.
-    if (options_.eupa.forced_codec) decision.codec = *options_.eupa.forced_codec;
-    if (options_.eupa.forced_linearization) {
-      decision.linearization = *options_.eupa.forced_linearization;
+    if (eupa.forced_codec) decision.codec = *eupa.forced_codec;
+    if (eupa.forced_linearization) {
+      decision.linearization = *eupa.forced_linearization;
     }
   }
   stats->decision = decision;

@@ -44,10 +44,14 @@ IsobarStreamWriter::IsobarStreamWriter(CompressOptions options, size_t width,
 Status IsobarStreamWriter::EnsurePipeline(ByteSpan training_data) {
   if (header_written_) return Status::OK();
 
-  decision_.preference = options_.eupa.preference;
-  if (options_.eupa.forced_codec && options_.eupa.forced_linearization) {
-    decision_.codec = *options_.eupa.forced_codec;
-    decision_.linearization = *options_.eupa.forced_linearization;
+  // Same ISOBAR_FORCE_CODEC CI hook as the batch compressor; explicit
+  // caller overrides always win.
+  EupaOptions eupa = options_.eupa;
+  if (!eupa.forced_codec) eupa.forced_codec = ForcedCodecFromEnv();
+  decision_.preference = eupa.preference;
+  if (eupa.forced_codec && eupa.forced_linearization) {
+    decision_.codec = *eupa.forced_codec;
+    decision_.linearization = *eupa.forced_linearization;
   } else if (!training_data.empty()) {
     // Mirror the batch compressor's EUPA phase on the training window.
     const Analyzer analyzer(options_.analyzer);
@@ -57,13 +61,13 @@ Status IsobarStreamWriter::EnsurePipeline(ByteSpan training_data) {
     stats_.analysis_seconds += analysis_timer.ElapsedSeconds();
     const uint64_t mask = probe.improvable() ? probe.compressible_mask
                                              : FullMask(width_);
-    const EupaSelector selector(options_.eupa);
+    const EupaSelector selector(eupa);
     ISOBAR_ASSIGN_OR_RETURN(decision_,
                             selector.Select(training_data, width_, mask));
   } else {
-    if (options_.eupa.forced_codec) decision_.codec = *options_.eupa.forced_codec;
-    if (options_.eupa.forced_linearization) {
-      decision_.linearization = *options_.eupa.forced_linearization;
+    if (eupa.forced_codec) decision_.codec = *eupa.forced_codec;
+    if (eupa.forced_linearization) {
+      decision_.linearization = *eupa.forced_linearization;
     }
   }
   stats_.decision = decision_;

@@ -76,7 +76,7 @@ Result<CompressAux> UnpackCompressAux(uint64_t packed) {
   }
   const uint8_t codec = static_cast<uint8_t>(packed >> 8);
   if (codec != kAuxAuto) {
-    if (codec > static_cast<uint8_t>(CodecId::kBwt)) {
+    if (!IsKnownCodecId(codec)) {
       return Status::InvalidArgument("compress aux: unknown codec selector " +
                                      std::to_string(codec));
     }

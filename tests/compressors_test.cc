@@ -124,7 +124,13 @@ INSTANTIATE_TEST_SUITE_P(
         RoundTripCase{CodecId::kBwt, "random"},
         RoundTripCase{CodecId::kBwt, "repetitive"},
         RoundTripCase{CodecId::kBwt, "text"},
-        RoundTripCase{CodecId::kBwt, "allzero"}),
+        RoundTripCase{CodecId::kBwt, "allzero"},
+        RoundTripCase{CodecId::kLzans, "empty"},
+        RoundTripCase{CodecId::kLzans, "single"},
+        RoundTripCase{CodecId::kLzans, "random"},
+        RoundTripCase{CodecId::kLzans, "repetitive"},
+        RoundTripCase{CodecId::kLzans, "text"},
+        RoundTripCase{CodecId::kLzans, "allzero"}),
     CaseName);
 
 // ---------------------------------------------------------------------------
@@ -145,7 +151,8 @@ TEST_P(CodecShrinkTest, StructuredDataShrinks) {
 INSTANTIATE_TEST_SUITE_P(RealCodecs, CodecShrinkTest,
                          ::testing::Values(CodecId::kZlib, CodecId::kBzip2,
                                            CodecId::kRle, CodecId::kLzss,
-                                           CodecId::kHuffman, CodecId::kBwt),
+                                           CodecId::kHuffman, CodecId::kBwt,
+                                           CodecId::kLzans),
                          [](const auto& info) {
                            return std::string(CodecIdToString(info.param));
                          });
@@ -176,6 +183,69 @@ TEST(ZlibCodecTest, WrongOriginalSizeIsCorruption) {
   Bytes out;
   EXPECT_FALSE(codec.Decompress(compressed, 999, &out).ok());
   EXPECT_FALSE(codec.Decompress(compressed, 1001, &out).ok());
+}
+
+TEST(LzAnsCodecTest, MultiBlockRoundTripWithCrossBlockMatches) {
+  // > 2 blocks of text keeps matches flowing across the 128 KiB block
+  // boundary (the window spans blocks even though sequences do not).
+  const Bytes input = TextLikeBytes(300 * 1024);
+  auto codec = GetCodec(CodecId::kLzans);
+  ASSERT_TRUE(codec.ok());
+  Bytes compressed;
+  ASSERT_TRUE((*codec)->Compress(input, &compressed).ok());
+  EXPECT_LT(compressed.size(), input.size() / 8);
+  Bytes output;
+  ASSERT_TRUE((*codec)->Decompress(compressed, input.size(), &output).ok());
+  EXPECT_EQ(input, output);
+}
+
+TEST(LzAnsCodecTest, MixedNoiseAndStructureRoundTrips) {
+  Bytes input = RandomBytes(150 * 1024, 21);  // raw-escape blocks
+  const Bytes text = TextLikeBytes(150 * 1024);
+  input.insert(input.end(), text.begin(), text.end());
+  input.insert(input.end(), size_t{150} * 1024, uint8_t{7});  // RLE blocks
+  auto codec = GetCodec(CodecId::kLzans);
+  ASSERT_TRUE(codec.ok());
+  Bytes compressed;
+  ASSERT_TRUE((*codec)->Compress(input, &compressed).ok());
+  Bytes output;
+  ASSERT_TRUE((*codec)->Decompress(compressed, input.size(), &output).ok());
+  EXPECT_EQ(input, output);
+}
+
+TEST(LzAnsCodecTest, GarbageInputIsCorruption) {
+  auto codec = GetCodec(CodecId::kLzans);
+  ASSERT_TRUE(codec.ok());
+  Bytes garbage = RandomBytes(200, 5);
+  Bytes out;
+  // Whatever the garbage parses as, it must fail closed, not crash.
+  EXPECT_FALSE((*codec)->Decompress(garbage, 100000, &out).ok());
+}
+
+TEST(LzAnsCodecTest, WrongOriginalSizeIsCorruption) {
+  auto codec = GetCodec(CodecId::kLzans);
+  ASSERT_TRUE(codec.ok());
+  const Bytes input = TextLikeBytes(5000);
+  Bytes compressed;
+  ASSERT_TRUE((*codec)->Compress(input, &compressed).ok());
+  Bytes out;
+  EXPECT_FALSE((*codec)->Decompress(compressed, 4999, &out).ok());
+  EXPECT_FALSE((*codec)->Decompress(compressed, 5001, &out).ok());
+}
+
+TEST(LzAnsCodecTest, TruncatedStreamIsCorruption) {
+  auto codec = GetCodec(CodecId::kLzans);
+  ASSERT_TRUE(codec.ok());
+  const Bytes input = TextLikeBytes(20000);
+  Bytes compressed;
+  ASSERT_TRUE((*codec)->Compress(input, &compressed).ok());
+  Bytes out;
+  for (size_t cut : {size_t{0}, size_t{3}, compressed.size() / 2,
+                     compressed.size() - 1}) {
+    Bytes truncated(compressed.begin(), compressed.begin() + cut);
+    EXPECT_FALSE((*codec)->Decompress(truncated, input.size(), &out).ok())
+        << "cut=" << cut;
+  }
 }
 
 TEST(Bzip2CodecTest, GarbageInputIsCorruption) {

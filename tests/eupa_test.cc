@@ -39,8 +39,8 @@ TEST(EupaTest, EvaluatesAllCandidateCombinations) {
   const EupaSelector selector;
   auto decision = selector.Select(data, 8, 0xC0);
   ASSERT_TRUE(decision.ok());
-  // 2 codecs × 2 linearizations.
-  EXPECT_EQ(decision->evaluations.size(), 4u);
+  // 3 default codecs × 2 linearizations.
+  EXPECT_EQ(decision->evaluations.size(), 6u);
   for (const auto& eval : decision->evaluations) {
     EXPECT_GT(eval.ratio, 0.0);
     EXPECT_GT(eval.throughput_mbps, 0.0);
@@ -162,7 +162,7 @@ TEST(EupaTest, SampleSmallerThanDataStillDecides) {
   const EupaSelector selector(options);
   auto decision = selector.Select(data, 8, 0xC0);
   ASSERT_TRUE(decision.ok());
-  EXPECT_EQ(decision->evaluations.size(), 4u);
+  EXPECT_EQ(decision->evaluations.size(), 6u);
 }
 
 TEST(EupaTest, RejectsZeroSampleBudget) {
@@ -177,8 +177,9 @@ TEST(EupaTest, RejectsZeroSampleBudget) {
 
 // Candidate list covering every solver the estimator models.
 std::vector<CodecId> AllSolvers() {
-  return {CodecId::kZlib, CodecId::kBzip2, CodecId::kRle,
-          CodecId::kLzss, CodecId::kHuffman, CodecId::kBwt};
+  return {CodecId::kZlib,    CodecId::kBzip2, CodecId::kRle,
+          CodecId::kLzss,    CodecId::kHuffman, CodecId::kBwt,
+          CodecId::kLzans};
 }
 
 EupaDecision SelectOrDie(const Bytes& data, size_t width, uint64_t mask,

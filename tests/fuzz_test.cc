@@ -207,8 +207,8 @@ TEST(CodecFuzzTest, PforDecoderIsRobust) {
 }
 
 TEST(CodecFuzzTest, HomegrownSolversAreRobust) {
-  for (CodecId id :
-       {CodecId::kRle, CodecId::kLzss, CodecId::kHuffman, CodecId::kBwt}) {
+  for (CodecId id : {CodecId::kRle, CodecId::kLzss, CodecId::kHuffman,
+                     CodecId::kBwt, CodecId::kLzans}) {
     auto codec = GetCodec(id);
     ASSERT_TRUE(codec.ok());
     FuzzCodec(
