@@ -132,6 +132,12 @@ void CopyMatch(uint8_t* dst, size_t dist, size_t len) {
   }
 }
 
+// Stand-in literal source for kLitNone blocks: keeps lit_src non-null so
+// the copy paths in Decompress never dereference (or do arithmetic on) a
+// null pointer, with enough slack for the 16-byte fast-path read. Literal
+// runs are provably empty then (num_lit == 0), so only zeros are copied.
+constexpr uint8_t kEmptyLitPad[16] = {};
+
 }  // namespace
 
 Status LzAnsCodec::Compress(ByteSpan input, Bytes* out) const {
@@ -421,10 +427,16 @@ Status LzAnsCodec::Decompress(ByteSpan input, size_t original_size,
     }
 
     const uint8_t* lit_src = nullptr;
+    // True when reading a fixed 16 bytes from any valid literal position
+    // stays inside the source buffer: the tANS scratch and the kLitNone
+    // pad carry their own 16-byte slack; raw literals need 16 spare input
+    // bytes past the literal section.
+    bool lit_fast = true;
     if (lit_mode == kLitNone) {
       if (num_lit != 0) {
         return Status::Corruption("lzans: missing literal stream");
       }
+      lit_src = kEmptyLitPad;
     } else if (lit_mode == kLitTans) {
       tans::NormalizedHistogram hist;
       Status st = tans::ParseHistogram(input, &ip, &hist);
@@ -453,6 +465,7 @@ Status LzAnsCodec::Decompress(ByteSpan input, size_t original_size,
         return Status::Corruption("lzans: truncated raw literals");
       }
       lit_src = in + ip;
+      lit_fast = in_size - ip >= num_lit + 16;
       ip += num_lit;
     } else {
       return Status::Corruption("lzans: unknown literal mode");
@@ -460,12 +473,6 @@ Status LzAnsCodec::Decompress(ByteSpan input, size_t original_size,
 
     size_t lit_pos = 0;
     const size_t block_end = op + raw_size;
-    // True when reading a fixed 16 bytes from any valid literal position
-    // stays inside the source buffer: the tANS scratch is padded above;
-    // raw literals need 16 spare input bytes past the literal section.
-    const bool lit_fast =
-        lit_mode == kLitTans ||
-        in_size - static_cast<size_t>(lit_src - in) >= num_lit + 16;
     if (num_seq > 0) {
       tans::NormalizedHistogram len_hist;
       tans::NormalizedHistogram off_hist;
@@ -581,6 +588,13 @@ Status LzAnsCodec::Decompress(ByteSpan input, size_t original_size,
       }
       if (lr.overflowed() || orr.overflowed()) {
         return Status::Corruption("lzans: truncated sequence stream");
+      }
+      // Mirror the tANS decode-loop hardening: intact streams drain
+      // exactly and every state returns to the encoder's initial value
+      // (table_size, rebased to 0).
+      if (!lr.fully_consumed() || !orr.fully_consumed() || l0 != 0 ||
+          l1 != 0 || os[0] != 0 || os[1] != 0) {
+        return Status::Corruption("lzans: corrupt sequence stream");
       }
     }
 

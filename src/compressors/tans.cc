@@ -55,7 +55,9 @@ bool ParseVarint(ByteSpan data, size_t* offset, uint32_t* v) {
 
 uint32_t OptimalTableLog(uint64_t total, size_t used_symbols,
                          uint32_t max_log) {
-  uint32_t log = total > 1
+  // total <= 4 would drive bit_width(total - 1) - 2 to (or below) zero —
+  // unsigned wrap for total == 2 — so tiny inputs take the minimum table.
+  uint32_t log = total > 4
                      ? static_cast<uint32_t>(std::bit_width(total - 1)) - 2
                      : kMinTableLog;
   // Every used symbol needs at least one state.
@@ -411,6 +413,18 @@ Status DecodeLoop(ByteSpan stream, const DecodeTable& table, size_t count,
   }
   if (reader.overflowed()) {
     return Status::Corruption("tans: truncated bitstream");
+  }
+  // An intact stream drains exactly and walks every state back to the
+  // encoder's initial value (table_size, rebased to 0). Leftover bits,
+  // extra leading bytes, or a stray final state all mean corruption even
+  // when no read overflowed.
+  if (!reader.fully_consumed()) {
+    return Status::Corruption("tans: bitstream not fully consumed");
+  }
+  for (uint32_t k = 0; k < N; ++k) {
+    if (state[k] != 0) {
+      return Status::Corruption("tans: bad final decoder state");
+    }
   }
   return Status::OK();
 }

@@ -28,7 +28,10 @@ namespace isobar::tans {
 /// single 1-bit sentinel and zero-pads to a byte boundary, and the
 /// decoder locates the sentinel in the last byte. Decoders fail closed:
 /// reading past the start of the stream sets an overflow flag that turns
-/// into Corruption, it never reads out of bounds.
+/// into Corruption, it never reads out of bounds. DecodeInterleaved
+/// additionally rejects streams that do not drain exactly (extra leading
+/// bytes or leftover bits) or whose states do not return to the encoder's
+/// initial values, so well-formed-but-corrupt streams are detected too.
 
 inline constexpr uint32_t kMinTableLog = 5;
 inline constexpr uint32_t kMaxTableLog = 12;
@@ -194,6 +197,14 @@ class BitReader {
 
   bool overflowed() const { return overflowed_; }
 
+  /// True once every stream bit has been consumed: the load pointer is
+  /// back at the first byte and the container is drained to its limit.
+  /// Only meaningful after the final Reload() of a decode loop; an intact
+  /// stream drains exactly, so anything less means corruption.
+  bool fully_consumed() const {
+    return ptr_ == start_ && bits_consumed_ == bits_limit_;
+  }
+
  private:
   const uint8_t* start_ = nullptr;
   const uint8_t* ptr_ = nullptr;
@@ -211,7 +222,9 @@ Status EncodeInterleaved(const uint8_t* symbols, size_t count,
                          Bytes* out);
 
 /// Decodes exactly `count` symbols into `out`. Fails closed (Corruption)
-/// on a truncated or trailing-garbage stream.
+/// on a truncated or trailing-garbage stream, on a stream that does not
+/// drain exactly, and on final states that do not return to the
+/// encoder's initial values.
 Status DecodeInterleaved(ByteSpan stream, const DecodeTable& table,
                          uint32_t num_states, size_t count, uint8_t* out);
 

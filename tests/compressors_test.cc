@@ -213,6 +213,26 @@ TEST(LzAnsCodecTest, MixedNoiseAndStructureRoundTrips) {
   EXPECT_EQ(input, output);
 }
 
+TEST(LzAnsCodecTest, FullyMatchedBlockHasNoLiterals) {
+  // A second block that exactly repeats the first (matches may reach back
+  // across the block boundary) compresses to a single zero-literal
+  // sequence, i.e. a kLitNone block: random bytes keep the hash chains
+  // shallow so the whole-block match is found immediately. The decoder
+  // used to leave its literal source pointer null in that mode and read
+  // through it.
+  constexpr size_t kBlock = 128 * 1024;
+  const Bytes first = RandomBytes(kBlock, 17);
+  Bytes input = first;
+  input.insert(input.end(), first.begin(), first.end());
+  auto codec = GetCodec(CodecId::kLzans);
+  ASSERT_TRUE(codec.ok());
+  Bytes compressed;
+  ASSERT_TRUE((*codec)->Compress(input, &compressed).ok());
+  Bytes output;
+  ASSERT_TRUE((*codec)->Decompress(compressed, input.size(), &output).ok());
+  EXPECT_EQ(input, output);
+}
+
 TEST(LzAnsCodecTest, GarbageInputIsCorruption) {
   auto codec = GetCodec(CodecId::kLzans);
   ASSERT_TRUE(codec.ok());

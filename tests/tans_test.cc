@@ -57,6 +57,15 @@ TEST(TansNormalizeTest, FullAlphabetUniform) {
   for (int s = 0; s < 256; ++s) EXPECT_EQ(hist.counts[s], share);
 }
 
+TEST(TansNormalizeTest, TinyTotalTakesMinimumTable) {
+  // total == 2 used to wrap bit_width(total - 1) - 2 below zero and clamp
+  // the table log to max_log, inflating headers for 2-symbol inputs.
+  std::array<uint64_t, 2> counts = {1, 1};
+  const NormalizedHistogram hist = NormalizeOrDie(counts.data(), 2);
+  EXPECT_EQ(hist.table_log, kMinTableLog);
+  EXPECT_EQ(SumCounts(hist), 1u << hist.table_log);
+}
+
 TEST(TansNormalizeTest, EmptyHistogramFails) {
   std::array<uint64_t, 16> counts{};
   NormalizedHistogram hist;
@@ -275,6 +284,38 @@ TEST(TansStreamTest, TruncatedStreamsFailClosed) {
                                    decoded.data())
                      .ok())
         << "keep=" << keep;
+  }
+}
+
+TEST(TansStreamTest, ExtraLeadingBytesFailClosed) {
+  // Bytes prepended to an otherwise valid stream never trip the overflow
+  // flag — the reader simply stops before reaching them — so only the
+  // full-consumption check can reject this well-formed corruption.
+  const Bytes symbols = MakeSymbols(5000, 11, 23);
+  std::array<uint64_t, 256> counts{};
+  for (uint8_t s : symbols) ++counts[s];
+  size_t alphabet = 0;
+  for (size_t s = 0; s < 256; ++s) {
+    if (counts[s] != 0) alphabet = s + 1;
+  }
+  const NormalizedHistogram hist = NormalizeOrDie(counts.data(), alphabet);
+  EncodeTable enc;
+  ASSERT_TRUE(enc.Init(hist).ok());
+  DecodeTable dec;
+  ASSERT_TRUE(dec.Init(hist).ok());
+
+  Bytes stream;
+  ASSERT_TRUE(
+      EncodeInterleaved(symbols.data(), symbols.size(), enc, 2, &stream)
+          .ok());
+  Bytes decoded(symbols.size());
+  for (size_t extra : {size_t{1}, size_t{7}, size_t{64}}) {
+    Bytes padded(extra, 0xAB);
+    padded.insert(padded.end(), stream.begin(), stream.end());
+    EXPECT_FALSE(DecodeInterleaved(padded, dec, 2, symbols.size(),
+                                   decoded.data())
+                     .ok())
+        << "extra=" << extra;
   }
 }
 
